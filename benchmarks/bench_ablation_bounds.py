@@ -1,0 +1,76 @@
+"""Ablation — pruning power of the bounding functions.
+
+The paper's Section 4 claims the tight bound prunes far more of the A*
+search tree than the simple 1.0-per-pattern bound.  This ablation runs
+the exact search under all three bound kinds (simple, tight, tight-fast)
+on the same task and reports expanded nodes, processed mappings and time.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.astar import AStarMatcher
+from repro.core.bounds import BoundKind
+from repro.core.scoring import ScoreModel, build_pattern_set
+from repro.datagen import generate_reallike
+
+KINDS = (BoundKind.SIMPLE, BoundKind.TIGHT_FAST, BoundKind.TIGHT)
+
+
+@pytest.fixture(scope="module")
+def bounds_ablation(scale):
+    sizes = (6, 8, 10, 11) if scale == "paper" else (6, 8, 9)
+    traces = 3000 if scale == "paper" else 500
+    task = generate_reallike(num_traces=traces, seed=7)
+    rows = []
+    for size in sizes:
+        subtask = task.project_events(size)
+        patterns = build_pattern_set(subtask.log_1, subtask.patterns)
+        for kind in KINDS:
+            model = ScoreModel(
+                subtask.log_1, subtask.log_2, patterns, bound=kind
+            )
+            started = time.perf_counter()
+            outcome = AStarMatcher(model, node_budget=2_000_000).match()
+            elapsed = time.perf_counter() - started
+            rows.append(
+                (size, kind.value, outcome.stats.expanded_nodes,
+                 outcome.stats.processed_mappings, elapsed, outcome.score)
+            )
+    header = (
+        f"{'#events':>8} {'bound':<11} {'expanded':>9} {'processed':>10} "
+        f"{'time(s)':>8} {'score':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for size, kind, expanded, processed, elapsed, score in rows:
+        lines.append(
+            f"{size:>8} {kind:<11} {expanded:>9} {processed:>10} "
+            f"{elapsed:>8.3f} {score:>9.3f}"
+        )
+    save_report("ablation_bounds", "\n".join(lines))
+    return rows
+
+
+def test_bounds_ablation_benchmark(benchmark, bounds_ablation):
+    """Time the tight-bound search at 8 events."""
+    task = generate_reallike(num_traces=300, seed=7).project_events(8)
+    patterns = build_pattern_set(task.log_1, task.patterns)
+
+    def kernel():
+        model = ScoreModel(task.log_1, task.log_2, patterns)
+        return AStarMatcher(model, node_budget=1_000_000).match()
+
+    benchmark(kernel)
+
+    by_size: dict[int, dict[str, tuple]] = {}
+    for size, kind, expanded, processed, elapsed, score in bounds_ablation:
+        by_size.setdefault(size, {})[kind] = (expanded, processed, score)
+    for size, kinds in by_size.items():
+        # All bounds find the same optimum...
+        scores = {round(v[2], 6) for v in kinds.values()}
+        assert len(scores) == 1, f"bounds disagree at {size} events"
+        # ...but the tight bound expands no more nodes than the simple one.
+        assert kinds["tight"][0] <= kinds["simple"][0]
+        assert kinds["tight-fast"][0] <= kinds["simple"][0]

@@ -1,0 +1,85 @@
+"""Ablation — what each pattern class contributes to accuracy.
+
+Vertices and edges are special patterns; the paper's claim is that the
+*complex* SEQ/AND patterns add the discriminative power that frequencies
+of single events and consecutive pairs lack.  This ablation matches the
+real-like dataset with three nested pattern sets — vertices only,
+vertices+edges, vertices+edges+complex — under the exact and the advanced
+heuristic matcher.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.astar import AStarMatcher
+from repro.core.heuristic import AdvancedHeuristicMatcher
+from repro.core.scoring import ScoreModel, build_pattern_set
+from repro.datagen import generate_reallike
+from repro.evaluation.metrics import evaluate_mapping
+
+CONFIGS = (
+    ("vertices", dict(include_vertices=True, include_edges=False), False),
+    ("vertices+edges", dict(include_vertices=True, include_edges=True), False),
+    ("+complex", dict(include_vertices=True, include_edges=True), True),
+)
+
+
+@pytest.fixture(scope="module")
+def patterns_ablation(scale):
+    traces = 3000 if scale == "paper" else 800
+    seeds = (7, 21, 35) if scale == "paper" else (7, 21)
+    rows = []
+    for seed in seeds:
+        task = generate_reallike(num_traces=traces, seed=seed)
+        for label, kwargs, with_complex in CONFIGS:
+            patterns = build_pattern_set(
+                task.log_1,
+                complex_patterns=task.patterns if with_complex else (),
+                **kwargs,
+            )
+            for matcher_name in ("exact", "heuristic-advanced"):
+                model = ScoreModel(task.log_1, task.log_2, patterns)
+                if matcher_name == "exact":
+                    outcome = AStarMatcher(
+                        model, node_budget=600_000, time_budget=120.0
+                    ).match()
+                else:
+                    outcome = AdvancedHeuristicMatcher(model).match()
+                quality = evaluate_mapping(outcome.mapping, task.truth)
+                rows.append((seed, label, matcher_name, quality.f_measure))
+    header = f"{'seed':>5} {'pattern set':<16} {'matcher':<20} {'F':>6}"
+    lines = [header, "-" * len(header)]
+    for seed, label, matcher_name, f_measure in rows:
+        lines.append(
+            f"{seed:>5} {label:<16} {matcher_name:<20} {f_measure:>6.3f}"
+        )
+    save_report("ablation_patterns", "\n".join(lines))
+    return rows
+
+
+def test_patterns_ablation_benchmark(benchmark, patterns_ablation):
+    """Time the advanced heuristic with the full pattern set."""
+    task = generate_reallike(num_traces=500, seed=7)
+    patterns = build_pattern_set(task.log_1, task.patterns)
+
+    def kernel():
+        model = ScoreModel(task.log_1, task.log_2, patterns)
+        return AdvancedHeuristicMatcher(model).match()
+
+    benchmark(kernel)
+
+    # Averaged over seeds, richer pattern sets must not hurt accuracy.
+    def mean_f(label, matcher_name):
+        values = [
+            f for _, lab, m, f in patterns_ablation
+            if lab == label and m == matcher_name
+        ]
+        return sum(values) / len(values)
+
+    for matcher_name in ("exact", "heuristic-advanced"):
+        assert mean_f("vertices+edges", matcher_name) >= (
+            mean_f("vertices", matcher_name) - 0.05
+        )
+        assert mean_f("+complex", matcher_name) >= (
+            mean_f("vertices+edges", matcher_name) - 0.05
+        )

@@ -1,0 +1,57 @@
+"""Figure 10 — heuristic approaches over various trace counts.
+
+Regenerates the paper's Figure 10 panels (heuristics vs exact as the
+number of traces grows) and benchmarks the simple heuristic.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.datagen import generate_reallike
+from repro.evaluation.experiments import figure10_heuristic_vs_traces
+from repro.evaluation.harness import run_method
+from repro.evaluation.reporting import format_series
+
+
+@pytest.fixture(scope="module")
+def fig10_runs(scale):
+    if scale == "paper":
+        runs = figure10_heuristic_vs_traces(
+            counts=(500, 1000, 1500, 2000, 2500, 3000), num_events=8,
+            node_budget=2_000_000, time_budget=600.0,
+        )
+    else:
+        runs = figure10_heuristic_vs_traces(
+            counts=(200, 400, 600, 800), num_events=8,
+            node_budget=300_000, time_budget=60.0,
+        )
+    report = "\n\n".join(
+        format_series(runs, extractor, name, x_axis="num_traces")
+        for extractor, name in (
+            (lambda r: r.f_measure, "F-measure (Fig 10a)"),
+            (lambda r: r.elapsed_seconds, "time seconds (Fig 10b)"),
+            (lambda r: float(r.processed_mappings), "processed mappings (Fig 10c)"),
+        )
+    )
+    save_report("fig10", report)
+    return runs
+
+
+def test_fig10_kernel_benchmark(benchmark, fig10_runs):
+    """Time Heuristic-Simple at 8 events / 800 traces."""
+    task = generate_reallike(num_traces=800, seed=7).project_events(8)
+    benchmark(lambda: run_method(task, "heuristic-simple"))
+
+    by_method = {}
+    for run in fig10_runs:
+        by_method.setdefault(run.method, []).append(run)
+    # Heuristics stay well under the exact search's processed mappings at
+    # every trace count (the trace count does not drive the search space).
+    for advanced in by_method["heuristic-advanced"]:
+        exact = next(
+            r
+            for r in by_method["pattern-tight"]
+            if r.num_traces == advanced.num_traces
+        )
+        if not exact.dnf:
+            assert advanced.processed_mappings <= exact.processed_mappings

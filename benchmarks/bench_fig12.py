@@ -1,0 +1,71 @@
+"""Figure 12 — larger synthetic data (up to 100 events).
+
+Regenerates the paper's Figure 12: on the block-structured synthetic
+dataset, exact matching (and Vertex+Edge) stops returning results beyond
+~20–40 events, the heuristics keep matching accurately, Entropy-only is
+the fast-but-inaccurate end of the trade-off.  Benchmarks the advanced
+heuristic at 40 events.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.datagen import generate_synthetic
+from repro.evaluation.experiments import figure12_large_synthetic
+from repro.evaluation.harness import run_method
+from repro.evaluation.reporting import format_series
+
+
+@pytest.fixture(scope="module")
+def fig12_runs(scale):
+    if scale == "paper":
+        runs = figure12_large_synthetic(
+            sizes=(10, 20, 40, 60, 80, 100), num_traces=10_000,
+            node_budget=50_000, time_budget=120.0,
+        )
+    else:
+        runs = figure12_large_synthetic(
+            sizes=(10, 20, 40, 60), num_traces=1000,
+            node_budget=10_000, time_budget=15.0,
+        )
+    report = "\n\n".join(
+        format_series(runs, extractor, name)
+        for extractor, name in (
+            (lambda r: r.f_measure, "F-measure (Fig 12, accuracy)"),
+            (lambda r: r.elapsed_seconds, "time seconds (Fig 12, cost)"),
+        )
+    )
+    save_report("fig12", report)
+    return runs
+
+
+def test_fig12_kernel_benchmark(benchmark, fig12_runs):
+    """Time Heuristic-Advanced on 40 synthetic events."""
+    task = generate_synthetic(
+        num_blocks=10, num_traces=500, seed=11
+    ).project_events(40)
+    benchmark(lambda: run_method(task, "heuristic-advanced"))
+
+    by_method = {}
+    for run in fig12_runs:
+        by_method.setdefault(run.method, []).append(run)
+
+    largest = max(r.num_events for r in by_method["heuristic-advanced"])
+    # The exact searches DNF at the largest size; the heuristics finish.
+    exact_at_largest = next(
+        r for r in by_method["pattern-tight"] if r.num_events == largest
+    )
+    assert exact_at_largest.dnf
+    advanced_at_largest = next(
+        r for r in by_method["heuristic-advanced"] if r.num_events == largest
+    )
+    assert not advanced_at_largest.dnf
+    # The pattern-aware heuristics beat the frequency-only baselines.
+    vertex_at_largest = next(
+        r for r in by_method["vertex"] if r.num_events == largest
+    )
+    entropy_at_largest = next(
+        r for r in by_method["entropy"] if r.num_events == largest
+    )
+    assert advanced_at_largest.f_measure > vertex_at_largest.f_measure
+    assert advanced_at_largest.f_measure > entropy_at_largest.f_measure

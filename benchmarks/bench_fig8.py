@@ -1,0 +1,52 @@
+"""Figure 8 — exact approaches over various trace counts.
+
+Regenerates the paper's Figure 8 panels on the real-like dataset (fixed
+event set, growing number of traces) and benchmarks the frequency-indexing
+stage whose cost grows with the trace count.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.datagen import generate_reallike
+from repro.evaluation.experiments import figure8_exact_vs_traces
+from repro.evaluation.harness import run_method
+from repro.evaluation.reporting import format_series
+
+
+@pytest.fixture(scope="module")
+def fig8_runs(scale):
+    if scale == "paper":
+        runs = figure8_exact_vs_traces(
+            counts=(500, 1000, 1500, 2000, 2500, 3000), num_events=8,
+            node_budget=2_000_000, time_budget=600.0,
+        )
+    else:
+        runs = figure8_exact_vs_traces(
+            counts=(200, 400, 600, 800), num_events=8,
+            node_budget=300_000, time_budget=60.0,
+        )
+    report = "\n\n".join(
+        format_series(runs, extractor, name, x_axis="num_traces")
+        for extractor, name in (
+            (lambda r: r.f_measure, "F-measure (Fig 8a)"),
+            (lambda r: r.elapsed_seconds, "time seconds (Fig 8b)"),
+            (lambda r: float(r.processed_mappings), "processed mappings (Fig 8c)"),
+        )
+    )
+    save_report("fig8", report)
+    return runs
+
+
+def test_fig8_kernel_benchmark(benchmark, fig8_runs):
+    """Time exact matching at the largest quick trace count."""
+    task = generate_reallike(num_traces=800, seed=7).project_events(6)
+    benchmark(lambda: run_method(task, "pattern-tight", node_budget=300_000))
+
+    # Accuracy should not degrade as traces grow (more evidence).
+    tight = sorted(
+        (r for r in fig8_runs if r.method == "pattern-tight" and not r.dnf),
+        key=lambda r: r.num_traces,
+    )
+    assert tight, "no completed pattern-tight runs"
+    assert tight[-1].f_measure >= tight[0].f_measure - 0.26

@@ -1,0 +1,71 @@
+"""Figure 9 — heuristic approaches over various event-set sizes.
+
+Regenerates the paper's Figure 9 panels: Exact (Pattern-Tight) vs
+Heuristic-Simple vs Heuristic-Advanced vs the baselines, on the real-like
+dataset, and benchmarks the advanced heuristic.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.datagen import generate_reallike
+from repro.evaluation.experiments import figure9_heuristic_vs_events
+from repro.evaluation.harness import run_method
+from repro.evaluation.reporting import format_series
+
+
+@pytest.fixture(scope="module")
+def fig9_runs(scale):
+    if scale == "paper":
+        runs = figure9_heuristic_vs_events(
+            sizes=(2, 4, 6, 8, 10, 11), num_traces=3000,
+            node_budget=2_000_000, time_budget=600.0,
+        )
+    else:
+        runs = figure9_heuristic_vs_events(
+            sizes=(4, 6, 8, 10, 11), num_traces=1000,
+            node_budget=600_000, time_budget=120.0,
+        )
+    report = "\n\n".join(
+        format_series(runs, extractor, name)
+        for extractor, name in (
+            (lambda r: r.f_measure, "F-measure (Fig 9a)"),
+            (lambda r: r.elapsed_seconds, "time seconds (Fig 9b)"),
+            (lambda r: float(r.processed_mappings), "processed mappings (Fig 9c)"),
+        )
+    )
+    save_report("fig9", report)
+    return runs
+
+
+def test_fig9_kernel_benchmark(benchmark, fig9_runs):
+    """Time Heuristic-Advanced at full 11 events / 500 traces."""
+    task = generate_reallike(num_traces=500, seed=7)
+    benchmark(lambda: run_method(task, "heuristic-advanced"))
+
+    by_method = {}
+    for run in fig9_runs:
+        by_method.setdefault(run.method, []).append(run)
+
+    largest = max(r.num_events for r in by_method["heuristic-advanced"])
+
+    def at_largest(method, attribute):
+        run = next(
+            r for r in by_method[method] if r.num_events == largest
+        )
+        return getattr(run, attribute)
+
+    # Heuristic-Advanced trades a little accuracy for orders of magnitude
+    # fewer processed mappings than Exact...
+    assert at_largest("heuristic-advanced", "processed_mappings") < (
+        at_largest("pattern-tight", "processed_mappings") / 5
+    )
+    # ... while processing more than Heuristic-Simple (Fig 9c).
+    assert at_largest("heuristic-advanced", "processed_mappings") >= (
+        at_largest("heuristic-simple", "processed_mappings")
+    )
+    # And its score never falls below Heuristic-Simple's.
+    for advanced, simple in zip(
+        by_method["heuristic-advanced"], by_method["heuristic-simple"]
+    ):
+        assert advanced.score >= simple.score - 1e-9

@@ -1,0 +1,53 @@
+"""Table 3 — characteristics of the three datasets.
+
+Regenerates the paper's dataset-characteristics table (number of traces,
+events, dependency-graph edges and patterns) for the real-like, synthetic
+and random logs, and benchmarks dataset generation itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.datagen import generate_reallike
+from repro.evaluation.experiments import table3_characteristics
+
+
+@pytest.fixture(scope="module")
+def table3_rows(scale):
+    if scale == "paper":
+        rows = table3_characteristics(
+            reallike_traces=3000, synthetic_traces=10_000,
+            synthetic_blocks=10, random_traces=1000,
+        )
+    else:
+        rows = table3_characteristics(
+            reallike_traces=1000, synthetic_traces=2000,
+            synthetic_blocks=10, random_traces=1000,
+        )
+    header = (
+        f"{'dataset':<12} {'# traces':>9} {'# events':>9} "
+        f"{'# edges':>8} {'# patterns':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<12} {row.num_traces:>9} {row.num_events:>9} "
+            f"{row.num_edges:>8} {row.num_patterns:>11}"
+        )
+    save_report("table3", "\n".join(lines))
+    return rows
+
+
+def test_table3_generation_benchmark(benchmark, table3_rows):
+    """Time real-like dataset generation (the heaviest generator stage)."""
+    benchmark(lambda: generate_reallike(num_traces=500, seed=7))
+    real, synthetic, random_row = table3_rows
+    assert real.num_events == 11
+    assert real.num_patterns == 3
+    assert synthetic.num_events == 100
+    assert synthetic.num_patterns == 16
+    assert random_row.num_events == 4
+    assert random_row.num_patterns == 0
+    # The real log's dependency graph is dense, like the paper's 57 edges
+    # over 11 events.
+    assert real.num_edges >= 40

@@ -1,0 +1,62 @@
+"""Table 4 — mapping counts over random logs.
+
+Regenerates the paper's random-log control experiment: with no true
+correspondence present, the counts of the 24 possible mappings over many
+trials should be roughly uniform for Exact, Heuristic-Simple and
+Heuristic-Advanced alike.  Benchmarks one full random-logs trial.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.datagen import generate_random_pair
+from repro.evaluation.experiments import table4_random_mapping_counts
+from repro.evaluation.harness import run_method
+
+METHODS = ("pattern-tight", "heuristic-simple", "heuristic-advanced")
+
+
+@pytest.fixture(scope="module")
+def table4_counts(scale):
+    if scale == "paper":
+        trials, traces = 1000, 1000
+    else:
+        trials, traces = 60, 300
+    counts = table4_random_mapping_counts(
+        trials=trials, num_traces=traces, methods=METHODS, seed=0
+    )
+    lines = [
+        f"trials per method: {trials}",
+        f"{'method':<20} {'distinct':>9} {'max share':>10} {'min share':>10}",
+    ]
+    for method in METHODS:
+        counter = counts[method]
+        shares = [count / trials for count in counter.values()]
+        lines.append(
+            f"{method:<20} {len(counter):>9} {max(shares):>10.3f} "
+            f"{min(shares):>10.3f}"
+        )
+    save_report("table4", "\n".join(lines))
+    return counts, trials
+
+
+def test_table4_trial_benchmark(benchmark, table4_counts):
+    """Time one exact-matching trial on a random log pair."""
+    task = generate_random_pair(num_events=4, num_traces=300, seed=123)
+    benchmark(lambda: run_method(task, "pattern-tight"))
+
+    counts, trials = table4_counts
+    for method in METHODS:
+        counter = counts[method]
+        assert sum(counter.values()) == trials
+        # No single mapping may dominate: under uniformity each of the 24
+        # mappings has share 1/24 ≈ 0.042; allow generous sampling noise.
+        top_share = counter.most_common(1)[0][1] / trials
+        bound = 1 / 24 + 4 * math.sqrt((1 / 24) * (23 / 24) / trials) + 0.05
+        assert top_share <= bound, (
+            f"{method} favours one mapping: share {top_share:.3f}"
+        )
+        # And many distinct mappings must appear.
+        assert len(counter) >= min(12, trials // 4)

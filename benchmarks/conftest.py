@@ -1,0 +1,46 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark module reproduces one table or figure of the paper: it
+computes the full series (a paper-shaped text table saved under
+``benchmarks/results/`` and echoed to stdout) and times a representative
+kernel with pytest-benchmark.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick`` (default) — laptop-friendly sizes; every series keeps the
+  paper's *shape* (who wins, where the exact methods stop scaling) at a
+  fraction of the cost.
+* ``paper`` — the paper's configurations (3,000 real traces, 10,000
+  synthetic traces, 100 events, 1,000 random trials).  Expect a long run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in ("quick", "paper"):
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be 'quick' or 'paper', got {scale!r}"
+        )
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a series table and echo it (visible with ``-s``)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] (saved to {path})\n{text}")

@@ -1,0 +1,54 @@
+"""Quickstart: match the paper's Figure 1 example logs.
+
+Two order-processing systems log the same six-step process under opaque
+names (letters in one, digits in the other).  Vertex and edge frequencies
+alone are ambiguous; the complex pattern SEQ(A, AND(B, C), D) — "B and C
+happen between A and D, in either order" — pins the mapping down.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EventLog, match, parse_pattern
+
+
+def main() -> None:
+    # Department 1: each trace is one order; B and C run in parallel,
+    # the last step is E or F.
+    log_1 = EventLog(
+        [
+            list("ABCDE"), list("ACBDF"), list("ABCDF"), list("ACBDE"),
+            list("ABCDE"), list("ACBDF"), list("ABCDE"), list("ACBDE"),
+        ],
+        name="department-1",
+    )
+    # Department 2 logs the same process under numeric codes.
+    log_2 = EventLog(
+        [
+            list("34567"), list("35468"), list("34568"), list("35467"),
+            list("34567"), list("35468"), list("34567"), list("35467"),
+        ],
+        name="department-2",
+    )
+
+    pattern = parse_pattern("SEQ(A, AND(B, C), D)")
+    print(f"Matching {log_1!r} against {log_2!r}")
+    print(f"Pattern: {pattern!r}\n")
+
+    for method in ("pattern-tight", "heuristic-advanced", "vertex", "entropy"):
+        result = match(log_1, log_2, patterns=[pattern], method=method)
+        pairs = ", ".join(
+            f"{s}->{t}" for s, t in sorted(result.mapping.as_dict().items())
+        )
+        print(
+            f"{method:20s} score={result.score:7.3f} "
+            f"time={result.elapsed_seconds * 1000:6.1f}ms  {pairs}"
+        )
+
+    print(
+        "\nThe exact pattern-based matcher recovers the true mapping "
+        "A->3 ... F->8."
+    )
+
+
+if __name__ == "__main__":
+    main()

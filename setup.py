@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline.
+
+The environment has no `wheel` package and no network, so PEP 517 editable
+installs (which require bdist_wheel) fail; all real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Assignment-problem substrate (Kuhn–Munkres)."""
+
+from repro.assignment.hungarian import max_weight_assignment
+
+__all__ = ["max_weight_assignment"]

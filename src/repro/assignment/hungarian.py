@@ -1,0 +1,112 @@
+"""Kuhn–Munkres (Hungarian) algorithm for maximum-weight assignment.
+
+From-scratch ``O(n³)`` implementation over plain Python lists.  The
+baselines (Vertex, Iterative, Entropy-only) all reduce to "pick the
+injective mapping maximizing a pairwise similarity sum", which is exactly
+this problem; it also serves as the independent oracle for the
+Proposition 6 optimality tests of the advanced heuristic.
+
+Rectangular inputs are padded internally with zero-weight entries; padded
+pairs are omitted from the returned assignment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_INFINITY = float("inf")
+
+
+def max_weight_assignment(
+    weights: Sequence[Sequence[float]],
+) -> tuple[dict[int, int], float]:
+    """Solve the maximum-weight assignment problem.
+
+    Parameters
+    ----------
+    weights:
+        ``weights[i][j]`` is the benefit of assigning row ``i`` to column
+        ``j``.  Rows/columns may differ in count.
+
+    Returns
+    -------
+    A pair ``(assignment, total)`` where ``assignment`` maps row indices
+    to column indices covering ``min(#rows, #cols)`` pairs, and ``total``
+    is the summed weight of those pairs.
+    """
+    num_rows = len(weights)
+    num_cols = len(weights[0]) if num_rows else 0
+    for row in weights:
+        if len(row) != num_cols:
+            raise ValueError("weight matrix must be rectangular")
+    if num_rows == 0 or num_cols == 0:
+        return {}, 0.0
+
+    size = max(num_rows, num_cols)
+    # Minimization form on the padded square matrix: cost = -weight.
+    cost = [
+        [
+            -weights[i][j] if i < num_rows and j < num_cols else 0.0
+            for j in range(size)
+        ]
+        for i in range(size)
+    ]
+
+    # Classic O(n³) shortest-augmenting-path Hungarian with potentials.
+    # Arrays are 1-indexed with a virtual 0 row/column, following the
+    # standard formulation (e-maxx); way[j] tracks the augmenting path.
+    potentials_u = [0.0] * (size + 1)
+    potentials_v = [0.0] * (size + 1)
+    matched_row = [0] * (size + 1)  # matched_row[j] = row assigned to col j
+    way = [0] * (size + 1)
+
+    for i in range(1, size + 1):
+        matched_row[0] = i
+        current_col = 0
+        min_values = [_INFINITY] * (size + 1)
+        used = [False] * (size + 1)
+        while True:
+            used[current_col] = True
+            row = matched_row[current_col]
+            delta = _INFINITY
+            next_col = 0
+            for j in range(1, size + 1):
+                if used[j]:
+                    continue
+                reduced = (
+                    cost[row - 1][j - 1]
+                    - potentials_u[row]
+                    - potentials_v[j]
+                )
+                if reduced < min_values[j]:
+                    min_values[j] = reduced
+                    way[j] = current_col
+                if min_values[j] < delta:
+                    delta = min_values[j]
+                    next_col = j
+            for j in range(size + 1):
+                if used[j]:
+                    potentials_u[matched_row[j]] += delta
+                    potentials_v[j] -= delta
+                else:
+                    min_values[j] -= delta
+            current_col = next_col
+            if matched_row[current_col] == 0:
+                break
+        while current_col != 0:
+            previous = way[current_col]
+            matched_row[current_col] = matched_row[previous]
+            current_col = previous
+
+    assignment: dict[int, int] = {}
+    total = 0.0
+    for j in range(1, size + 1):
+        i = matched_row[j]
+        if 1 <= i <= num_rows and j <= num_cols:
+            assignment[i - 1] = j - 1
+            total += weights[i - 1][j - 1]
+
+    # Rectangular padding may have matched real rows to padded columns
+    # (or vice versa); keep only the min(num_rows, num_cols) best real
+    # pairs the square solution selected.
+    return assignment, total

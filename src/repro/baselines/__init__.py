@@ -1,0 +1,25 @@
+"""Baseline matchers the paper compares against.
+
+* :class:`~repro.baselines.vertex.VertexMatcher` — normal distance in
+  vertex form [Kang & Naughton 2003]; reduces to an assignment problem.
+* :class:`~repro.baselines.vertex_edge.VertexEdgeMatcher` — normal
+  distance in vertex+edge form [same]; solved exactly by the shared A*
+  engine with vertices and edges as the (special) pattern set.
+* :class:`~repro.baselines.iterative.IterativeMatcher` — page-rank-like
+  iterative vertex-similarity propagation [Nejati et al. 2007].
+* :class:`~repro.baselines.entropy.EntropyMatcher` — non-graph
+  Entropy-only approach [Kang & Naughton 2003], similarity on event
+  appearance uncertainty only.
+"""
+
+from repro.baselines.entropy import EntropyMatcher
+from repro.baselines.iterative import IterativeMatcher
+from repro.baselines.vertex import VertexMatcher
+from repro.baselines.vertex_edge import VertexEdgeMatcher
+
+__all__ = [
+    "EntropyMatcher",
+    "IterativeMatcher",
+    "VertexMatcher",
+    "VertexEdgeMatcher",
+]

@@ -1,0 +1,74 @@
+"""Entropy-only baseline [7] (non-graph-based).
+
+Kang & Naughton's uninterpreted matching also offers an entropy-only
+variant that ignores structure entirely: each attribute (event, here) is
+summarized by the uncertainty of its value distribution.  For event logs
+the observable per-trace signal of an event is how often it occurs in a
+trace; the matcher therefore summarizes each event by the Shannon entropy
+of its per-trace occurrence-count distribution (0 occurrences, 1
+occurrence, 2 occurrences, …) and pairs events with similar entropies via
+maximum-weight assignment.
+
+Fast — no dependency graph, no search — but blind to event order, which is
+why the paper reports it as the low-accuracy/low-cost end of the
+trade-off (Figure 12).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.assignment import max_weight_assignment
+from repro.core.distance import frequency_similarity
+from repro.core.mapping import Mapping
+from repro.core.result import MatchOutcome
+from repro.core.stats import SearchStats
+from repro.log.events import Event
+from repro.log.eventlog import EventLog
+
+
+def event_entropy(log: EventLog, event: Event) -> float:
+    """Shannon entropy (bits) of the event's per-trace occurrence counts."""
+    if len(log) == 0:
+        return 0.0
+    counts = Counter(
+        sum(1 for occurrence in trace if occurrence == event) for trace in log
+    )
+    total = len(log)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+class EntropyMatcher:
+    """Entropy-of-appearance similarity + assignment."""
+
+    name = "Entropy"
+
+    def __init__(self, log_1: EventLog, log_2: EventLog):
+        self.log_1 = log_1
+        self.log_2 = log_2
+
+    def match(self) -> MatchOutcome:
+        sources = sorted(self.log_1.alphabet())
+        targets = sorted(self.log_2.alphabet())
+        stats = SearchStats()
+
+        entropies_1 = {event: event_entropy(self.log_1, event) for event in sources}
+        entropies_2 = {event: event_entropy(self.log_2, event) for event in targets}
+        weights = [
+            [
+                frequency_similarity(entropies_1[source], entropies_2[target])
+                for target in targets
+            ]
+            for source in sources
+        ]
+        stats.processed_mappings = len(sources) * len(targets)
+        assignment, total = max_weight_assignment(weights)
+        mapping = Mapping(
+            {sources[i]: targets[j] for i, j in assignment.items()}
+        )
+        return MatchOutcome(mapping, total, stats)

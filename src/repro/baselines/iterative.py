@@ -1,0 +1,124 @@
+"""Iterative similarity baseline [16] (Nejati et al., ICSE 2007).
+
+Matches statechart-like graphs by computing vertex similarities through a
+page-rank-like fixpoint: a pair of vertices is similar when their local
+frequencies are similar *and* their neighbourhoods are similar.  Starting
+from the frequency similarity ``S0``, the iteration
+
+    S ← (1 − λ)·S0 + λ·½·(successor-propagation + predecessor-propagation)
+
+propagates, for each pair, the average best-match similarity of their
+successor sets and predecessor sets.  After convergence (or a fixed
+iteration cap) the final matrix is rounded into a mapping by
+maximum-weight assignment.
+"""
+
+from __future__ import annotations
+
+from repro.assignment import max_weight_assignment
+from repro.core.distance import frequency_similarity
+from repro.core.mapping import Mapping
+from repro.core.result import MatchOutcome
+from repro.core.stats import SearchStats
+from repro.graph.dependency import dependency_graph
+from repro.log.events import Event
+from repro.log.eventlog import EventLog
+
+
+class IterativeMatcher:
+    """Fixpoint neighbour-similarity propagation + assignment."""
+
+    name = "Iterative"
+
+    def __init__(
+        self,
+        log_1: EventLog,
+        log_2: EventLog,
+        damping: float = 0.5,
+        max_iterations: int = 50,
+        tolerance: float = 1e-6,
+    ):
+        if not 0.0 <= damping < 1.0:
+            raise ValueError("damping must be in [0, 1)")
+        self.log_1 = log_1
+        self.log_2 = log_2
+        self.damping = damping
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def match(self) -> MatchOutcome:
+        graph_1 = dependency_graph(self.log_1)
+        graph_2 = dependency_graph(self.log_2)
+        sources = sorted(self.log_1.alphabet())
+        targets = sorted(self.log_2.alphabet())
+        stats = SearchStats()
+
+        base = {
+            (source, target): frequency_similarity(
+                graph_1.vertex_weight(source), graph_2.vertex_weight(target)
+            )
+            for source in sources
+            for target in targets
+        }
+        similarity = dict(base)
+
+        for iteration in range(self.max_iterations):
+            updated: dict[tuple[Event, Event], float] = {}
+            delta = 0.0
+            for source in sources:
+                for target in targets:
+                    forward = _neighbour_score(
+                        similarity,
+                        list(graph_1.successors(source)),
+                        list(graph_2.successors(target)),
+                    )
+                    backward = _neighbour_score(
+                        similarity,
+                        list(graph_1.predecessors(source)),
+                        list(graph_2.predecessors(target)),
+                    )
+                    propagated = (forward + backward) / 2.0
+                    value = (
+                        (1.0 - self.damping) * base[(source, target)]
+                        + self.damping * propagated
+                    )
+                    updated[(source, target)] = value
+                    delta = max(delta, abs(value - similarity[(source, target)]))
+            similarity = updated
+            stats.extra["iterations"] = iteration + 1
+            if delta < self.tolerance:
+                break
+
+        weights = [
+            [similarity[(source, target)] for target in targets]
+            for source in sources
+        ]
+        stats.processed_mappings = len(sources) * len(targets)
+        assignment, total = max_weight_assignment(weights)
+        mapping = Mapping(
+            {sources[i]: targets[j] for i, j in assignment.items()}
+        )
+        return MatchOutcome(mapping, total, stats)
+
+
+def _neighbour_score(
+    similarity: dict[tuple[Event, Event], float],
+    neighbours_1: list[Event],
+    neighbours_2: list[Event],
+) -> float:
+    """Average best-match similarity between two neighbour sets.
+
+    Empty-vs-empty neighbourhoods agree perfectly (1.0); empty-vs-nonempty
+    disagree (0.0) — matching the structural intuition of [16].
+    """
+    if not neighbours_1 and not neighbours_2:
+        return 1.0
+    if not neighbours_1 or not neighbours_2:
+        return 0.0
+    forward = sum(
+        max(similarity[(n1, n2)] for n2 in neighbours_2) for n1 in neighbours_1
+    ) / len(neighbours_1)
+    backward = sum(
+        max(similarity[(n1, n2)] for n1 in neighbours_1) for n2 in neighbours_2
+    ) / len(neighbours_2)
+    return (forward + backward) / 2.0

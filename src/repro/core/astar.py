@@ -1,0 +1,177 @@
+"""Exact event matching by A* search (Algorithm 1).
+
+The search tree's nodes are partial mappings.  The expansion order over
+``V1`` is fixed up-front by descending pattern involvement (Section 3.1),
+so a node at depth ``d`` always maps the first ``d`` events of that order;
+each expansion tries every still-unused target ``b ∈ U2``.  Nodes are
+prioritized by ``g + h`` where ``g`` is the realized pattern normal
+distance (computed incrementally via the ``I_p`` index, Section 3.2) and
+``h`` an admissible bound on the remainder (Sections 3.3–4).  The first
+complete mapping popped is optimal.
+
+Budgets (wall-clock seconds and expanded nodes) turn intractable instances
+into a :class:`SearchBudgetExceeded` instead of a hang — the paper's
+Figure 12 reports exactly such did-not-finish outcomes beyond 20 events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+
+from repro.core.bounds import BoundKind
+from repro.core.mapping import Mapping
+from repro.core.result import MatchOutcome
+from repro.core.scoring import ScoreModel
+from repro.core.stats import SearchStats
+from repro.log.events import Event
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when a search exceeds its node or time budget."""
+
+    def __init__(self, message: str, stats: SearchStats):
+        super().__init__(message)
+        self.stats = stats
+
+
+class AStarMatcher:
+    """Optimal pattern-based event matching (Algorithm 1).
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.core.scoring.ScoreModel` holding logs, patterns
+        and the bound kind (``BoundKind.TIGHT`` reproduces Pattern-Tight,
+        ``BoundKind.SIMPLE`` Pattern-Simple).
+    node_budget:
+        Maximum number of expanded tree nodes before giving up.
+    time_budget:
+        Maximum wall-clock seconds before giving up.
+    incumbent_score:
+        Optional known-achievable score (e.g. from a heuristic run).
+        Children whose ``g + h`` falls strictly below it are not pushed;
+        this prunes memory without affecting optimality.
+    """
+
+    def __init__(
+        self,
+        model: ScoreModel,
+        node_budget: int | None = None,
+        time_budget: float | None = None,
+        incumbent_score: float | None = None,
+    ):
+        self.model = model
+        self.node_budget = node_budget
+        self.time_budget = time_budget
+        self.incumbent_score = incumbent_score
+
+    @property
+    def bound(self) -> BoundKind:
+        return self.model.bound
+
+    def match(self) -> MatchOutcome:
+        """Run the search and return the optimal mapping."""
+        model = self.model
+        stats = SearchStats()
+        order: list[Event] = model.index.expansion_order(model.source_events)
+        targets: list[Event] = list(model.target_events)
+        goal_depth = min(len(order), len(targets))
+        started = time.monotonic()
+        tiebreak = itertools.count()
+
+        root_mapping: dict[Event, Event] = {}
+        root_priority = model.h(root_mapping, targets)
+        # Heap entries:
+        #   (-(g+h), -depth, tiebreak, depth, g, mapping, h_exact)
+        # Ties on g+h prefer deeper nodes, which walks score plateaus
+        # straight down to a goal instead of draining them breadth-first.
+        # Children are pushed with their *parent's* h ("lazy A*"): h is
+        # monotone non-increasing along tree edges (availability only
+        # shrinks, completed patterns move from h into g), so the stale
+        # key upper-bounds the true g+h and popping order stays correct.
+        # A stale node is re-keyed with its exact h on first pop; only
+        # nodes that actually reach the top of the frontier ever pay for
+        # an h evaluation.
+        frontier: list[
+            tuple[float, int, int, int, float, dict[Event, Event], bool]
+        ] = [(-root_priority, 0, next(tiebreak), 0, 0.0, root_mapping, True)]
+
+        while frontier:
+            if self.node_budget is not None and stats.expanded_nodes >= self.node_budget:
+                model.collect_frequency_evaluations(stats)
+                raise SearchBudgetExceeded(
+                    f"node budget {self.node_budget} exhausted", stats
+                )
+            if (
+                self.time_budget is not None
+                and time.monotonic() - started > self.time_budget
+            ):
+                model.collect_frequency_evaluations(stats)
+                raise SearchBudgetExceeded(
+                    f"time budget {self.time_budget}s exhausted", stats
+                )
+
+            negative_key, _, _, depth, g, mapping, h_exact = heapq.heappop(frontier)
+            if depth == goal_depth:
+                stats.expanded_nodes += 1
+                model.collect_frequency_evaluations(stats)
+                return MatchOutcome(Mapping(mapping), g, stats)
+            if not h_exact:
+                used = set(mapping.values())
+                remaining = [t for t in targets if t not in used]
+                refreshed = g + model.h(mapping, remaining)
+                if refreshed < -negative_key - 1e-12:
+                    # The exact key is lower: re-queue and let the
+                    # frontier decide again.
+                    heapq.heappush(
+                        frontier,
+                        (-refreshed, -depth, next(tiebreak), depth, g, mapping, True),
+                    )
+                    continue
+            stats.expanded_nodes += 1
+
+            source = order[depth]
+            used_targets = set(mapping.values())
+            child_depth = depth + 1
+            parent_h = -negative_key - g if h_exact else refreshed - g
+            for target in targets:
+                if target in used_targets:
+                    continue
+                child = dict(mapping)
+                child[source] = target
+                child_g = g + model.g_increment(source, child, stats)
+                stats.processed_mappings += 1
+                if child_depth == goal_depth:
+                    child_h, child_exact = 0.0, True
+                else:
+                    child_h, child_exact = parent_h, False
+                priority = child_g + child_h
+                if (
+                    self.incumbent_score is not None
+                    and priority < self.incumbent_score - 1e-12
+                ):
+                    stats.pruned_by_bound += 1
+                    continue
+                heapq.heappush(
+                    frontier,
+                    (
+                        -priority,
+                        -child_depth,
+                        next(tiebreak),
+                        child_depth,
+                        child_g,
+                        child,
+                        child_exact,
+                    ),
+                )
+
+        # The root is itself a goal when goal_depth == 0, and children are
+        # always pushed otherwise — unless incumbent pruning dropped every
+        # branch, which can only happen with an unachievable incumbent.
+        model.collect_frequency_evaluations(stats)
+        raise RuntimeError(
+            "search frontier exhausted without reaching a goal; "
+            "incumbent_score exceeds the optimal score"
+        )

@@ -1,0 +1,98 @@
+"""Upper bounds ``Δ(p, U)`` on a pattern's contribution (Problem 2).
+
+During search, the ``h`` value of a tree node sums, over every pattern not
+yet fully mapped, an upper bound on the contribution ``d(p)`` the pattern
+could still achieve when its unmapped events land anywhere in the available
+target set.  Three bound kinds are implemented:
+
+* ``SIMPLE`` (§3.3) — the trivial 1.0 per pattern;
+* ``TIGHT`` (Algorithm 2 / Table 2) — size check, then
+  ``fmin = min(fn, ω(p)·fe)`` where ``fn`` is the highest vertex frequency
+  among the available targets and ``fe`` the highest edge frequency in the
+  subgraph of ``G2`` induced by them; the bound is
+  ``1 − (f1−fmin)/(f1+fmin)`` when ``fmin ≤ f1``, else 1.0;
+* ``TIGHT_FAST`` — same formula but with ``fe`` replaced by the global
+  maximum edge frequency of ``G2``.  Strictly weaker than ``TIGHT`` but
+  evaluable in ``O(|V(p)|)``, which matters inside the heuristics where the
+  induced-subgraph scan would dominate.
+
+All three are admissible: the true ``f2(M(p))`` is at most the frequency of
+any event of the mapped pattern (hence ≤ ``fn``) and at most
+``ω(p)·fe`` (each allowed order occurs no more often than its rarest
+consecutive pair; summing over the ``ω(p)`` orders).  ``d(p)`` increases in
+``f2`` until ``f2 = f1``, so capping ``f2`` caps ``d(p)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+from enum import Enum
+
+from repro.core.distance import frequency_similarity
+from repro.graph.digraph import DiGraph
+from repro.log.events import Event
+from repro.patterns.ast import Pattern
+from repro.patterns.orders import num_allowed_orders
+
+
+class BoundKind(Enum):
+    """Which ``Δ(p, U)`` estimate a matcher uses for its ``h`` function."""
+
+    SIMPLE = "simple"
+    TIGHT = "tight"
+    TIGHT_FAST = "tight-fast"
+
+
+def upper_bound(
+    pattern: Pattern,
+    frequency_1: float,
+    available_targets: Collection[Event],
+    graph_2: DiGraph,
+    kind: BoundKind = BoundKind.TIGHT,
+    global_max_edge: float | None = None,
+) -> float:
+    """``Δ(p, U)`` — upper bound of ``d(p)`` over mappings into ``U``.
+
+    Parameters
+    ----------
+    pattern:
+        The pattern from ``L1``.
+    frequency_1:
+        ``f1(p)``, precomputed by the caller.
+    available_targets:
+        The events of ``L2`` the pattern's events may map to: the images
+        of its already-mapped events plus the still-unmapped targets.
+    graph_2:
+        Dependency graph of ``L2`` (supplies ``fn`` and ``fe``).
+    kind:
+        Which bound to compute.
+    global_max_edge:
+        Maximum edge frequency of ``graph_2``; required by ``TIGHT_FAST``
+        (precompute once per search rather than per call).
+    """
+    if kind is BoundKind.SIMPLE:
+        return 1.0
+
+    if len(pattern) > len(available_targets):
+        return 0.0
+    if frequency_1 == 0.0:
+        # d(p) = sim(0, f2) = 0 regardless of f2; Algorithm 2 would return
+        # 1.0 here, but 0 is exact and still an upper bound.
+        return 0.0
+
+    vertex_cap = graph_2.max_vertex_weight(available_targets)
+    if len(pattern) >= 2:
+        if kind is BoundKind.TIGHT_FAST:
+            if global_max_edge is None:
+                global_max_edge = graph_2.max_edge_weight()
+            edge_max = global_max_edge
+        else:
+            edge_max = graph_2.max_edge_weight(available_targets)
+        edge_cap = num_allowed_orders(pattern) * edge_max
+        frequency_cap = min(vertex_cap, edge_cap)
+    else:
+        frequency_cap = vertex_cap
+
+    if frequency_cap <= frequency_1:
+        return frequency_similarity(frequency_1, frequency_cap)
+    return 1.0

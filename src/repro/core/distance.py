@@ -1,0 +1,118 @@
+"""Normal distances (Definitions 2 and 5).
+
+The frequency similarity of a corresponding pair is
+
+    sim(f1, f2) = 1 − |f1 − f2| / (f1 + f2)
+
+with the convention ``sim(0, 0) = 0``: the paper ignores edges of frequency
+zero, and a pattern with zero frequency on both sides carries no evidence.
+Each term lies in [0, 1]; a mapped pattern that never occurs contributes 0.
+
+Three scores are provided:
+
+* vertex form of the normal distance (sum over events);
+* vertex+edge form (events plus dependency-graph edges, Kang & Naughton);
+* pattern normal distance (sum over an explicit pattern set, Formula (1)).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping as MappingABC
+
+from repro.graph.digraph import DiGraph
+from repro.log.events import Event
+from repro.patterns.ast import Pattern
+from repro.patterns.matching import PatternFrequencyEvaluator
+
+
+def frequency_similarity(frequency_1: float, frequency_2: float) -> float:
+    """``1 − |f1 − f2| / (f1 + f2)``, and 0 when both frequencies are 0."""
+    if frequency_1 < 0 or frequency_2 < 0:
+        raise ValueError("frequencies must be non-negative")
+    total = frequency_1 + frequency_2
+    if total == 0:
+        return 0.0
+    return 1.0 - abs(frequency_1 - frequency_2) / total
+
+
+def normal_distance_vertex(
+    graph_1: DiGraph,
+    graph_2: DiGraph,
+    mapping: MappingABC[Event, Event],
+) -> float:
+    """Vertex-form normal distance of ``mapping`` (Definition 2, v1 = v2).
+
+    Sums the frequency similarity of each mapped event pair.  Events of
+    ``graph_1`` left unmapped contribute nothing.
+    """
+    score = 0.0
+    for source, target in mapping.items():
+        if source in graph_1 and target in graph_2:
+            score += frequency_similarity(
+                graph_1.vertex_weight(source), graph_2.vertex_weight(target)
+            )
+    return score
+
+
+def normal_distance_vertex_edge(
+    graph_1: DiGraph,
+    graph_2: DiGraph,
+    mapping: MappingABC[Event, Event],
+) -> float:
+    """Vertex+edge-form normal distance of ``mapping`` (Definition 2).
+
+    Vertex terms plus, for every edge of ``graph_1`` with both endpoints
+    mapped, the similarity between its frequency and the frequency of the
+    corresponding edge of ``graph_2`` (0 when the corresponding edge is
+    absent — the formula evaluates to 0 there, so absent pairs can be
+    skipped rather than special-cased).
+    """
+    score = normal_distance_vertex(graph_1, graph_2, mapping)
+    for source, target in graph_1.edges():
+        mapped_source = mapping.get(source)
+        mapped_target = mapping.get(target)
+        if mapped_source is None or mapped_target is None:
+            continue
+        if graph_2.has_edge(mapped_source, mapped_target):
+            score += frequency_similarity(
+                graph_1.edge_weight(source, target),
+                graph_2.edge_weight(mapped_source, mapped_target),
+            )
+    return score
+
+
+def pattern_contribution(
+    pattern: Pattern,
+    mapping: MappingABC[Event, Event],
+    evaluator_1: PatternFrequencyEvaluator,
+    evaluator_2: PatternFrequencyEvaluator,
+) -> float:
+    """``d(p)`` — one pattern's contribution under ``mapping`` (Formula 1).
+
+    ``mapping`` must cover all events of ``pattern``.
+    """
+    frequency_1 = evaluator_1.frequency(pattern)
+    frequency_2 = evaluator_2.mapped_frequency(pattern, dict(mapping))
+    return frequency_similarity(frequency_1, frequency_2)
+
+
+def pattern_normal_distance(
+    patterns: Iterable[Pattern],
+    mapping: MappingABC[Event, Event],
+    evaluator_1: PatternFrequencyEvaluator,
+    evaluator_2: PatternFrequencyEvaluator,
+) -> float:
+    """Pattern normal distance ``D^N(M)`` (Definition 5 / Formula 1).
+
+    Patterns with events outside the mapping have no corresponding pattern
+    in the other log and contribute 0 (they are skipped).
+    """
+    mapping_dict = dict(mapping)
+    score = 0.0
+    for pattern in patterns:
+        if not pattern.event_set() <= mapping_dict.keys():
+            continue
+        frequency_1 = evaluator_1.frequency(pattern)
+        frequency_2 = evaluator_2.mapped_frequency(pattern, mapping_dict)
+        score += frequency_similarity(frequency_1, frequency_2)
+    return score

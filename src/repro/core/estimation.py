@@ -1,0 +1,62 @@
+"""Estimated match scores θ (Formula 2).
+
+For a candidate pair ``v1 → v2`` the advanced heuristic estimates the
+contribution of the pair to the pattern normal distance as
+
+    θ(v1, v2) = Σ_{p ∋ v1} (1/|p|) · sim(f1(p), f̂2(p | v2))
+
+where ``f̂2(p | v2)`` estimates the frequency the mapped pattern would
+have if ``v1`` mapped to ``v2``.  The paper's Formula (2) plugs in the
+raw target vertex frequency ``f2(v2)``; on logs where most vertex
+frequencies sit near 1.0 while pattern frequencies are low, that choice
+systematically scores *rare* targets highest for every source and the
+equality graph degenerates.  This implementation therefore scales the
+estimate by the pattern's rate relative to its anchor event,
+
+    f̂2(p | v2) = f2(v2) · f1(p) / f1(v1),
+
+i.e. it assumes the pattern keeps, around the candidate target, the same
+conditional rate it has around ``v1``.  For a vertex pattern
+(``p = v1``) the scale factor is 1 and the formula coincides exactly
+with the paper's, so property (2) of §5.1.1 — and with it
+Proposition 6's optimality for vertex patterns — is preserved.
+
+Dividing by ``|p|`` spreads a pattern's weight over its events so that
+``Q(M) = Σ θ(v1, M(v1))`` approximates ``D^N(M)``.
+"""
+
+from __future__ import annotations
+
+from repro.core.distance import frequency_similarity
+from repro.core.scoring import ScoreModel
+from repro.log.events import Event
+
+
+def estimated_scores(model: ScoreModel) -> dict[Event, dict[Event, float]]:
+    """The full θ matrix as a nested dict ``theta[v1][v2]``."""
+    theta: dict[Event, dict[Event, float]] = {}
+    graph_1 = model.graph_1
+    graph_2 = model.graph_2
+    target_frequencies = {
+        target: graph_2.vertex_weight(target) for target in model.target_events
+    }
+    for source in model.source_events:
+        row: dict[Event, float] = {}
+        involved = model.index.involving(source)
+        source_frequency = graph_1.vertex_weight(source)
+        for target, target_frequency in target_frequencies.items():
+            score = 0.0
+            for pattern in involved:
+                frequency_1 = model.f1(pattern)
+                if source_frequency > 0.0:
+                    estimate = (
+                        target_frequency * frequency_1 / source_frequency
+                    )
+                else:
+                    estimate = 0.0
+                score += frequency_similarity(frequency_1, estimate) / len(
+                    pattern
+                )
+            row[target] = score
+        theta[source] = row
+    return theta

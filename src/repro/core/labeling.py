@@ -1,0 +1,173 @@
+"""Feasible labelings and maximal alternating trees (Algorithm 4).
+
+This is the Kuhn–Munkres machinery behind the advanced heuristic.  A
+*feasible labeling* assigns reals ``ℓ(v)`` to all events of both logs with
+``ℓ(v1) + ℓ(v2) ≥ θ(v1, v2)``; the *equality graph* contains the pairs
+where this holds with equality.  Starting from an unmatched root
+``u ∈ V1``, the alternating tree alternates equality edges and matched
+edges; whenever growth stalls, the labels are shifted by
+
+    α = min_{v1 ∈ T1, v2 ∉ T2} ℓ(v1) + ℓ(v2) − θ(v1, v2)       (Formula 3)
+
+(T1 decreases, T2 increases — Formula 4), which keeps the labeling
+feasible, keeps every tree edge tight (Proposition 4) and introduces at
+least one new equality edge.  Algorithm 4 grows until every target is in
+the tree (*maximal* alternating tree); paths from the root to unmatched
+targets are the augmenting paths Algorithm 3 chooses among.
+
+Slack values are maintained per target, so one tree costs ``O(n²)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.log.events import Event
+
+#: Tolerance for tightness tests on accumulated float labels.
+EPSILON = 1e-9
+
+
+@dataclass
+class AlternatingTree:
+    """A maximal alternating tree rooted at ``root`` plus updated labels."""
+
+    root: Event
+    #: Tree edge into each reached target: parent1[v2] is the T1 vertex
+    #: whose tight edge brought v2 into T2.
+    parent1: dict[Event, Event]
+    #: The labels after all α-updates performed while growing this tree.
+    labels: dict[Event, float]
+    #: Targets in the tree that are unmatched — the augmenting endpoints.
+    unmatched_targets: list[Event]
+    #: Number of α label updates performed (reported in search stats).
+    label_updates: int
+
+    def augmenting_paths(
+        self, matching: dict[Event, Event]
+    ) -> list[list[tuple[Event, Event]]]:
+        """Tree-edge lists of every augmenting path, endpoint by endpoint.
+
+        Each returned list holds the (source, target) pairs that become
+        matched when augmenting along that path, ordered from the endpoint
+        back to the root.
+        """
+        paths = []
+        for endpoint in self.unmatched_targets:
+            path = []
+            target = endpoint
+            while True:
+                source = self.parent1[target]
+                path.append((source, target))
+                if source == self.root:
+                    break
+                target = matching[source]
+            paths.append(path)
+        return paths
+
+
+def augment(
+    matching: dict[Event, Event], path: list[tuple[Event, Event]]
+) -> dict[Event, Event]:
+    """A new matching with the augmenting ``path`` applied.
+
+    The path's pairs overwrite previous partners; the matching grows by
+    exactly one pair (Proposition 5's invariant).
+    """
+    augmented = dict(matching)
+    for source, target in path:
+        augmented[source] = target
+    return augmented
+
+
+def initial_labels(
+    theta: dict[Event, dict[Event, float]],
+    sources: list[Event],
+    targets: list[Event],
+) -> dict[Event, float]:
+    """The paper's initialization: ``ℓ(v1) = max_b θ(v1, b)``, ``ℓ(v2) = 0``."""
+    labels: dict[Event, float] = {}
+    for source in sources:
+        row = theta[source]
+        labels[source] = max((row[target] for target in targets), default=0.0)
+    for target in targets:
+        labels[target] = 0.0
+    return labels
+
+
+def build_alternating_tree(
+    root: Event,
+    theta: dict[Event, dict[Event, float]],
+    labels: dict[Event, float],
+    matching: dict[Event, Event],
+    targets: list[Event],
+) -> AlternatingTree:
+    """Grow the maximal alternating tree rooted at ``root`` (Algorithm 4).
+
+    ``labels`` is not mutated; the updated labels travel in the result so
+    Algorithm 3 can adopt them only for the augmentation it commits.
+    """
+    labels = dict(labels)
+    matched_target_to_source = {v2: v1 for v1, v2 in matching.items()}
+
+    tree_sources = {root}
+    tree_targets: set[Event] = set()
+    parent1: dict[Event, Event] = {}
+    label_updates = 0
+
+    slack: dict[Event, float] = {}
+    slack_source: dict[Event, Event] = {}
+    root_row = theta[root]
+    root_label = labels[root]
+    for target in targets:
+        slack[target] = root_label + labels[target] - root_row[target]
+        slack_source[target] = root
+
+    while len(tree_targets) < len(targets):
+        tight = [
+            target
+            for target in targets
+            if target not in tree_targets and slack[target] <= EPSILON
+        ]
+        if not tight:
+            outside = [t for t in targets if t not in tree_targets]
+            alpha = min(slack[target] for target in outside)
+            for source in tree_sources:
+                labels[source] -= alpha
+            for target in tree_targets:
+                labels[target] += alpha
+            for target in outside:
+                slack[target] -= alpha
+            label_updates += 1
+            tight = [target for target in outside if slack[target] <= EPSILON]
+
+        # Deterministic growth: smallest tight target first.
+        target = min(tight)
+        tree_targets.add(target)
+        parent1[target] = slack_source[target]
+
+        partner = matched_target_to_source.get(target)
+        if partner is not None and partner not in tree_sources:
+            tree_sources.add(partner)
+            partner_row = theta[partner]
+            partner_label = labels[partner]
+            for other in targets:
+                if other in tree_targets:
+                    continue
+                candidate = partner_label + labels[other] - partner_row[other]
+                if candidate < slack[other]:
+                    slack[other] = candidate
+                    slack_source[other] = partner
+
+    unmatched = [
+        target
+        for target in sorted(tree_targets)
+        if target not in matched_target_to_source
+    ]
+    return AlternatingTree(
+        root=root,
+        parent1=parent1,
+        labels=labels,
+        unmatched_targets=unmatched,
+        label_updates=label_updates,
+    )

@@ -1,0 +1,112 @@
+"""Event mappings.
+
+A mapping ``M : V1 → V2`` is injective; partial mappings arise inside the
+search algorithms.  :class:`Mapping` is a thin immutable wrapper over a
+dict adding injectivity checking, inversion and comparison utilities used
+throughout the matchers and the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping as MappingABC
+
+from repro.log.events import Event
+
+
+class Mapping(MappingABC):
+    """An injective (partial) mapping of events between two logs."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: MappingABC[Event, Event] | None = None):
+        items = dict(pairs) if pairs is not None else {}
+        images = set(items.values())
+        if len(images) != len(items):
+            raise ValueError("mapping must be injective")
+        self._pairs: dict[Event, Event] = items
+
+    # Mapping protocol -------------------------------------------------
+    def __getitem__(self, event: Event) -> Event:
+        return self._pairs[event]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{source}->{target}" for source, target in sorted(self._pairs.items())
+        )
+        return f"Mapping({{{inner}}})"
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._pairs.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return self._pairs == other._pairs
+        if isinstance(other, dict):
+            return self._pairs == other
+        return NotImplemented
+
+    # Utilities ---------------------------------------------------------
+    def as_dict(self) -> dict[Event, Event]:
+        return dict(self._pairs)
+
+    def extend(self, source: Event, target: Event) -> "Mapping":
+        """A new mapping with ``source -> target`` added."""
+        if source in self._pairs:
+            raise ValueError(f"{source!r} is already mapped")
+        if target in self._pairs.values():
+            raise ValueError(f"{target!r} is already a target")
+        extended = dict(self._pairs)
+        extended[source] = target
+        return Mapping(extended)
+
+    def inverse(self) -> "Mapping":
+        return Mapping({target: source for source, target in self._pairs.items()})
+
+    def sources(self) -> frozenset[Event]:
+        return frozenset(self._pairs)
+
+    def targets(self) -> frozenset[Event]:
+        return frozenset(self._pairs.values())
+
+    def agreement_count(self, truth: MappingABC[Event, Event]) -> int:
+        """Number of pairs on which this mapping agrees with ``truth``."""
+        return sum(
+            1
+            for source, target in self._pairs.items()
+            if truth.get(source) == target
+        )
+
+    def restrict_sources(self, keep: set[Event]) -> "Mapping":
+        """The sub-mapping with sources restricted to ``keep``."""
+        return Mapping(
+            {
+                source: target
+                for source, target in self._pairs.items()
+                if source in keep
+            }
+        )
+
+    # Serialization -------------------------------------------------------
+    def to_json(self) -> str:
+        """A JSON object mapping source events to target events."""
+        import json
+
+        return json.dumps(dict(sorted(self._pairs.items())), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Mapping":
+        """Parse a mapping previously produced by :meth:`to_json`."""
+        import json
+
+        data = json.loads(text)
+        if not isinstance(data, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in data.items()
+        ):
+            raise ValueError("mapping JSON must be an object of strings")
+        return cls(data)

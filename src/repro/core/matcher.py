@@ -1,0 +1,185 @@
+"""High-level matching facade.
+
+:func:`match` runs any of the paper's methods by name on a pair of logs::
+
+    from repro import match, parse_pattern
+
+    result = match(log_1, log_2,
+                   patterns=[parse_pattern("SEQ(A, AND(B, C), D)")],
+                   method="pattern-tight")
+    print(result.mapping, result.score)
+
+Method names follow the paper's figures:
+
+==================  =====================================================
+``pattern-tight``   exact A* with the Algorithm 2 / Table 2 bound
+``pattern-simple``  exact A* with the simple 1.0-per-pattern bound
+``heuristic-simple``    greedy single-expansion heuristic
+``heuristic-advanced``  Algorithm 3 (alternating-tree augmentation)
+``vertex``          baseline [7], vertex form
+``vertex-edge``     baseline [7], vertex+edge form (exact search)
+``iterative``       baseline [16]
+``entropy``         baseline [7], entropy-only
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.baselines.entropy import EntropyMatcher
+from repro.baselines.iterative import IterativeMatcher
+from repro.baselines.vertex import VertexMatcher
+from repro.baselines.vertex_edge import VertexEdgeMatcher
+from repro.core.astar import AStarMatcher
+from repro.core.bounds import BoundKind
+from repro.core.heuristic import AdvancedHeuristicMatcher, SimpleHeuristicMatcher
+from repro.core.mapping import Mapping
+from repro.core.result import MatchOutcome
+from repro.core.scoring import ScoreModel, build_pattern_set
+from repro.core.stats import SearchStats
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import Pattern
+
+METHODS = (
+    "pattern-tight",
+    "pattern-simple",
+    "heuristic-simple",
+    "heuristic-advanced",
+    "vertex",
+    "vertex-edge",
+    "iterative",
+    "entropy",
+)
+
+_PATTERN_METHODS = {
+    "pattern-tight": BoundKind.TIGHT,
+    "pattern-simple": BoundKind.SIMPLE,
+}
+_HEURISTIC_METHODS = {
+    "heuristic-simple": SimpleHeuristicMatcher,
+    "heuristic-advanced": AdvancedHeuristicMatcher,
+}
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """A matcher outcome annotated with method name and wall-clock time."""
+
+    method: str
+    mapping: Mapping
+    score: float
+    stats: SearchStats
+    elapsed_seconds: float
+
+    @classmethod
+    def from_outcome(
+        cls, method: str, outcome: MatchOutcome, elapsed_seconds: float
+    ) -> "MatchResult":
+        return cls(
+            method=method,
+            mapping=outcome.mapping,
+            score=outcome.score,
+            stats=outcome.stats,
+            elapsed_seconds=elapsed_seconds,
+        )
+
+
+class EventMatcher:
+    """Reusable facade bound to one pair of logs and one pattern set.
+
+    Vertices and edges of ``log_1``'s dependency graph are always part of
+    the pattern set for the pattern methods (they are special patterns);
+    ``patterns`` adds the complex SEQ/AND patterns on top.
+    """
+
+    def __init__(
+        self,
+        log_1: EventLog,
+        log_2: EventLog,
+        patterns: Sequence[Pattern] = (),
+        include_vertices: bool = True,
+        include_edges: bool = True,
+    ):
+        self.log_1 = log_1
+        self.log_2 = log_2
+        self.complex_patterns = tuple(patterns)
+        self.include_vertices = include_vertices
+        self.include_edges = include_edges
+
+    def full_pattern_set(self) -> list[Pattern]:
+        return build_pattern_set(
+            self.log_1,
+            complex_patterns=self.complex_patterns,
+            include_vertices=self.include_vertices,
+            include_edges=self.include_edges,
+        )
+
+    def run(
+        self,
+        method: str = "pattern-tight",
+        node_budget: int | None = None,
+        time_budget: float | None = None,
+        heuristic_bound: BoundKind = BoundKind.TIGHT_FAST,
+    ) -> MatchResult:
+        """Run ``method`` and return its annotated result.
+
+        ``node_budget``/``time_budget`` apply to the exact searches
+        (``pattern-*`` and ``vertex-edge``); exceeding them raises
+        :class:`~repro.core.astar.SearchBudgetExceeded`.
+        """
+        started = time.perf_counter()
+        if method in _PATTERN_METHODS:
+            model = ScoreModel(
+                self.log_1,
+                self.log_2,
+                self.full_pattern_set(),
+                bound=_PATTERN_METHODS[method],
+            )
+            outcome = AStarMatcher(
+                model, node_budget=node_budget, time_budget=time_budget
+            ).match()
+        elif method in _HEURISTIC_METHODS:
+            model = ScoreModel(
+                self.log_1,
+                self.log_2,
+                self.full_pattern_set(),
+                bound=heuristic_bound,
+            )
+            outcome = _HEURISTIC_METHODS[method](model).match()
+        elif method == "vertex":
+            outcome = VertexMatcher(self.log_1, self.log_2).match()
+        elif method == "vertex-edge":
+            outcome = VertexEdgeMatcher(
+                self.log_1,
+                self.log_2,
+                node_budget=node_budget,
+                time_budget=time_budget,
+            ).match()
+        elif method == "iterative":
+            outcome = IterativeMatcher(self.log_1, self.log_2).match()
+        elif method == "entropy":
+            outcome = EntropyMatcher(self.log_1, self.log_2).match()
+        else:
+            raise ValueError(
+                f"unknown method {method!r}; choose one of {METHODS}"
+            )
+        elapsed = time.perf_counter() - started
+        return MatchResult.from_outcome(method, outcome, elapsed)
+
+
+def match(
+    log_1: EventLog,
+    log_2: EventLog,
+    patterns: Sequence[Pattern] = (),
+    method: str = "pattern-tight",
+    node_budget: int | None = None,
+    time_budget: float | None = None,
+) -> MatchResult:
+    """One-call event matching between two logs (see module docstring)."""
+    matcher = EventMatcher(log_1, log_2, patterns=patterns)
+    return matcher.run(
+        method, node_budget=node_budget, time_budget=time_budget
+    )

@@ -1,0 +1,22 @@
+"""Result type shared by all matchers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapping import Mapping
+from repro.core.stats import SearchStats
+
+
+@dataclass(frozen=True)
+class MatchOutcome:
+    """What a matcher run produced.
+
+    ``score`` is the pattern normal distance of ``mapping`` under the
+    pattern set the matcher was configured with (for baselines it is the
+    objective that baseline maximizes).
+    """
+
+    mapping: Mapping
+    score: float
+    stats: SearchStats

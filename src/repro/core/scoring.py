@@ -1,0 +1,419 @@
+"""Shared scoring model for the exact and heuristic matchers.
+
+The :class:`ScoreModel` packages everything Algorithm 1's ``g`` and ``h``
+need: the two dependency graphs, memoized pattern-frequency evaluators for
+both logs, the pattern inverted index ``I_p``, precomputed ``f1`` values
+and pattern graph forms.  Both the A* matcher and the heuristics consume
+the same model, so their scores are directly comparable — the heuristic
+"accept the augmentation with maximum g+h" step literally reuses the exact
+search's functions, as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable, Mapping as MappingABC, Sequence
+
+from repro.core.bounds import BoundKind
+from repro.core.distance import frequency_similarity
+from repro.core.stats import SearchStats
+from repro.graph.dependency import dependency_graph
+from repro.log.events import Event
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import EventPattern, Pattern, SEQ
+from repro.patterns.graphform import pattern_graph
+from repro.patterns.index import PatternIndex, validate_patterns
+from repro.patterns.matching import PatternFrequencyEvaluator, cached_allowed_orders
+from repro.patterns.orders import num_allowed_orders
+
+
+def build_pattern_set(
+    log: EventLog,
+    complex_patterns: Iterable[Pattern] = (),
+    include_vertices: bool = True,
+    include_edges: bool = True,
+) -> list[Pattern]:
+    """The full pattern set used for matching on ``log``.
+
+    Vertices and edges of the dependency graph are special patterns
+    (Section 2.2): every event becomes a vertex pattern and, when
+    ``include_edges``, every dependency edge becomes ``SEQ(u, v)``.  The
+    user-supplied complex patterns are appended last; duplicates of the
+    generated vertex/edge patterns are dropped.
+    """
+    patterns: list[Pattern] = []
+    if include_vertices:
+        patterns.extend(
+            EventPattern(event) for event in sorted(log.alphabet())
+        )
+    if include_edges:
+        # Self-loop dependency edges (an event directly repeating) cannot
+        # be expressed in the pattern algebra, which forbids duplicate
+        # events inside a pattern; they are skipped.
+        patterns.extend(
+            SEQ((EventPattern(source), EventPattern(target)))
+            for source, target in log.edges()
+            if source != target
+        )
+    existing = set(patterns)
+    for pattern in complex_patterns:
+        if pattern not in existing:
+            patterns.append(pattern)
+            existing.add(pattern)
+    return patterns
+
+
+def _mandatory_edges(pattern: Pattern) -> tuple[tuple[Event, Event], ...]:
+    """Consecutive pairs present in every allowed order of ``pattern``.
+
+    For a SEQ of events this is the whole chain; AND blocks contribute
+    none (their internal order varies).  Mandatory edges power the
+    sharpest case of the tight bound: any instance of the pattern must
+    realize each of them, so a missing or rare placement caps ``f2``.
+    """
+    orders = iter(cached_allowed_orders(pattern))
+    first = next(orders)
+    common = {
+        (first[i], first[i + 1]) for i in range(len(first) - 1)
+    }
+    for order in orders:
+        pairs = {(order[i], order[i + 1]) for i in range(len(order) - 1)}
+        common &= pairs
+        if not common:
+            break
+    return tuple(sorted(common))
+
+
+class ScoreModel:
+    """Precomputed state for scoring mappings between two logs.
+
+    Parameters
+    ----------
+    log_1, log_2:
+        The logs being matched; patterns are declared over ``log_1``.
+    patterns:
+        The full pattern set ``P`` (typically from
+        :func:`build_pattern_set`).
+    bound:
+        Which ``Δ(p, U)`` estimate :meth:`h` uses.
+    use_index:
+        Disable the ``I_t`` posting-list acceleration (ablation only).
+    """
+
+    def __init__(
+        self,
+        log_1: EventLog,
+        log_2: EventLog,
+        patterns: Sequence[Pattern],
+        bound: BoundKind = BoundKind.TIGHT,
+        use_index: bool = True,
+    ):
+        validate_patterns(patterns, log_1.alphabet())
+        self.log_1 = log_1
+        self.log_2 = log_2
+        self.bound = bound
+        self.graph_1 = dependency_graph(log_1)
+        self.graph_2 = dependency_graph(log_2)
+        self.evaluator_1 = PatternFrequencyEvaluator(log_1, use_index=use_index)
+        self.evaluator_2 = PatternFrequencyEvaluator(log_2, use_index=use_index)
+        self.index = PatternIndex(patterns)
+        self.patterns: tuple[Pattern, ...] = self.index.patterns
+        self.source_events: list[Event] = sorted(log_1.alphabet())
+        self.target_events: list[Event] = sorted(log_2.alphabet())
+        self._global_max_edge_2 = self.graph_2.max_edge_weight()
+        self._f1: dict[Pattern, float] = {
+            pattern: self.evaluator_1.frequency(pattern) for pattern in patterns
+        }
+        self._pattern_edges: dict[Pattern, tuple[tuple[Event, Event], ...]] = {}
+        self._event_sets: dict[Pattern, frozenset[Event]] = {}
+        self._omega: dict[Pattern, int] = {}
+        self._mandatory_edges: dict[Pattern, tuple[tuple[Event, Event], ...]] = {}
+        for pattern in patterns:
+            graph = pattern_graph(pattern)
+            self._pattern_edges[pattern] = tuple(graph.edges())
+            self._event_sets[pattern] = pattern.event_set()
+            self._omega[pattern] = num_allowed_orders(pattern)
+            self._mandatory_edges[pattern] = _mandatory_edges(pattern)
+        # Flat per-pattern rows for the h hot loop: (event set, f1, ω,
+        # mandatory edges, |V(p)|) — avoids per-pattern dict lookups.
+        self._h_rows = tuple(
+            (
+                self._event_sets[pattern],
+                self._f1[pattern],
+                self._omega[pattern],
+                self._mandatory_edges[pattern],
+                len(self._event_sets[pattern]),
+            )
+            for pattern in patterns
+        )
+
+    # ------------------------------------------------------------------
+    # g: realized contributions
+    # ------------------------------------------------------------------
+    def f1(self, pattern: Pattern) -> float:
+        return self._f1[pattern]
+
+    def event_set(self, pattern: Pattern) -> frozenset[Event]:
+        return self._event_sets[pattern]
+
+    def contribution(
+        self,
+        pattern: Pattern,
+        mapping: MappingABC[Event, Event],
+        stats: SearchStats | None = None,
+    ) -> float:
+        """``d(p)`` under ``mapping`` (must cover the pattern's events).
+
+        Applies the Proposition 3 pruning rule first: when some edge of
+        the mapped pattern graph is missing from ``G2``, ``f2(M(p)) = 0``
+        and the trace scan is skipped entirely.
+        """
+        for source, target in self._pattern_edges[pattern]:
+            if not self.graph_2.has_edge(mapping[source], mapping[target]):
+                if stats is not None:
+                    stats.pruned_by_existence += 1
+                return 0.0
+        frequency_2 = self.evaluator_2.mapped_frequency(pattern, mapping)
+        return frequency_similarity(self._f1[pattern], frequency_2)
+
+    def g_increment(
+        self,
+        new_source: Event,
+        mapping_after: MappingABC[Event, Event],
+        stats: SearchStats | None = None,
+    ) -> float:
+        """Σ d(p) over patterns newly completed by mapping ``new_source``.
+
+        ``mapping_after`` must already contain ``new_source`` (Section
+        3.2's incremental computation of ``g``).
+        """
+        increment = 0.0
+        for pattern in self.index.newly_completed(new_source, mapping_after.keys()):
+            increment += self.contribution(pattern, mapping_after, stats)
+        return increment
+
+    def g(
+        self,
+        mapping: MappingABC[Event, Event],
+        stats: SearchStats | None = None,
+    ) -> float:
+        """Pattern normal distance of the partial mapping (full recompute)."""
+        mapped = mapping.keys()
+        score = 0.0
+        for pattern in self.patterns:
+            if self._event_sets[pattern] <= mapped:
+                score += self.contribution(pattern, mapping, stats)
+        return score
+
+    # ------------------------------------------------------------------
+    # h: optimistic bound on the remainder
+    # ------------------------------------------------------------------
+    def h(
+        self,
+        mapping: MappingABC[Event, Event],
+        unmapped_targets: Collection[Event],
+    ) -> float:
+        """Upper bound on the score still achievable from this node.
+
+        For each pattern not fully mapped, its events may only land on
+        ``M(V(p) ∩ mapped) ∪ unmapped_targets`` (Section 3.3); the bound
+        kind configured on the model estimates ``Δ(p, ·)`` over that set.
+
+        This is the search hot path, so the per-call parts of the bound
+        (max vertex weight over the unmapped targets, their count) are
+        computed once and the per-pattern parts inline
+        :func:`~repro.core.bounds.upper_bound` rather than calling it.
+        """
+        mapped = mapping.keys()
+        if self.bound is BoundKind.SIMPLE:
+            return float(
+                sum(1 for row in self._h_rows if not row[0] <= mapped)
+            )
+
+        graph_2 = self.graph_2
+        unmapped_set = (
+            unmapped_targets
+            if isinstance(unmapped_targets, (set, frozenset))
+            else set(unmapped_targets)
+        )
+        num_unmapped = len(unmapped_set)
+        base_vertex_cap = graph_2.max_vertex_weight(unmapped_set)
+        exact_edges = self.bound is BoundKind.TIGHT
+        if exact_edges:
+            # Induced max edge weight over the unmapped targets, computed
+            # once per call; per pattern only the edges incident to that
+            # pattern's images can push it higher.
+            unmapped_edge_max = graph_2.max_edge_weight(unmapped_set)
+
+        # Patterns with no mapped event share one cap per (ω, size) within
+        # a call — cache it instead of recomputing per pattern.
+        no_image_cap: dict[int, float] = {}
+        # Incident-edge maxima recur across patterns sharing an event;
+        # cache them per call.  The generic incident max is taken against
+        # unmapped ∪ *all* images (a superset of any one pattern's
+        # availability — weaker but admissible, and cacheable per image).
+        if self.bound is BoundKind.TIGHT:
+            all_candidates = unmapped_set | set(mapping.values())
+        incident_cache: dict[Event, float] = {}
+        placed_out_cache: dict[Event, float] = {}
+        placed_in_cache: dict[Event, float] = {}
+
+        mapping_get = mapping.get
+        total = 0.0
+        for events, frequency_1, omega, mandatory, size in self._h_rows:
+            if events <= mapped:
+                continue
+            images = [mapping[event] for event in events if event in mapped]
+            if size > num_unmapped + len(images):
+                continue  # Δ = 0: the pattern no longer fits (Algorithm 2, Line 2)
+            if frequency_1 == 0.0:
+                continue  # d(p) = sim(0, f2) = 0 whatever happens
+
+            if not images:
+                if size >= 2:
+                    cap = no_image_cap.get(omega)
+                    if cap is None:
+                        edge_max = (
+                            unmapped_edge_max
+                            if exact_edges
+                            else self._global_max_edge_2
+                        )
+                        cap = min(base_vertex_cap, omega * edge_max)
+                        no_image_cap[omega] = cap
+                else:
+                    cap = base_vertex_cap
+                if cap <= frequency_1:
+                    total += frequency_similarity(frequency_1, cap)
+                else:
+                    total += 1.0
+                continue
+
+            # Vertex cap: f2(M(p)) ≤ f2(M(v)) for every event of the
+            # pattern — the image's exact frequency when v is mapped, at
+            # best the largest unmapped-target frequency otherwise.
+            vertex_cap = base_vertex_cap
+            for image in images:
+                weight = graph_2.vertex_weight(image)
+                if weight < vertex_cap:
+                    vertex_cap = weight
+
+            if size >= 2:
+                # Mandatory edges occur in *every* allowed order, so each
+                # order's instance frequency is capped by the edge's
+                # placed frequency; summing over ω(p) orders caps f2.
+                if exact_edges:
+                    edge_component = unmapped_edge_max
+                    for image in images:
+                        incident = incident_cache.get(image)
+                        if incident is None:
+                            incident = max(
+                                graph_2.max_outgoing_weight(
+                                    image, all_candidates
+                                ),
+                                graph_2.max_incoming_weight(
+                                    image, all_candidates
+                                ),
+                            )
+                            incident_cache[image] = incident
+                        if incident > edge_component:
+                            edge_component = incident
+                else:
+                    edge_component = self._global_max_edge_2
+                for source, target in mandatory:
+                    source_image = mapping_get(source)
+                    target_image = mapping_get(target)
+                    if source_image is not None and target_image is not None:
+                        placed = graph_2.edge_weight_or_zero(
+                            source_image, target_image
+                        )
+                    elif source_image is not None:
+                        placed = placed_out_cache.get(source_image)
+                        if placed is None:
+                            placed = graph_2.max_outgoing_weight(
+                                source_image, unmapped_set
+                            )
+                            placed_out_cache[source_image] = placed
+                    elif target_image is not None:
+                        placed = placed_in_cache.get(target_image)
+                        if placed is None:
+                            placed = graph_2.max_incoming_weight(
+                                target_image, unmapped_set
+                            )
+                            placed_in_cache[target_image] = placed
+                    else:
+                        continue
+                    if placed < edge_component:
+                        edge_component = placed
+                        if edge_component == 0.0:
+                            break
+                frequency_cap = min(vertex_cap, omega * edge_component)
+            else:
+                frequency_cap = vertex_cap
+
+            if frequency_cap <= frequency_1:
+                total += frequency_similarity(frequency_1, frequency_cap)
+            else:
+                total += 1.0
+        return total
+
+    def score(
+        self,
+        mapping: MappingABC[Event, Event],
+        unmapped_targets: Collection[Event],
+        stats: SearchStats | None = None,
+    ) -> float:
+        """``g + h`` of a partial mapping."""
+        return self.g(mapping, stats) + self.h(mapping, unmapped_targets)
+
+    def heuristic_order(self) -> list[Event]:
+        """Anchored expansion order for the greedy heuristics.
+
+        The exact search can afford the §3.1 pattern-involvement order
+        (wrong branches are revisited); a commit-forever heuristic cannot,
+        so its early decisions must be the *well-informed* ones.  The
+        order therefore starts from the event whose vertex frequency is
+        most distinctive (its mapping is nearly determined by frequency
+        alone) and repeatedly appends the event with the most
+        already-ordered neighbours in the dependency graph — maximizing
+        the realized evidence (``g``) behind every single commitment.
+        Ties break by pattern involvement, then alphabetically.
+        """
+        graph_1 = self.graph_1
+        events = list(self.source_events)
+        frequencies = {event: graph_1.vertex_weight(event) for event in events}
+
+        def distinctiveness(event: Event) -> float:
+            others = (
+                abs(frequencies[event] - frequencies[other])
+                for other in events
+                if other != event
+            )
+            return min(others, default=1.0)
+
+        ordered: list[Event] = []
+        placed: set[Event] = set()
+        while len(ordered) < len(events):
+            def anchor_count(event: Event) -> int:
+                neighbours = set(graph_1.successors(event))
+                neighbours.update(graph_1.predecessors(event))
+                return len(neighbours & placed)
+
+            remaining = [event for event in events if event not in placed]
+            best = max(
+                remaining,
+                key=lambda event: (
+                    anchor_count(event),
+                    distinctiveness(event),
+                    self.index.involvement(event),
+                    # Negative-free deterministic tiebreak.
+                    tuple(-ord(ch) for ch in event),
+                ),
+            )
+            ordered.append(best)
+            placed.add(best)
+        return ordered
+
+    def collect_frequency_evaluations(self, stats: SearchStats) -> None:
+        """Record the evaluators' trace-scan counters into ``stats``."""
+        stats.frequency_evaluations = (
+            self.evaluator_1.evaluations + self.evaluator_2.evaluations
+        )

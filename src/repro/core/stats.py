@@ -1,0 +1,43 @@
+"""Search statistics collected by the matchers.
+
+The paper's efficiency figures (7c, 8c, 9c, 10c) report the number of
+*processed mappings* — child nodes generated at Line 7 of Algorithm 1 and
+augmentations evaluated at Line 6 of Algorithm 3.  The matchers record
+these counters here so the evaluation harness can reproduce those series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated by one matcher run."""
+
+    #: Child mappings generated/evaluated (the figures' "processed mappings").
+    processed_mappings: int = 0
+    #: Tree nodes popped from the A* frontier (exact search only).
+    expanded_nodes: int = 0
+    #: Pattern-frequency evaluations that actually scanned traces.
+    frequency_evaluations: int = 0
+    #: Patterns skipped by the Proposition 3 subgraph pruning rule.
+    pruned_by_existence: int = 0
+    #: Children discarded because their upper bound could not beat the
+    #: incumbent (exact search only).
+    pruned_by_bound: int = 0
+    #: Label updates performed while growing alternating trees
+    #: (advanced heuristic only).
+    label_updates: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another run's counters into this one."""
+        self.processed_mappings += other.processed_mappings
+        self.expanded_nodes += other.expanded_nodes
+        self.frequency_evaluations += other.frequency_evaluations
+        self.pruned_by_existence += other.pruned_by_existence
+        self.pruned_by_bound += other.pruned_by_bound
+        self.label_updates += other.label_updates
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value

@@ -1,0 +1,40 @@
+"""Workload generation: process trees, paper datasets, obfuscation.
+
+The paper evaluates on (1) proprietary ERP logs from two departments of a
+bus manufacturer, (2) a larger synthetic log built by repeating Figure 1's
+structure, and (3) purely random logs.  This package synthesizes all
+three: a small process-tree simulator (`repro.datagen.processtree`) plays
+the role of the source information systems, and the dataset builders
+(`reallike`, `synthetic`, `random_logs`) produce matched log pairs with
+known ground truth and paper-style pattern sets.
+"""
+
+from repro.datagen.processtree import (
+    Choice,
+    Leaf,
+    Loop,
+    Optional,
+    Parallel,
+    ProcessTree,
+    Sequence,
+    simulate_log,
+)
+from repro.datagen.random_logs import generate_random_pair
+from repro.datagen.reallike import generate_reallike
+from repro.datagen.synthetic import generate_synthetic
+from repro.datagen.task import MatchingTask
+
+__all__ = [
+    "Choice",
+    "Leaf",
+    "Loop",
+    "MatchingTask",
+    "Optional",
+    "Parallel",
+    "ProcessTree",
+    "Sequence",
+    "generate_random_pair",
+    "generate_reallike",
+    "generate_synthetic",
+    "simulate_log",
+]

@@ -1,0 +1,66 @@
+"""Logging noise.
+
+Real event logs are messy: events get recorded out of order (clock skew,
+batched writes) and occasionally not at all.  The paper's real dataset
+shows this as a dense dependency graph — 57 edges over only 11 events —
+full of low-frequency spurious consecutive pairs.  ``perturb_log``
+reproduces that texture: random adjacent transpositions blur the edge
+statistics (creating spurious edges and diluting true ones) and random
+drops thin the vertex statistics slightly.
+
+Contiguous pattern instances are also broken by a transposition landing
+inside them, but at a similar rate in both logs, so pattern frequency
+*similarity* — the matching signal — degrades far more slowly than
+individual edge frequencies do.  This is exactly the regime in which the
+paper's pattern-based matching out-discriminates edge statistics.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.log.events import Trace
+from repro.log.eventlog import EventLog
+
+
+def perturb_log(
+    log: EventLog,
+    swap_rate: float = 0.0,
+    drop_rate: float = 0.0,
+    seed: int = 0,
+) -> EventLog:
+    """A noisy copy of ``log``.
+
+    Parameters
+    ----------
+    swap_rate:
+        Per-position probability of transposing a trace's adjacent event
+        pair (one left-to-right pass, so a given event moves at most a
+        couple of positions).
+    drop_rate:
+        Per-event probability of the event not being recorded.
+    seed:
+        Noise randomness; deterministic given the seed.
+    """
+    if not 0.0 <= swap_rate <= 1.0 or not 0.0 <= drop_rate <= 1.0:
+        raise ValueError("rates must be within [0, 1]")
+    rng = random.Random(seed)
+    noisy_traces = []
+    for trace in log:
+        events = list(trace.events)
+        if drop_rate > 0.0:
+            events = [event for event in events if rng.random() >= drop_rate]
+        if swap_rate > 0.0:
+            position = 0
+            while position < len(events) - 1:
+                if rng.random() < swap_rate:
+                    events[position], events[position + 1] = (
+                        events[position + 1],
+                        events[position],
+                    )
+                    position += 2  # the swapped pair is settled
+                else:
+                    position += 1
+        if events:
+            noisy_traces.append(Trace(events, case_id=trace.case_id))
+    return EventLog(noisy_traces, name=log.name)

@@ -1,0 +1,52 @@
+"""Opaque event renaming.
+
+The heterogeneous systems of the paper encode the same activities under
+incomparable names (English phrases in one department, abbreviated Chinese
+phonetics in the other — e.g. *Ship Goods* vs *FH*).  This module produces
+such opaque renamings deterministically from a seed, guaranteeing that no
+generated code shares characters positionally with the original name, so
+any accidental typographic similarity is destroyed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.log.events import Event
+
+_CONSONANTS = "BCDFGHJKLMNPQRSTWXZ"
+
+
+def opaque_names(
+    events: Iterable[Event], seed: int, code_length: int = 2
+) -> dict[Event, Event]:
+    """A deterministic mapping from ``events`` to distinct opaque codes.
+
+    Codes are short consonant strings (``FH``-style abbreviations); a
+    numeric suffix disambiguates collisions once the code space is dense.
+    """
+    rng = random.Random(seed)
+    mapping: dict[Event, Event] = {}
+    used: set[Event] = set()
+    for event in sorted(set(events)):
+        while True:
+            code = "".join(
+                rng.choice(_CONSONANTS) for _ in range(code_length)
+            )
+            if code not in used:
+                break
+            code = f"{code}{rng.randrange(10, 100)}"
+            if code not in used:
+                break
+        used.add(code)
+        mapping[event] = code
+    return mapping
+
+
+def numeric_names(events: Iterable[Event], start: int = 1) -> dict[Event, Event]:
+    """Rename events to ``"1", "2", …`` in sorted order (paper's L2 style)."""
+    return {
+        event: str(start + position)
+        for position, event in enumerate(sorted(set(events)))
+    }

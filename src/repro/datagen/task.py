@@ -1,0 +1,60 @@
+"""Matching tasks: a log pair, its patterns and the ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mapping import Mapping
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import Pattern
+
+
+@dataclass(frozen=True)
+class MatchingTask:
+    """Everything one matching experiment needs.
+
+    ``patterns`` are declared over ``log_1``'s vocabulary; ``truth`` is
+    the ground-truth event mapping ``V1 → V2`` (empty for the random
+    logs, which have no true correspondence).
+    """
+
+    name: str
+    log_1: EventLog
+    log_2: EventLog
+    patterns: tuple[Pattern, ...] = ()
+    truth: Mapping = field(default_factory=Mapping)
+
+    def project_events(self, num_events: int) -> "MatchingTask":
+        """The sub-task over the first ``num_events`` events of ``log_1``.
+
+        Follows the paper's sweep setup: keep the first ``num_events``
+        events of ``log_1`` in first-appearance order, project ``log_2``
+        onto their ground-truth images, restrict the truth accordingly and
+        keep only the patterns whose events survive.
+        """
+        kept = self.log_1.events_in_first_appearance_order()[:num_events]
+        kept_set = set(kept)
+        images = {self.truth[event] for event in kept if event in self.truth}
+        truth = self.truth.restrict_sources(kept_set)
+        patterns = tuple(
+            pattern
+            for pattern in self.patterns
+            if pattern.event_set() <= kept_set
+        )
+        return MatchingTask(
+            name=f"{self.name}[events={num_events}]",
+            log_1=self.log_1.project_events(kept_set),
+            log_2=self.log_2.project_events(images),
+            patterns=patterns,
+            truth=truth,
+        )
+
+    def take_traces(self, num_traces: int) -> "MatchingTask":
+        """The sub-task over the first ``num_traces`` traces of each log."""
+        return MatchingTask(
+            name=f"{self.name}[traces={num_traces}]",
+            log_1=self.log_1.take_traces(num_traces),
+            log_2=self.log_2.take_traces(num_traces),
+            patterns=self.patterns,
+            truth=self.truth,
+        )

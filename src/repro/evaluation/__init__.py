@@ -1,0 +1,31 @@
+"""Evaluation: accuracy metrics, experiment harness and reporting.
+
+`metrics` implements the paper's precision/recall/F-measure criteria;
+`harness` runs methods on tasks with DNF budgets and collects timing and
+search statistics; `reporting` renders paper-style text tables;
+`experiments` wires the concrete per-figure experiment configurations
+shared by the benchmark suite and the examples.
+"""
+
+from repro.evaluation.explain import (
+    MappingExplanation,
+    explain_mapping,
+    format_explanation,
+)
+from repro.evaluation.harness import MethodRun, run_method, sweep_events, sweep_traces
+from repro.evaluation.metrics import MatchQuality, evaluate_mapping
+from repro.evaluation.reporting import format_runs_table, format_series
+
+__all__ = [
+    "MappingExplanation",
+    "MatchQuality",
+    "MethodRun",
+    "evaluate_mapping",
+    "explain_mapping",
+    "format_explanation",
+    "format_runs_table",
+    "format_series",
+    "run_method",
+    "sweep_events",
+    "sweep_traces",
+]

@@ -1,0 +1,192 @@
+"""Per-figure experiment configurations (the paper's evaluation, §6).
+
+Each function reproduces one table or figure and returns plain data; the
+benchmark suite prints it via `repro.evaluation.reporting` and wraps the
+timed kernels with pytest-benchmark.  Sizes default to laptop-friendly
+values; pass the paper-scale parameters explicitly to run the full
+configurations (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.datagen.random_logs import generate_random_pair
+from repro.datagen.reallike import generate_reallike
+from repro.datagen.synthetic import generate_synthetic
+from repro.evaluation.harness import MethodRun, run_method, sweep_events, sweep_traces
+from repro.log.statistics import LogCharacteristics, characterize
+
+#: Methods compared in Figures 7–8 (exact approaches).
+EXACT_FIGURE_METHODS = (
+    "pattern-tight",
+    "pattern-simple",
+    "vertex",
+    "vertex-edge",
+    "iterative",
+)
+
+#: Methods compared in Figures 9–10 (heuristics; Exact = Pattern-Tight).
+HEURISTIC_FIGURE_METHODS = (
+    "pattern-tight",
+    "heuristic-simple",
+    "heuristic-advanced",
+    "vertex",
+    "vertex-edge",
+    "iterative",
+)
+
+#: Methods compared in Figure 12 (large synthetic; adds Entropy-only).
+LARGE_FIGURE_METHODS = (
+    "pattern-tight",
+    "vertex-edge",
+    "heuristic-simple",
+    "heuristic-advanced",
+    "vertex",
+    "iterative",
+    "entropy",
+)
+
+
+def table3_characteristics(
+    reallike_traces: int = 3000,
+    synthetic_traces: int = 10_000,
+    synthetic_blocks: int = 10,
+    random_traces: int = 1000,
+    seed: int = 7,
+) -> list[LogCharacteristics]:
+    """Characteristics of the three datasets (Table 3)."""
+    rows = []
+    for task, label in (
+        (generate_reallike(num_traces=reallike_traces, seed=seed), "real"),
+        (
+            generate_synthetic(
+                num_blocks=synthetic_blocks,
+                num_traces=synthetic_traces,
+                seed=seed + 4,
+            ),
+            "synthetic",
+        ),
+        (generate_random_pair(num_traces=random_traces, seed=seed + 8), "random"),
+    ):
+        rows.append(
+            characterize(task.log_1, num_patterns=len(task.patterns), name=label)
+        )
+    return rows
+
+
+def figure7_exact_vs_events(
+    sizes: Sequence[int] = (2, 4, 6, 8, 10, 11),
+    num_traces: int = 3000,
+    methods: Sequence[str] = EXACT_FIGURE_METHODS,
+    seed: int = 7,
+    node_budget: int | None = 200_000,
+    time_budget: float | None = None,
+) -> list[MethodRun]:
+    """Exact approaches over various event-set sizes (Figure 7a–c)."""
+    task = generate_reallike(num_traces=num_traces, seed=seed)
+    return sweep_events(
+        task, sizes, methods, node_budget=node_budget, time_budget=time_budget
+    )
+
+
+def figure8_exact_vs_traces(
+    counts: Sequence[int] = (500, 1000, 1500, 2000, 2500, 3000),
+    num_events: int = 8,
+    methods: Sequence[str] = EXACT_FIGURE_METHODS,
+    seed: int = 7,
+    node_budget: int | None = 200_000,
+    time_budget: float | None = None,
+) -> list[MethodRun]:
+    """Exact approaches over various trace counts (Figure 8a–c)."""
+    task = generate_reallike(num_traces=max(counts), seed=seed)
+    task = task.project_events(num_events)
+    return sweep_traces(
+        task, counts, methods, node_budget=node_budget, time_budget=time_budget
+    )
+
+
+def figure9_heuristic_vs_events(
+    sizes: Sequence[int] = (2, 4, 6, 8, 10, 11),
+    num_traces: int = 3000,
+    methods: Sequence[str] = HEURISTIC_FIGURE_METHODS,
+    seed: int = 7,
+    node_budget: int | None = 200_000,
+    time_budget: float | None = None,
+) -> list[MethodRun]:
+    """Heuristic vs exact approaches over event-set sizes (Figure 9a–c)."""
+    task = generate_reallike(num_traces=num_traces, seed=seed)
+    return sweep_events(
+        task, sizes, methods, node_budget=node_budget, time_budget=time_budget
+    )
+
+
+def figure10_heuristic_vs_traces(
+    counts: Sequence[int] = (500, 1000, 1500, 2000, 2500, 3000),
+    num_events: int = 8,
+    methods: Sequence[str] = HEURISTIC_FIGURE_METHODS,
+    seed: int = 7,
+    node_budget: int | None = 200_000,
+    time_budget: float | None = None,
+) -> list[MethodRun]:
+    """Heuristic vs exact approaches over trace counts (Figure 10a–c)."""
+    task = generate_reallike(num_traces=max(counts), seed=seed)
+    task = task.project_events(num_events)
+    return sweep_traces(
+        task, counts, methods, node_budget=node_budget, time_budget=time_budget
+    )
+
+
+def figure12_large_synthetic(
+    sizes: Sequence[int] = (10, 20, 40, 60, 80, 100),
+    num_traces: int = 10_000,
+    num_blocks: int = 10,
+    methods: Sequence[str] = LARGE_FIGURE_METHODS,
+    seed: int = 11,
+    node_budget: int | None = 50_000,
+    time_budget: float | None = 60.0,
+) -> list[MethodRun]:
+    """Larger synthetic data over up to 100 events (Figure 12).
+
+    The exact searches (``pattern-tight``, ``vertex-edge``) are expected
+    to DNF beyond ~20 events, as in the paper.
+    """
+    task = generate_synthetic(
+        num_blocks=num_blocks, num_traces=num_traces, seed=seed
+    )
+    return sweep_events(
+        task, sizes, methods, node_budget=node_budget, time_budget=time_budget
+    )
+
+
+def table4_random_mapping_counts(
+    trials: int = 1000,
+    num_events: int = 4,
+    num_traces: int = 1000,
+    methods: Sequence[str] = (
+        "pattern-tight",
+        "heuristic-simple",
+        "heuristic-advanced",
+    ),
+    seed: int = 0,
+) -> dict[str, Counter[tuple[tuple[str, str], ...]]]:
+    """Counts of returned mappings over random-log trials (Table 4).
+
+    Each trial generates a fresh random log pair; for every method the
+    returned mapping (as a sorted pair tuple) is tallied.  With no true
+    correspondence present, no mapping should dominate.
+    """
+    counts: dict[str, Counter[tuple[tuple[str, str], ...]]] = {
+        method: Counter() for method in methods
+    }
+    for trial in range(trials):
+        task = generate_random_pair(
+            num_events=num_events, num_traces=num_traces, seed=seed + trial
+        )
+        for method in methods:
+            run = run_method(task, method)
+            assert run.mapping is not None  # no budgets => never DNF
+            mapping_key = tuple(sorted(run.mapping.as_dict().items()))
+            counts[method][mapping_key] += 1
+    return counts

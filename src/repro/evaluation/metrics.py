@@ -1,0 +1,58 @@
+"""Accuracy criteria (Section 6).
+
+With ``truth`` the manually discovered ground-truth mapping and ``found``
+the mapping a method returns:
+
+    precision = |found ∩ truth| / |found|
+    recall    = |found ∩ truth| / |truth|
+    F-measure = 2 · precision · recall / (precision + recall)
+
+A pair counts as correct only when both its source and target agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass
+
+from repro.log.events import Event
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Precision, recall and F-measure of one returned mapping."""
+
+    precision: float
+    recall: float
+    f_measure: float
+    correct_pairs: int
+    found_pairs: int
+    truth_pairs: int
+
+
+def evaluate_mapping(
+    found: MappingABC[Event, Event],
+    truth: MappingABC[Event, Event],
+) -> MatchQuality:
+    """Score ``found`` against ``truth``.
+
+    Empty ``found`` or ``truth`` gives zero for the undefined ratios
+    (0/0 → 0), matching the usual convention in matching evaluation.
+    """
+    correct = sum(
+        1 for source, target in found.items() if truth.get(source) == target
+    )
+    precision = correct / len(found) if found else 0.0
+    recall = correct / len(truth) if truth else 0.0
+    if precision + recall == 0.0:
+        f_measure = 0.0
+    else:
+        f_measure = 2.0 * precision * recall / (precision + recall)
+    return MatchQuality(
+        precision=precision,
+        recall=recall,
+        f_measure=f_measure,
+        correct_pairs=correct,
+        found_pairs=len(found),
+        truth_pairs=len(truth),
+    )

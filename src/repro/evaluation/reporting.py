@@ -1,0 +1,87 @@
+"""Paper-style text reporting of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot: one row per x-axis value, one column per method, for each measured
+quantity (F-measure, time, processed mappings).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+from repro.evaluation.harness import MethodRun
+
+
+def format_runs_table(runs: Sequence[MethodRun]) -> str:
+    """A flat table of every run with all measured quantities."""
+    header = (
+        f"{'task':<28} {'method':<20} {'events':>6} {'traces':>7} "
+        f"{'F':>6} {'prec':>6} {'rec':>6} {'score':>8} "
+        f"{'time(s)':>9} {'processed':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for run in runs:
+        if run.dnf:
+            f_text = prec_text = rec_text = "  DNF"
+            score_text = time_text = "     DNF"
+        else:
+            quality = run.quality
+            f_text = f"{quality.f_measure:6.3f}" if quality else "   n/a"
+            prec_text = f"{quality.precision:6.3f}" if quality else "   n/a"
+            rec_text = f"{quality.recall:6.3f}" if quality else "   n/a"
+            score_text = f"{run.score:8.3f}"
+            time_text = f"{run.elapsed_seconds:9.4f}"
+        lines.append(
+            f"{run.task_name:<28} {run.method:<20} {run.num_events:>6} "
+            f"{run.num_traces:>7} {f_text:>6} {prec_text:>6} {rec_text:>6} "
+            f"{score_text:>8} {time_text:>9} {run.processed_mappings:>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    runs: Sequence[MethodRun],
+    value: Callable[[MethodRun], float],
+    value_name: str,
+    x_axis: str = "num_events",
+) -> str:
+    """A figure-shaped series table: x-axis rows × method columns.
+
+    ``value`` extracts the plotted quantity from a run (DNF runs print as
+    ``DNF``); ``x_axis`` is ``"num_events"`` or ``"num_traces"``.
+    """
+    methods: list[str] = []
+    xs: list[int] = []
+    cells: dict[tuple[int, str], str] = {}
+    for run in runs:
+        x = getattr(run, x_axis)
+        if run.method not in methods:
+            methods.append(run.method)
+        if x not in xs:
+            xs.append(x)
+        if run.dnf:
+            text = "DNF"
+        else:
+            number = value(run)
+            if isinstance(number, float) and math.isnan(number):
+                text = "n/a"
+            elif abs(number) >= 1000:
+                text = f"{number:.3g}"
+            else:
+                text = f"{number:.3f}"
+        cells[(x, run.method)] = text
+
+    x_label = "#events" if x_axis == "num_events" else "#traces"
+    width = max(12, max((len(m) for m in methods), default=12) + 1)
+    header = f"{value_name} by {x_label}"
+    column_header = f"{x_label:>8} " + " ".join(
+        f"{method:>{width}}" for method in methods
+    )
+    lines = [header, column_header, "-" * len(column_header)]
+    for x in sorted(xs):
+        row = f"{x:>8} " + " ".join(
+            f"{cells.get((x, method), '—'):>{width}}" for method in methods
+        )
+        lines.append(row)
+    return "\n".join(lines)

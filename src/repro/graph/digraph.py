@@ -1,0 +1,176 @@
+"""A minimal labeled directed graph.
+
+Vertices are hashable objects (event names in practice).  Both vertices and
+edges carry a single float *weight*; for dependency graphs this is the
+normalized frequency of Definition 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+Vertex = Hashable
+
+
+class DiGraph:
+    """Directed graph with float-weighted vertices and edges."""
+
+    def __init__(self) -> None:
+        self._vertex_weights: dict[Vertex, float] = {}
+        self._successors: dict[Vertex, dict[Vertex, float]] = {}
+        self._predecessors: dict[Vertex, dict[Vertex, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex, weight: float = 0.0) -> None:
+        """Add ``vertex``, overwriting its weight if already present."""
+        if vertex not in self._vertex_weights:
+            self._successors[vertex] = {}
+            self._predecessors[vertex] = {}
+        self._vertex_weights[vertex] = weight
+
+    def add_edge(self, source: Vertex, target: Vertex, weight: float = 0.0) -> None:
+        """Add the edge ``source -> target``; endpoints are auto-created."""
+        if source not in self._vertex_weights:
+            self.add_vertex(source)
+        if target not in self._vertex_weights:
+            self.add_vertex(target)
+        self._successors[source][target] = weight
+        self._predecessors[target][source] = weight
+
+    def remove_edge(self, source: Vertex, target: Vertex) -> None:
+        if not self.has_edge(source, target):
+            raise KeyError(f"no edge {source!r} -> {target!r}")
+        del self._successors[source][target]
+        del self._predecessors[target][source]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._vertex_weights
+
+    def __len__(self) -> int:
+        return len(self._vertex_weights)
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._vertex_weights)
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        for source, targets in self._successors.items():
+            for target in targets:
+                yield (source, target)
+
+    def num_edges(self) -> int:
+        return sum(len(targets) for targets in self._successors.values())
+
+    def has_edge(self, source: Vertex, target: Vertex) -> bool:
+        return target in self._successors.get(source, ())
+
+    def vertex_weight(self, vertex: Vertex) -> float:
+        return self._vertex_weights[vertex]
+
+    def edge_weight(self, source: Vertex, target: Vertex) -> float:
+        try:
+            return self._successors[source][target]
+        except KeyError:
+            raise KeyError(f"no edge {source!r} -> {target!r}") from None
+
+    def edge_weight_or_zero(self, source: Vertex, target: Vertex) -> float:
+        """The edge's weight, or 0.0 when the edge is absent."""
+        return self._successors.get(source, {}).get(target, 0.0)
+
+    def max_outgoing_weight(
+        self, source: Vertex, targets: "set[Vertex] | frozenset[Vertex]"
+    ) -> float:
+        """Max weight of edges from ``source`` into ``targets`` (0.0 if none)."""
+        best = 0.0
+        for target, weight in self._successors.get(source, {}).items():
+            if target in targets and weight > best:
+                best = weight
+        return best
+
+    def max_incoming_weight(
+        self, target: Vertex, sources: "set[Vertex] | frozenset[Vertex]"
+    ) -> float:
+        """Max weight of edges into ``target`` from ``sources`` (0.0 if none)."""
+        best = 0.0
+        for source, weight in self._predecessors.get(target, {}).items():
+            if source in sources and weight > best:
+                best = weight
+        return best
+
+    def successors(self, vertex: Vertex) -> Iterator[Vertex]:
+        return iter(self._successors.get(vertex, ()))
+
+    def predecessors(self, vertex: Vertex) -> Iterator[Vertex]:
+        return iter(self._predecessors.get(vertex, ()))
+
+    def out_degree(self, vertex: Vertex) -> int:
+        return len(self._successors.get(vertex, ()))
+
+    def in_degree(self, vertex: Vertex) -> int:
+        return len(self._predecessors.get(vertex, ()))
+
+    def degree(self, vertex: Vertex) -> int:
+        return self.in_degree(vertex) + self.out_degree(vertex)
+
+    # ------------------------------------------------------------------
+    # Derived graphs and aggregates
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, keep: Iterable[Vertex]) -> "DiGraph":
+        """The subgraph induced by the vertex subset ``keep``."""
+        keep_set = set(keep)
+        subgraph = DiGraph()
+        for vertex in keep_set:
+            if vertex in self._vertex_weights:
+                subgraph.add_vertex(vertex, self._vertex_weights[vertex])
+        for source in keep_set:
+            for target, weight in self._successors.get(source, {}).items():
+                if target in keep_set:
+                    subgraph.add_edge(source, target, weight)
+        return subgraph
+
+    def max_vertex_weight(self, among: Iterable[Vertex] | None = None) -> float:
+        """Maximum vertex weight, optionally restricted to ``among``.
+
+        Returns 0.0 when the selection is empty — the natural neutral
+        value for the frequency bounds that consume this.
+        """
+        if among is None:
+            weights = self._vertex_weights.values()
+        else:
+            weights = [
+                self._vertex_weights[v] for v in among if v in self._vertex_weights
+            ]
+        return max(weights, default=0.0)
+
+    def max_edge_weight(self, among: Iterable[Vertex] | None = None) -> float:
+        """Maximum edge weight within the subgraph induced by ``among``."""
+        if among is None:
+            candidates = (
+                weight
+                for targets in self._successors.values()
+                for weight in targets.values()
+            )
+            return max(candidates, default=0.0)
+        among_set = set(among)
+        best = 0.0
+        for source in among_set:
+            for target, weight in self._successors.get(source, {}).items():
+                if target in among_set and weight > best:
+                    best = weight
+        return best
+
+    def copy(self) -> "DiGraph":
+        duplicate = DiGraph()
+        for vertex, weight in self._vertex_weights.items():
+            duplicate.add_vertex(vertex, weight)
+        for source, targets in self._successors.items():
+            for target, weight in targets.items():
+                duplicate.add_edge(source, target, weight)
+        return duplicate
+
+    def __repr__(self) -> str:
+        return f"DiGraph({len(self)} vertices, {self.num_edges()} edges)"

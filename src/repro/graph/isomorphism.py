@@ -1,0 +1,105 @@
+"""Subgraph checks behind Proposition 3 pruning and the hardness reduction.
+
+Two operations are provided:
+
+* :func:`is_subgraph` — check whether a *concrete* pattern graph (with
+  already-mapped vertex names) is a subgraph of a host graph: every pattern
+  vertex exists in the host and every pattern edge exists in the host.
+  This is the cheap test used during A* search (the mapping already fixes
+  vertex identities, so no search is required).
+* :func:`subgraph_embeddings` / :func:`find_subgraph_embedding` — enumerate
+  injective embeddings of a pattern graph into a host graph (classic
+  subgraph-isomorphism search, backtracking with degree-based pruning).
+  The paper's NP-hardness proof (Theorem 1) reduces from this problem;
+  the search is also used by the pattern-selection guidelines of §2.2 to
+  count structurally equivalent patterns.
+
+The embedding semantics is *subgraph* (monomorphism) semantics: pattern
+edges must be present in the host, host may have extra edges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graph.digraph import DiGraph, Vertex
+
+
+def is_subgraph(pattern: DiGraph, host: DiGraph) -> bool:
+    """Whether ``pattern`` (with concrete vertex names) lies inside ``host``."""
+    for vertex in pattern.vertices():
+        if vertex not in host:
+            return False
+    for source, target in pattern.edges():
+        if not host.has_edge(source, target):
+            return False
+    return True
+
+
+def subgraph_embeddings(
+    pattern: DiGraph, host: DiGraph
+) -> Iterator[dict[Vertex, Vertex]]:
+    """Yield every injective embedding of ``pattern`` into ``host``.
+
+    An embedding maps pattern vertices to distinct host vertices so every
+    pattern edge maps onto a host edge.  Vertices are assigned in order of
+    decreasing pattern degree, and candidates are filtered by degree and by
+    consistency with already-assigned neighbours, which keeps the
+    backtracking shallow on the small patterns this library deals with.
+    """
+    pattern_vertices = sorted(
+        pattern.vertices(),
+        key=lambda v: (-pattern.degree(v), repr(v)),
+    )
+    host_vertices = list(host.vertices())
+
+    def candidates(
+        vertex: Vertex, assignment: dict[Vertex, Vertex]
+    ) -> Iterator[Vertex]:
+        used = set(assignment.values())
+        for candidate in host_vertices:
+            if candidate in used:
+                continue
+            if host.out_degree(candidate) < pattern.out_degree(vertex):
+                continue
+            if host.in_degree(candidate) < pattern.in_degree(vertex):
+                continue
+            consistent = True
+            for successor in pattern.successors(vertex):
+                if successor in assignment and not host.has_edge(
+                    candidate, assignment[successor]
+                ):
+                    consistent = False
+                    break
+            if consistent:
+                for predecessor in pattern.predecessors(vertex):
+                    if predecessor in assignment and not host.has_edge(
+                        assignment[predecessor], candidate
+                    ):
+                        consistent = False
+                        break
+            if consistent:
+                yield candidate
+
+    def backtrack(
+        position: int, assignment: dict[Vertex, Vertex]
+    ) -> Iterator[dict[Vertex, Vertex]]:
+        if position == len(pattern_vertices):
+            yield dict(assignment)
+            return
+        vertex = pattern_vertices[position]
+        for candidate in candidates(vertex, assignment):
+            assignment[vertex] = candidate
+            yield from backtrack(position + 1, assignment)
+            del assignment[vertex]
+
+    yield from backtrack(0, {})
+
+
+def find_subgraph_embedding(
+    pattern: DiGraph, host: DiGraph
+) -> dict[Vertex, Vertex] | None:
+    """The first embedding of ``pattern`` into ``host``, or ``None``."""
+    for embedding in subgraph_embeddings(pattern, host):
+        return embedding
+    return None

@@ -1,0 +1,186 @@
+"""Event logs: collections of traces with frequency statistics.
+
+The :class:`EventLog` is the central substrate type.  It owns the trace
+collection and exposes exactly the statistics the matching algorithms need:
+
+* ``vertex_frequency(v)`` — fraction of traces containing event ``v``
+  (Definition 1, vertex labels);
+* ``edge_frequency(u, v)`` — fraction of traces where ``u`` is immediately
+  followed by ``v`` at least once (Definition 1, edge labels);
+* projections onto event subsets and trace prefixes, used by the paper's
+  experiment sweeps over "# of events" and "# of traces".
+
+All frequency statistics are computed once, lazily, and cached; logs are
+treated as immutable after construction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.log.events import Event, Trace
+
+
+class EventLog:
+    """An immutable collection of traces.
+
+    Parameters
+    ----------
+    traces:
+        The traces of the log.  Iterables of events are promoted to
+        :class:`Trace`.
+    name:
+        Optional human-readable log name (used in reports).
+    """
+
+    def __init__(self, traces: Iterable[Trace | Sequence[Event]], name: str = ""):
+        promoted: list[Trace] = []
+        for trace in traces:
+            if not isinstance(trace, Trace):
+                trace = Trace(trace)
+            promoted.append(trace)
+        self._traces: tuple[Trace, ...] = tuple(promoted)
+        self.name = name
+        self._alphabet: frozenset[Event] | None = None
+        self._vertex_counts: Counter[Event] | None = None
+        self._edge_counts: Counter[tuple[Event, Event]] | None = None
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    @property
+    def traces(self) -> tuple[Trace, ...]:
+        return self._traces
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self._traces)
+
+    def __getitem__(self, index):
+        return self._traces[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventLog):
+            return self._traces == other._traces
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._traces)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"EventLog({len(self._traces)} traces{label})"
+
+    # ------------------------------------------------------------------
+    # Alphabet and frequencies
+    # ------------------------------------------------------------------
+    def alphabet(self) -> frozenset[Event]:
+        """The distinct events appearing anywhere in the log."""
+        if self._alphabet is None:
+            events: set[Event] = set()
+            for trace in self._traces:
+                events.update(trace.events)
+            self._alphabet = frozenset(events)
+        return self._alphabet
+
+    def events_in_first_appearance_order(self) -> list[Event]:
+        """Distinct events ordered by first appearance in the log.
+
+        The paper's sweeps select "the first x events appearing in the
+        dataset"; this is that ordering.
+        """
+        seen: dict[Event, None] = {}
+        for trace in self._traces:
+            for event in trace:
+                if event not in seen:
+                    seen[event] = None
+        return list(seen)
+
+    def _ensure_counts(self) -> None:
+        if self._vertex_counts is not None:
+            return
+        vertex_counts: Counter[Event] = Counter()
+        edge_counts: Counter[tuple[Event, Event]] = Counter()
+        for trace in self._traces:
+            events = trace.events
+            vertex_counts.update(set(events))
+            pairs = {
+                (events[i], events[i + 1]) for i in range(len(events) - 1)
+            }
+            edge_counts.update(pairs)
+        self._vertex_counts = vertex_counts
+        self._edge_counts = edge_counts
+
+    def vertex_count(self, event: Event) -> int:
+        """Number of traces containing ``event`` at least once."""
+        self._ensure_counts()
+        assert self._vertex_counts is not None
+        return self._vertex_counts[event]
+
+    def edge_count(self, source: Event, target: Event) -> int:
+        """Number of traces where ``source`` immediately precedes ``target``."""
+        self._ensure_counts()
+        assert self._edge_counts is not None
+        return self._edge_counts[(source, target)]
+
+    def vertex_frequency(self, event: Event) -> float:
+        """Normalized frequency of ``event`` (Definition 1)."""
+        if not self._traces:
+            return 0.0
+        return self.vertex_count(event) / len(self._traces)
+
+    def edge_frequency(self, source: Event, target: Event) -> float:
+        """Normalized frequency of the consecutive pair (Definition 1)."""
+        if not self._traces:
+            return 0.0
+        return self.edge_count(source, target) / len(self._traces)
+
+    def edges(self) -> list[tuple[Event, Event]]:
+        """All consecutive pairs with non-zero frequency."""
+        self._ensure_counts()
+        assert self._edge_counts is not None
+        return sorted(self._edge_counts)
+
+    # ------------------------------------------------------------------
+    # Projections
+    # ------------------------------------------------------------------
+    def project_events(self, keep: Iterable[Event]) -> "EventLog":
+        """Project every trace onto the event subset ``keep``.
+
+        Traces that become empty are dropped so that ``len(log)`` keeps
+        denoting the number of non-trivial cases.
+        """
+        keep_set = frozenset(keep)
+        projected = [trace.project(keep_set) for trace in self._traces]
+        return EventLog(
+            [trace for trace in projected if len(trace) > 0],
+            name=self.name,
+        )
+
+    def take_traces(self, count: int) -> "EventLog":
+        """The sub-log of the first ``count`` traces."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return EventLog(self._traces[:count], name=self.name)
+
+    def rename_events(self, mapping: dict[Event, Event]) -> "EventLog":
+        """A copy of the log with events renamed through ``mapping``."""
+        return EventLog(
+            [trace.rename(mapping) for trace in self._traces],
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Trace-level queries
+    # ------------------------------------------------------------------
+    def count_traces_with_substring(self, needle: Sequence[Event]) -> int:
+        """Number of traces containing ``needle`` as a contiguous run."""
+        needle = tuple(needle)
+        return sum(1 for trace in self._traces if trace.contains_substring(needle))
+
+    def variant_counts(self) -> Counter[tuple[Event, ...]]:
+        """Multiplicity of each distinct trace (process-mining "variants")."""
+        return Counter(trace.events for trace in self._traces)

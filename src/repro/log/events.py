@@ -1,0 +1,115 @@
+"""Events and traces.
+
+An *event* is identified by its name (a string); the paper's setting is
+"uninterpreted" matching, so the name carries no semantics beyond identity.
+A *trace* is a finite sequence of events ordered by occurrence, recording
+one case (e.g. one order flowing through an ERP system).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+#: Events are plain strings throughout the library.  The alias exists so
+#: signatures read ``Event`` rather than ``str`` where the distinction helps.
+Event = str
+
+
+class Trace:
+    """An immutable, hashable sequence of events for one case.
+
+    Parameters
+    ----------
+    events:
+        The events of the case in occurrence order.
+    case_id:
+        Optional identifier of the case this trace records.  Two traces
+        with the same events but different case ids compare equal: identity
+        of a trace, for matching purposes, is its event sequence.
+    """
+
+    __slots__ = ("_events", "case_id")
+
+    def __init__(self, events: Iterable[Event], case_id: str | None = None):
+        self._events: tuple[Event, ...] = tuple(events)
+        self.case_id = case_id
+        for event in self._events:
+            if not isinstance(event, str):
+                raise TypeError(f"events must be strings, got {event!r}")
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """The events of the trace, in order."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def __contains__(self, event: object) -> bool:
+        return event in self._events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Trace):
+            return self._events == other._events
+        if isinstance(other, tuple):
+            return self._events == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(self._events)
+        return f"Trace(<{inner}>)"
+
+    def alphabet(self) -> frozenset[Event]:
+        """The set of distinct events occurring in this trace."""
+        return frozenset(self._events)
+
+    def project(self, keep: Iterable[Event]) -> "Trace":
+        """Return a copy with only the events in ``keep``, order preserved.
+
+        This is the projection used by the paper's experiments when an
+        "event set with size x is determined by projecting the first x
+        events": events outside the subset are dropped from every trace.
+        """
+        keep_set = frozenset(keep)
+        return Trace(
+            (event for event in self._events if event in keep_set),
+            case_id=self.case_id,
+        )
+
+    def rename(self, mapping: dict[Event, Event]) -> "Trace":
+        """Return a copy with events renamed through ``mapping``.
+
+        Events absent from the mapping are kept unchanged.
+        """
+        return Trace(
+            (mapping.get(event, event) for event in self._events),
+            case_id=self.case_id,
+        )
+
+    def contains_substring(self, needle: Sequence[Event]) -> bool:
+        """Whether ``needle`` occurs as a *contiguous* subsequence.
+
+        Pattern instances must appear as substrings of the trace
+        (Definition 4 in the paper); an empty needle trivially occurs.
+        """
+        needle = tuple(needle)
+        size = len(needle)
+        if size == 0:
+            return True
+        if size > len(self._events):
+            return False
+        events = self._events
+        first = needle[0]
+        for start in range(len(events) - size + 1):
+            if events[start] == first and events[start:start + size] == needle:
+                return True
+        return False

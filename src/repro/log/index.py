@@ -1,0 +1,83 @@
+"""Inverted trace index ``I_t`` (Section 3.2.3 of the paper).
+
+For each event ``v`` the index stores the ids of traces containing ``v``.
+Evaluating a pattern's frequency then only scans
+``⋂_{v ∈ V(p)} I_t(v)`` instead of the whole log, which is the paper's
+second index for accelerating normal-distance computation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.log.events import Event
+from repro.log.eventlog import EventLog
+
+
+class TraceIndex:
+    """Posting lists from events to the traces that contain them."""
+
+    def __init__(self, log: EventLog):
+        self._log = log
+        postings: dict[Event, set[int]] = {}
+        for trace_id, trace in enumerate(log):
+            for event in trace.alphabet():
+                postings.setdefault(event, set()).add(trace_id)
+        self._postings: dict[Event, frozenset[int]] = {
+            event: frozenset(ids) for event, ids in postings.items()
+        }
+        self._empty: frozenset[int] = frozenset()
+
+    @property
+    def log(self) -> EventLog:
+        return self._log
+
+    def postings(self, event: Event) -> frozenset[int]:
+        """Ids of traces containing ``event`` (empty set if unseen)."""
+        return self._postings.get(event, self._empty)
+
+    def candidate_traces(self, events: Iterable[Event]) -> frozenset[int]:
+        """Ids of traces containing *all* of ``events``.
+
+        Intersects the posting lists smallest-first; an event with no
+        postings short-circuits to the empty set.
+        """
+        lists = sorted(
+            (self.postings(event) for event in set(events)), key=len
+        )
+        if not lists:
+            return frozenset(range(len(self._log)))
+        result = lists[0]
+        for posting in lists[1:]:
+            if not result:
+                return self._empty
+            result = result & posting
+        return result
+
+    def count_traces_with_any_substring(
+        self, sequences: Iterable[Sequence[Event]]
+    ) -> int:
+        """Traces containing at least one of ``sequences`` as a substring.
+
+        This is exactly the pattern-frequency primitive: ``sequences`` is
+        the allowed-order set ``I(p)`` of a pattern, and a trace matches the
+        pattern when some allowed order occurs contiguously (Definition 4).
+        All sequences of a pattern share the same event set, so a single
+        posting-list intersection covers every alternative.
+        """
+        needles = [tuple(sequence) for sequence in sequences]
+        if not needles:
+            return 0
+        events = set(needles[0])
+        for needle in needles[1:]:
+            if set(needle) != events:
+                raise ValueError(
+                    "all sequences of a pattern must share one event set"
+                )
+        count = 0
+        traces = self._log.traces
+        for trace_id in self.candidate_traces(events):
+            trace = traces[trace_id]
+            if any(trace.contains_substring(needle) for needle in needles):
+                count += 1
+        return count

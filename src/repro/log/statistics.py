@@ -1,0 +1,49 @@
+"""Log characteristics, as reported in Table 3 of the paper.
+
+For each dataset the paper reports the number of traces, the number of
+distinct events (dependency-graph vertices), the number of dependency-graph
+edges, and the number of patterns assigned on the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.log.eventlog import EventLog
+
+
+@dataclass(frozen=True)
+class LogCharacteristics:
+    """One row of Table 3."""
+
+    name: str
+    num_traces: int
+    num_events: int
+    num_edges: int
+    num_patterns: int
+
+    def as_row(self) -> tuple[str, int, int, int, int]:
+        return (
+            self.name,
+            self.num_traces,
+            self.num_events,
+            self.num_edges,
+            self.num_patterns,
+        )
+
+
+def characterize(
+    log: EventLog, num_patterns: int = 0, name: str | None = None
+) -> LogCharacteristics:
+    """Compute the Table-3 characteristics of ``log``.
+
+    ``num_patterns`` is supplied by the caller because patterns are an
+    input to matching, not a property of the log itself.
+    """
+    return LogCharacteristics(
+        name=name if name is not None else log.name,
+        num_traces=len(log),
+        num_events=len(log.alphabet()),
+        num_edges=len(log.edges()),
+        num_patterns=num_patterns,
+    )

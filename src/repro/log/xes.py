@@ -1,0 +1,91 @@
+"""XES-subset import/export (pm4py substitute).
+
+XES is the IEEE standard interchange format for event logs.  This module
+implements the subset needed to round-trip the logs used in the paper's
+experiments: ``<log>`` containing ``<trace>`` elements, each with an
+optional ``concept:name`` string attribute (the case id) and ``<event>``
+elements carrying a ``concept:name`` string attribute (the activity).
+
+The reader is deliberately tolerant: unknown attributes and extensions are
+ignored, events without a ``concept:name`` are skipped.
+"""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ElementTree
+from pathlib import Path
+from xml.sax.saxutils import quoteattr
+
+from repro.log.events import Trace
+from repro.log.eventlog import EventLog
+
+_CONCEPT_NAME = "concept:name"
+
+
+def read_xes(source: str | Path | io.TextIOBase, name: str = "") -> EventLog:
+    """Parse an XES document into an :class:`EventLog`."""
+    if isinstance(source, (str, Path)):
+        tree = ElementTree.parse(source)
+        root = tree.getroot()
+    else:
+        root = ElementTree.fromstring(source.read())
+    if _local_name(root.tag) != "log":
+        raise ValueError(f"expected <log> root element, got <{root.tag}>")
+
+    traces = []
+    for trace_element in root:
+        if _local_name(trace_element.tag) != "trace":
+            continue
+        case_id = None
+        events = []
+        for child in trace_element:
+            local = _local_name(child.tag)
+            if local == "string" and child.get("key") == _CONCEPT_NAME:
+                case_id = child.get("value")
+            elif local == "event":
+                activity = _event_name(child)
+                if activity is not None:
+                    events.append(activity)
+        traces.append(Trace(events, case_id=case_id))
+    return EventLog(traces, name=name)
+
+
+def _local_name(tag: str) -> str:
+    """Strip an XML namespace from a tag name."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def _event_name(event_element: ElementTree.Element) -> str | None:
+    for attribute in event_element:
+        if (
+            _local_name(attribute.tag) == "string"
+            and attribute.get("key") == _CONCEPT_NAME
+        ):
+            return attribute.get("value")
+    return None
+
+
+def write_xes(log: EventLog, destination: str | Path | io.TextIOBase) -> None:
+    """Serialize ``log`` as an XES document."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            write_xes(log, handle)
+            return
+
+    destination.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+    destination.write('<log xes.version="1.0">\n')
+    for position, trace in enumerate(log):
+        destination.write("  <trace>\n")
+        case_id = trace.case_id if trace.case_id is not None else str(position)
+        destination.write(
+            f'    <string key="concept:name" value={quoteattr(case_id)}/>\n'
+        )
+        for event in trace:
+            destination.write("    <event>\n")
+            destination.write(
+                f'      <string key="concept:name" value={quoteattr(event)}/>\n'
+            )
+            destination.write("    </event>\n")
+        destination.write("  </trace>\n")
+    destination.write("</log>\n")

@@ -1,0 +1,38 @@
+"""Event patterns: SEQ/AND algebra, matching, indices and discovery.
+
+An event pattern (Definition 3) is built recursively from single events
+with the ``SEQ`` (sequential) and ``AND`` (any-order) operators.  A trace
+matches a pattern when one of the pattern's allowed event orders occurs as
+a contiguous substring of the trace (Definition 4).  Vertices and edges of
+the dependency graph are special patterns, which makes pattern-based
+matching a strict generalization of vertex/edge-based matching.
+"""
+
+from repro.patterns.ast import AND, SEQ, EventPattern, Pattern, and_, event, seq
+from repro.patterns.graphform import pattern_graph
+from repro.patterns.index import PatternIndex
+from repro.patterns.matching import (
+    PatternFrequencyEvaluator,
+    pattern_frequency,
+    trace_matches,
+)
+from repro.patterns.orders import allowed_orders, num_allowed_orders
+from repro.patterns.parser import parse_pattern
+
+__all__ = [
+    "AND",
+    "SEQ",
+    "EventPattern",
+    "Pattern",
+    "PatternFrequencyEvaluator",
+    "PatternIndex",
+    "allowed_orders",
+    "and_",
+    "event",
+    "num_allowed_orders",
+    "parse_pattern",
+    "pattern_frequency",
+    "pattern_graph",
+    "seq",
+    "trace_matches",
+]

@@ -1,0 +1,172 @@
+"""The SEQ/AND pattern algebra (Definition 3).
+
+Patterns are immutable trees:
+
+* :class:`EventPattern` — a single event;
+* :class:`SEQ` — sub-patterns occur sequentially, nothing in between;
+* :class:`AND` — sub-patterns occur contiguously in any relative order.
+
+Following the paper, all events inside one pattern must be distinct
+(duplicated events would make distinct patterns translate to the same
+graph, e.g. ``SEQ(A,B,A,B)`` vs ``AND(A,B)``).  Operators require at least
+two operands; ``seq``/``and_`` helper constructors accept bare event names
+and flatten nothing — the tree shape the user writes is the tree kept.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.log.events import Event
+
+
+class Pattern:
+    """Base class of pattern AST nodes.  Instances are immutable."""
+
+    __slots__ = ()
+
+    def events(self) -> tuple[Event, ...]:
+        """All events of the pattern in left-to-right AST order."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Number of events |p| in the pattern."""
+        return len(self.events())
+
+    def event_set(self) -> frozenset[Event]:
+        try:
+            return self._event_set
+        except AttributeError:
+            event_set = frozenset(self.events())
+            object.__setattr__(self, "_event_set", event_set)
+            return event_set
+
+    def rename(self, mapping: dict[Event, Event]) -> "Pattern":
+        """The corresponding pattern ``M(p)`` under an event mapping.
+
+        Every event must be present in ``mapping`` — a partial mapping has
+        no corresponding pattern, and silently keeping old names would
+        produce wrong frequencies on the other log.
+        """
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        raise NotImplementedError
+
+
+class EventPattern(Pattern):
+    """A single-event pattern (a *vertex pattern* when used alone)."""
+
+    __slots__ = ("event", "_hash", "_event_set")
+
+    def __init__(self, event: Event):
+        if not isinstance(event, str):
+            raise TypeError(f"event must be a string, got {event!r}")
+        object.__setattr__(self, "event", event)
+        object.__setattr__(self, "_hash", hash(("event", event)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("patterns are immutable")
+
+    def events(self) -> tuple[Event, ...]:
+        return (self.event,)
+
+    def rename(self, mapping: dict[Event, Event]) -> "EventPattern":
+        return EventPattern(mapping[self.event])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventPattern):
+            return self.event == other.event
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return self.event
+
+
+class _Operator(Pattern):
+    """Common behaviour of SEQ and AND nodes."""
+
+    __slots__ = ("children", "_events", "_hash", "_event_set")
+    _name = ""
+
+    def __init__(self, children: Iterable[Pattern | Event]):
+        promoted = tuple(
+            child if isinstance(child, Pattern) else EventPattern(child)
+            for child in children
+        )
+        if len(promoted) < 2:
+            raise ValueError(
+                f"{self._name} requires at least two sub-patterns"
+            )
+        object.__setattr__(self, "children", promoted)
+        collected: list[Event] = []
+        for child in promoted:
+            collected.extend(child.events())
+        events = tuple(collected)
+        if len(set(events)) != len(events):
+            raise ValueError(
+                f"events inside a pattern must be distinct, got {events}"
+            )
+        object.__setattr__(self, "_events", events)
+        object.__setattr__(self, "_hash", hash((self._name, promoted)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("patterns are immutable")
+
+    def events(self) -> tuple[Event, ...]:
+        return self._events
+
+    def rename(self, mapping: dict[Event, Event]) -> "_Operator":
+        return type(self)(child.rename(mapping) for child in self.children)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _Operator):
+            return (
+                type(self) is type(other) and self.children == other.children
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ",".join(repr(child) for child in self.children)
+        return f"{self._name}({inner})"
+
+    def __iter__(self) -> Iterator[Pattern]:
+        return iter(self.children)
+
+
+class SEQ(_Operator):
+    """Sub-patterns occur one after another, with nothing in between."""
+
+    __slots__ = ()
+    _name = "SEQ"
+
+
+class AND(_Operator):
+    """Sub-patterns occur contiguously, in any relative order."""
+
+    __slots__ = ()
+    _name = "AND"
+
+
+def event(name: Event) -> EventPattern:
+    """Single-event pattern constructor."""
+    return EventPattern(name)
+
+
+def seq(*children: Pattern | Event) -> SEQ:
+    """``SEQ`` constructor accepting bare event names."""
+    return SEQ(children)
+
+
+def and_(*children: Pattern | Event) -> AND:
+    """``AND`` constructor accepting bare event names."""
+    return AND(children)

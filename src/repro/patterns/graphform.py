@@ -1,0 +1,33 @@
+"""Pattern → directed graph translation.
+
+Every pattern can be represented as a directed graph whose vertices are the
+pattern's events and whose edges are the consecutive pairs occurring in at
+least one allowed order (Example 4 of the paper: ``SEQ(A, AND(B,C), D)``
+yields vertices ``{A,B,C,D}`` and edges ``{AB, AC, BC, CB, BD, CD}``).
+
+The graph form drives the Proposition 3 pruning rule: if the (mapped)
+pattern graph is not a subgraph of the dependency graph, the pattern's
+frequency in that log is 0 and no trace scan is needed.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.patterns.ast import Pattern
+from repro.patterns.orders import allowed_orders
+
+
+def pattern_graph(pattern: Pattern) -> DiGraph:
+    """The directed-graph form of ``pattern``.
+
+    Derived directly from the allowed orders so the graph is, by
+    construction, exactly the set of consecutive pairs a matching trace may
+    exhibit — the property Proposition 3 relies on.
+    """
+    graph = DiGraph()
+    for event in pattern.events():
+        graph.add_vertex(event)
+    for order in allowed_orders(pattern):
+        for position in range(len(order) - 1):
+            graph.add_edge(order[position], order[position + 1])
+    return graph

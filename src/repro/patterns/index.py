@@ -1,0 +1,107 @@
+"""Pattern inverted index ``I_p`` (Section 3.2.1).
+
+Maps each event to the patterns containing it.  During A* search the set
+of *newly completed* patterns after extending a partial mapping with
+``a → b`` is exactly the subset of ``I_p(a)`` whose remaining events are
+already mapped — no scan over the full pattern set is needed.
+
+The index also provides the static expansion order of Section 3.1: events
+are visited by descending pattern involvement, so patterns complete (and
+prune) as early as possible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable, Sequence
+
+from repro.log.events import Event
+from repro.patterns.ast import Pattern
+
+
+class PatternIndex:
+    """Inverted index from events to the patterns involving them."""
+
+    def __init__(self, patterns: Iterable[Pattern]):
+        self._patterns: tuple[Pattern, ...] = tuple(patterns)
+        self._by_event: dict[Event, tuple[Pattern, ...]] = {}
+        collecting: dict[Event, list[Pattern]] = {}
+        for pattern in self._patterns:
+            for event in pattern.event_set():
+                collecting.setdefault(event, []).append(pattern)
+        self._by_event = {
+            event: tuple(involved) for event, involved in collecting.items()
+        }
+
+    @property
+    def patterns(self) -> tuple[Pattern, ...]:
+        return self._patterns
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def involving(self, event: Event) -> tuple[Pattern, ...]:
+        """``I_p(event)`` — the patterns containing ``event``."""
+        return self._by_event.get(event, ())
+
+    def involvement(self, event: Event) -> int:
+        """How many patterns contain ``event``."""
+        return len(self.involving(event))
+
+    def expansion_order(self, events: Iterable[Event]) -> list[Event]:
+        """``events`` sorted by descending pattern involvement.
+
+        Ties break alphabetically so the search is deterministic.
+        """
+        return sorted(events, key=lambda event: (-self.involvement(event), event))
+
+    def newly_completed(
+        self, event: Event, mapped_events: Collection[Event]
+    ) -> list[Pattern]:
+        """Patterns completed by mapping ``event``, given ``mapped_events``.
+
+        A pattern is *newly completed* when it contains ``event`` and every
+        other of its events is in ``mapped_events`` (``event`` itself need
+        not be).  This computes the paper's ``P_new = P_{M'} \\ P_M``.
+        """
+        completed = []
+        for pattern in self.involving(event):
+            if all(
+                other == event or other in mapped_events
+                for other in pattern.event_set()
+            ):
+                completed.append(pattern)
+        return completed
+
+    def completed_by(self, mapped_events: Collection[Event]) -> list[Pattern]:
+        """All patterns whose events are fully inside ``mapped_events``."""
+        return [
+            pattern
+            for pattern in self._patterns
+            if pattern.event_set() <= set(mapped_events)
+        ]
+
+    def remaining(self, mapped_events: Collection[Event]) -> list[Pattern]:
+        """Patterns with at least one event outside ``mapped_events``."""
+        mapped = set(mapped_events)
+        return [
+            pattern
+            for pattern in self._patterns
+            if not pattern.event_set() <= mapped
+        ]
+
+
+def validate_patterns(
+    patterns: Sequence[Pattern], alphabet: Collection[Event]
+) -> None:
+    """Check that every pattern only uses events from ``alphabet``.
+
+    Raises ``ValueError`` naming the offending pattern and events.
+    """
+    alphabet_set = set(alphabet)
+    for pattern in patterns:
+        unknown = pattern.event_set() - alphabet_set
+        if unknown:
+            raise ValueError(
+                f"pattern {pattern!r} uses events not in the log: "
+                f"{sorted(unknown)}"
+            )

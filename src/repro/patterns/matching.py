@@ -1,0 +1,135 @@
+"""Trace/pattern matching and pattern frequencies (Definitions 4–5).
+
+A trace matches pattern ``p`` when a substring of the trace belongs to the
+allowed-order set ``I(p)``.  The normalized frequency ``f(p)`` is the
+number of matching traces divided by ``|L|``.
+
+:class:`PatternFrequencyEvaluator` is the production entry point: it owns a
+:class:`~repro.log.index.TraceIndex` (the paper's ``I_t``), caches allowed
+orders per pattern and memoizes frequencies per concrete order set — during
+A* search the same mapped pattern is evaluated across thousands of
+branches, and the memo turns those into dictionary hits.
+"""
+
+from __future__ import annotations
+
+from repro.log.events import Event, Trace
+from repro.log.eventlog import EventLog
+from repro.log.index import TraceIndex
+from repro.patterns.ast import Pattern
+from repro.patterns.orders import allowed_orders
+
+_orders_cache: dict[Pattern, frozenset[tuple[Event, ...]]] = {}
+
+
+def cached_allowed_orders(pattern: Pattern) -> frozenset[tuple[Event, ...]]:
+    """``I(p)`` with a process-wide cache keyed by the pattern itself."""
+    orders = _orders_cache.get(pattern)
+    if orders is None:
+        orders = allowed_orders(pattern)
+        _orders_cache[pattern] = orders
+    return orders
+
+
+def trace_matches(trace: Trace, pattern: Pattern) -> bool:
+    """Whether ``trace`` matches ``pattern`` (Definition 4)."""
+    orders = cached_allowed_orders(pattern)
+    return any(trace.contains_substring(order) for order in orders)
+
+
+def pattern_frequency(log: EventLog, pattern: Pattern) -> float:
+    """Normalized frequency ``f(p)`` of ``pattern`` in ``log``.
+
+    One-shot convenience; use :class:`PatternFrequencyEvaluator` when many
+    frequencies are needed on the same log.
+    """
+    if len(log) == 0:
+        return 0.0
+    matches = sum(1 for trace in log if trace_matches(trace, pattern))
+    return matches / len(log)
+
+
+class PatternFrequencyEvaluator:
+    """Indexed, memoized pattern-frequency evaluation on one log.
+
+    Parameters
+    ----------
+    log:
+        The event log frequencies are evaluated against.
+    trace_index:
+        Optional pre-built ``I_t`` index; built from ``log`` when omitted.
+    use_index:
+        When ``False`` every evaluation scans the full log instead of the
+        posting-list candidates.  Only the index-ablation benchmark should
+        ever disable this.
+    """
+
+    def __init__(
+        self,
+        log: EventLog,
+        trace_index: TraceIndex | None = None,
+        use_index: bool = True,
+    ):
+        if trace_index is not None and trace_index.log is not log:
+            raise ValueError("trace_index was built for a different log")
+        self._log = log
+        self._index = trace_index if trace_index is not None else TraceIndex(log)
+        self._use_index = use_index
+        # Frequencies memoized by the *instantiated* allowed-order set, so
+        # structurally equal patterns (and the same pattern renamed to the
+        # same targets) share one entry.
+        self._frequency_memo: dict[frozenset[tuple[Event, ...]], float] = {}
+        self.evaluations = 0  # trace scans actually performed
+
+    @property
+    def log(self) -> EventLog:
+        return self._log
+
+    @property
+    def trace_index(self) -> TraceIndex:
+        return self._index
+
+    def frequency(self, pattern: Pattern) -> float:
+        """``f(p)`` with memoization and posting-list acceleration."""
+        return self._frequency_of_orders(cached_allowed_orders(pattern))
+
+    def mapped_frequency(
+        self, pattern: Pattern, mapping: dict[Event, Event]
+    ) -> float:
+        """``f(M(p))`` — frequency of the renamed pattern in this log.
+
+        ``mapping`` must cover every event of ``pattern``.  The allowed
+        orders of the base pattern are translated tuple-by-tuple, avoiding
+        any AST rebuild on the search hot path.
+        """
+        base_orders = cached_allowed_orders(pattern)
+        mapped_orders = frozenset(
+            tuple(mapping[event] for event in order) for order in base_orders
+        )
+        return self._frequency_of_orders(mapped_orders)
+
+    def clear_cache(self) -> None:
+        """Drop memoized frequencies (used by ablation benchmarks)."""
+        self._frequency_memo.clear()
+
+    def _frequency_of_orders(
+        self, orders: frozenset[tuple[Event, ...]]
+    ) -> float:
+        cached = self._frequency_memo.get(orders)
+        if cached is not None:
+            return cached
+        if len(self._log) == 0:
+            frequency = 0.0
+        else:
+            self.evaluations += 1
+            if self._use_index:
+                matches = self._index.count_traces_with_any_substring(orders)
+            else:
+                matches = sum(
+                    1
+                    for trace in self._log
+                    if any(trace.contains_substring(order) for order in orders)
+                )
+            frequency = matches / len(self._log)
+        self._frequency_memo[orders] = frequency
+        return frequency

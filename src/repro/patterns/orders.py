@@ -1,0 +1,93 @@
+"""Allowed-order enumeration ``I(p)``.
+
+``AND(p1,…,pk)`` is equivalent to the disjunction of ``SEQ`` over all
+distinct permutations of its operands (Section 2.2 of the paper), so by
+recursive expansion every pattern denotes a finite set ``I(p)`` of event
+sequences, each a permutation of the pattern's events.  A trace matches the
+pattern when some member of ``I(p)`` occurs contiguously in it.
+
+``ω(p) = |I(p)|`` is also the combinatorial factor of the tight frequency
+bound (Table 2): each allowed order's frequency is at most the maximum
+edge frequency, hence ``f(p) ≤ ω(p)·fe``.  For a flat ``SEQ`` of events
+``ω = 1`` (row 2); for a flat ``AND`` of ``k`` events ``ω = k!`` (row 3).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from math import factorial
+
+from repro.log.events import Event
+from repro.patterns.ast import AND, SEQ, EventPattern, Pattern
+
+#: Patterns are small in practice (the paper bounds process components at
+#: ~50 events and its patterns at a handful).  Enumeration beyond this many
+#: orders indicates a misuse, not a workload.
+MAX_ALLOWED_ORDERS = 50_000
+
+
+class PatternTooLargeError(ValueError):
+    """Raised when ``I(p)`` would exceed :data:`MAX_ALLOWED_ORDERS`."""
+
+
+def num_allowed_orders(pattern: Pattern) -> int:
+    """``ω(p) = |I(p)|`` computed without enumeration.
+
+    SEQ multiplies the children's counts; AND additionally multiplies by
+    the number of orderings of its children, ``k!`` (children contain
+    distinct events, so all orderings are distinct).
+    """
+    if isinstance(pattern, EventPattern):
+        return 1
+    if isinstance(pattern, SEQ):
+        product = 1
+        for child in pattern.children:
+            product *= num_allowed_orders(child)
+        return product
+    if isinstance(pattern, AND):
+        product = factorial(len(pattern.children))
+        for child in pattern.children:
+            product *= num_allowed_orders(child)
+        return product
+    raise TypeError(f"unknown pattern node {pattern!r}")
+
+
+def allowed_orders(pattern: Pattern) -> frozenset[tuple[Event, ...]]:
+    """Enumerate ``I(p)``, the set of allowed event orders.
+
+    Raises :class:`PatternTooLargeError` when the set would be larger than
+    :data:`MAX_ALLOWED_ORDERS`.
+    """
+    size = num_allowed_orders(pattern)
+    if size > MAX_ALLOWED_ORDERS:
+        raise PatternTooLargeError(
+            f"pattern has {size} allowed orders "
+            f"(limit {MAX_ALLOWED_ORDERS}): {pattern!r}"
+        )
+    return frozenset(_expand(pattern))
+
+
+def _expand(pattern: Pattern) -> list[tuple[Event, ...]]:
+    if isinstance(pattern, EventPattern):
+        return [(pattern.event,)]
+    if isinstance(pattern, SEQ):
+        return _concatenations([_expand(child) for child in pattern.children])
+    if isinstance(pattern, AND):
+        expanded_children = [_expand(child) for child in pattern.children]
+        orders: list[tuple[Event, ...]] = []
+        for arrangement in permutations(range(len(expanded_children))):
+            orders.extend(
+                _concatenations([expanded_children[i] for i in arrangement])
+            )
+        return orders
+    raise TypeError(f"unknown pattern node {pattern!r}")
+
+
+def _concatenations(
+    blocks: list[list[tuple[Event, ...]]]
+) -> list[tuple[Event, ...]]:
+    """All concatenations picking one sequence from each block, in order."""
+    results: list[tuple[Event, ...]] = [()]
+    for block in blocks:
+        results = [prefix + option for prefix in results for option in block]
+    return results

@@ -1,0 +1,90 @@
+"""Textual pattern syntax.
+
+Grammar (whitespace-insensitive)::
+
+    pattern  := operator | event
+    operator := ("SEQ" | "AND") "(" pattern ("," pattern)+ ")"
+    event    := any run of characters except "(", ")", "," and whitespace
+
+Examples::
+
+    parse_pattern("SEQ(A, AND(B, C), D)")
+    parse_pattern("Ship_Goods")
+
+Event names may not contain the delimiter characters or whitespace; use
+underscores for multi-word activity names.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.patterns.ast import AND, SEQ, EventPattern, Pattern
+
+_TOKEN = re.compile(r"\s*([(),]|[^(),\s]+)")
+
+
+class PatternSyntaxError(ValueError):
+    """Raised when a pattern string cannot be parsed."""
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse ``text`` into a :class:`~repro.patterns.ast.Pattern`."""
+    tokens = _tokenize(text)
+    pattern, position = _parse(tokens, 0)
+    if position != len(tokens):
+        raise PatternSyntaxError(
+            f"unexpected trailing tokens: {tokens[position:]!r}"
+        )
+    return pattern
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise PatternSyntaxError(f"cannot tokenize {remainder!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+def _parse(tokens: list[str], position: int) -> tuple[Pattern, int]:
+    if position >= len(tokens):
+        raise PatternSyntaxError("unexpected end of pattern")
+    token = tokens[position]
+    if token in ("(", ")", ","):
+        raise PatternSyntaxError(f"unexpected {token!r}")
+    if (
+        token in ("SEQ", "AND")
+        and position + 1 < len(tokens)
+        and tokens[position + 1] == "("
+    ):
+        operator = SEQ if token == "SEQ" else AND
+        children: list[Pattern] = []
+        position += 2
+        while True:
+            child, position = _parse(tokens, position)
+            children.append(child)
+            if position >= len(tokens):
+                raise PatternSyntaxError("unterminated operator, missing ')'")
+            if tokens[position] == ",":
+                position += 1
+                continue
+            if tokens[position] == ")":
+                position += 1
+                break
+            raise PatternSyntaxError(
+                f"expected ',' or ')', got {tokens[position]!r}"
+            )
+        if len(children) < 2:
+            raise PatternSyntaxError(
+                f"{token} requires at least two sub-patterns"
+            )
+        return operator(children), position
+    return EventPattern(token), position + 1

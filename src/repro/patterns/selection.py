@@ -1,0 +1,96 @@
+"""Choosing discriminative patterns (paper §2.2 guidelines).
+
+The paper's guidance: a pattern is probably discriminative when *no other
+pattern with the same structure exists*, or when its frequency differs
+from the same-structured alternatives; a pattern whose structure recurs
+all over the dependency graph (e.g. a 3-vertex path) maps plausibly onto
+many irrelevant places and is weak.
+
+:func:`discriminativeness` quantifies this on one log: enumerate the
+injective embeddings of the pattern's graph form into the log's dependency
+graph (each is a place the pattern *could* be mapped to) and measure how
+unusual the pattern's own frequency is among the frequencies of those
+structural look-alikes.  A pattern whose only embedding is itself scores
+1; one with many similar-frequency look-alikes scores near 0.
+"""
+
+from __future__ import annotations
+
+from repro.core.distance import frequency_similarity
+from repro.graph.dependency import dependency_graph
+from repro.graph.digraph import DiGraph
+from repro.graph.isomorphism import subgraph_embeddings
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import Pattern
+from repro.patterns.graphform import pattern_graph
+from repro.patterns.matching import PatternFrequencyEvaluator
+from repro.patterns.orders import allowed_orders
+
+#: Safety valve for pathological hosts: more look-alike embeddings than
+#: this and the pattern is declared non-discriminative outright.
+MAX_EMBEDDINGS = 2000
+
+
+def discriminativeness(
+    log: EventLog,
+    pattern: Pattern,
+    evaluator: PatternFrequencyEvaluator | None = None,
+    graph: DiGraph | None = None,
+) -> float:
+    """Score in [0, 1]; higher means the pattern pins down its events better.
+
+    Computed as ``1 − max_sim`` where ``max_sim`` is the highest frequency
+    similarity between the pattern and any *other* placement of its
+    structure in the log (an embedding differing from the identity).  No
+    other placement → 1.0.
+    """
+    if graph is None:
+        graph = dependency_graph(log)
+    if evaluator is None:
+        evaluator = PatternFrequencyEvaluator(log)
+    shape = pattern_graph(pattern)
+    own_frequency = evaluator.frequency(pattern)
+    own_orders = allowed_orders(pattern)
+
+    max_similarity = 0.0
+    count = 0
+    for embedding in subgraph_embeddings(shape, graph):
+        renamed_orders = frozenset(
+            tuple(embedding[event] for event in order) for order in own_orders
+        )
+        if renamed_orders == own_orders:
+            continue  # the pattern's own placement (or an automorphism)
+        count += 1
+        if count > MAX_EMBEDDINGS:
+            return 0.0
+        placed_frequency = evaluator.mapped_frequency(pattern, embedding)
+        similarity = frequency_similarity(own_frequency, placed_frequency)
+        if similarity > max_similarity:
+            max_similarity = similarity
+            if max_similarity >= 1.0:
+                break
+    return 1.0 - max_similarity
+
+
+def rank_patterns(
+    log: EventLog,
+    patterns: list[Pattern],
+) -> list[Pattern]:
+    """Sort ``patterns`` by descending discriminativeness on ``log``.
+
+    Ties break toward larger patterns (more joint structure), then
+    lexicographically for determinism.
+    """
+    graph = dependency_graph(log)
+    evaluator = PatternFrequencyEvaluator(log)
+    scored = [
+        (
+            discriminativeness(log, pattern, evaluator=evaluator, graph=graph),
+            len(pattern),
+            repr(pattern),
+            pattern,
+        )
+        for pattern in patterns
+    ]
+    scored.sort(key=lambda item: (-item[0], -item[1], item[2]))
+    return [pattern for _, _, _, pattern in scored]

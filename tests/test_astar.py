@@ -1,0 +1,188 @@
+"""Unit tests for the exact A* matcher (Algorithm 1).
+
+The load-bearing property: the returned mapping maximizes the pattern
+normal distance — verified against brute-force enumeration on random logs,
+for both the simple and the tight bound, which must agree with each other.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.astar import AStarMatcher, SearchBudgetExceeded
+from repro.core.bounds import BoundKind
+from repro.core.scoring import ScoreModel, build_pattern_set
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import and_, seq
+
+
+def random_log(rng, alphabet, num_traces, max_len=6):
+    return EventLog(
+        [
+            [rng.choice(alphabet) for _ in range(rng.randint(1, max_len))]
+            for _ in range(num_traces)
+        ]
+    )
+
+
+def brute_force_best(model):
+    sources = model.source_events
+    targets = model.target_events
+    best_score = float("-inf")
+    size = min(len(sources), len(targets))
+    for chosen in itertools.permutations(targets, size):
+        mapping = dict(zip(sources, chosen))
+        score = model.g(mapping)
+        best_score = max(best_score, score)
+    return best_score
+
+
+class TestOptimality:
+    @pytest.mark.parametrize(
+        "bound", [BoundKind.SIMPLE, BoundKind.TIGHT, BoundKind.TIGHT_FAST]
+    )
+    def test_matches_brute_force_on_random_logs(self, bound):
+        rng = random.Random(42)
+        checked = 0
+        while checked < 8:
+            n = rng.randint(2, 5)
+            log_1 = random_log(rng, "ABCDE"[:n], 20)
+            log_2 = random_log(rng, "12345"[:n], 20)
+            if len(log_1.alphabet()) != n or len(log_2.alphabet()) != n:
+                continue
+            checked += 1
+            patterns = build_pattern_set(log_1)
+            model = ScoreModel(log_1, log_2, patterns, bound=bound)
+            outcome = AStarMatcher(model).match()
+            assert outcome.score == pytest.approx(brute_force_best(model))
+            # The reported score equals the mapping's recomputed score.
+            assert outcome.score == pytest.approx(
+                model.g(outcome.mapping.as_dict())
+            )
+
+    def test_simple_and_tight_agree(self):
+        rng = random.Random(9)
+        log_1 = random_log(rng, "ABCD", 25)
+        log_2 = random_log(rng, "1234", 25)
+        patterns = build_pattern_set(log_1, [seq("A", "B"), and_("C", "D")])
+        simple = AStarMatcher(
+            ScoreModel(log_1, log_2, patterns, bound=BoundKind.SIMPLE)
+        ).match()
+        tight = AStarMatcher(
+            ScoreModel(log_1, log_2, patterns, bound=BoundKind.TIGHT)
+        ).match()
+        assert simple.score == pytest.approx(tight.score)
+
+    def test_paper_example_finds_true_mapping(self):
+        log_1 = EventLog(
+            ["ABCDE", "ACBDF", "ABCDF", "ACBDE", "ABCDE", "ACBDE"]
+        )
+        log_2 = EventLog(
+            ["34567", "35468", "34568", "35467", "34567", "35467"]
+        )
+        patterns = build_pattern_set(
+            log_1, [seq("A", and_("B", "C"), "D")]
+        )
+        model = ScoreModel(log_1, log_2, patterns)
+        outcome = AStarMatcher(model).match()
+        assert outcome.mapping.as_dict() == {
+            "A": "3", "B": "4", "C": "5", "D": "6", "E": "7", "F": "8",
+        }
+
+
+class TestUnequalSizes:
+    def test_smaller_source_side(self):
+        log_1 = EventLog(["AB", "BA"])
+        log_2 = EventLog(["123", "213", "312"])
+        model = ScoreModel(log_1, log_2, build_pattern_set(log_1))
+        outcome = AStarMatcher(model).match()
+        assert len(outcome.mapping) == 2
+        assert outcome.mapping.targets() <= {"1", "2", "3"}
+
+    def test_larger_source_side(self):
+        log_1 = EventLog(["ABC", "BCA"])
+        log_2 = EventLog(["12", "21"])
+        model = ScoreModel(log_1, log_2, build_pattern_set(log_1))
+        outcome = AStarMatcher(model).match()
+        assert len(outcome.mapping) == 2
+
+    def test_empty_target_log(self):
+        log_1 = EventLog(["AB"])
+        log_2 = EventLog([])
+        model = ScoreModel(log_1, log_2, build_pattern_set(log_1))
+        outcome = AStarMatcher(model).match()
+        assert len(outcome.mapping) == 0
+        assert outcome.score == 0.0
+
+
+class TestBudgets:
+    def _model(self):
+        rng = random.Random(1)
+        log_1 = random_log(rng, "ABCDEF", 30)
+        log_2 = random_log(rng, "123456", 30)
+        return ScoreModel(log_1, log_2, build_pattern_set(log_1))
+
+    def test_node_budget_raises(self):
+        with pytest.raises(SearchBudgetExceeded) as info:
+            AStarMatcher(self._model(), node_budget=3).match()
+        assert info.value.stats.expanded_nodes >= 3
+
+    def test_time_budget_raises(self):
+        with pytest.raises(SearchBudgetExceeded):
+            AStarMatcher(self._model(), time_budget=0.0).match()
+
+    def test_generous_budget_completes(self):
+        outcome = AStarMatcher(
+            self._model(), node_budget=10_000_000, time_budget=300.0
+        ).match()
+        assert len(outcome.mapping) == 6
+
+
+class TestStatistics:
+    def test_stats_are_populated(self):
+        rng = random.Random(4)
+        log_1 = random_log(rng, "ABCD", 20)
+        log_2 = random_log(rng, "1234", 20)
+        model = ScoreModel(log_1, log_2, build_pattern_set(log_1))
+        outcome = AStarMatcher(model).match()
+        assert outcome.stats.expanded_nodes > 0
+        assert outcome.stats.processed_mappings >= outcome.stats.expanded_nodes - 1
+        assert outcome.stats.frequency_evaluations > 0
+
+    def test_tight_expands_no_more_than_simple(self):
+        # Not guaranteed in general graphs, but holds on these logs and
+        # guards the pruning machinery against regressions.
+        rng = random.Random(8)
+        log_1 = random_log(rng, "ABCDE", 25)
+        log_2 = random_log(rng, "12345", 25)
+        patterns = build_pattern_set(log_1)
+        simple = AStarMatcher(
+            ScoreModel(log_1, log_2, patterns, bound=BoundKind.SIMPLE)
+        ).match()
+        tight = AStarMatcher(
+            ScoreModel(log_1, log_2, patterns, bound=BoundKind.TIGHT)
+        ).match()
+        assert tight.stats.expanded_nodes <= simple.stats.expanded_nodes
+
+
+class TestIncumbentPruning:
+    def test_incumbent_preserves_optimality(self):
+        rng = random.Random(12)
+        log_1 = random_log(rng, "ABCD", 20)
+        log_2 = random_log(rng, "1234", 20)
+        patterns = build_pattern_set(log_1)
+        plain = AStarMatcher(ScoreModel(log_1, log_2, patterns)).match()
+        primed = AStarMatcher(
+            ScoreModel(log_1, log_2, patterns),
+            incumbent_score=plain.score - 1e-6,
+        ).match()
+        assert primed.score == pytest.approx(plain.score)
+
+    def test_unachievable_incumbent_raises(self):
+        rng = random.Random(13)
+        log_1 = random_log(rng, "ABC", 10)
+        log_2 = random_log(rng, "123", 10)
+        model = ScoreModel(log_1, log_2, build_pattern_set(log_1))
+        with pytest.raises(RuntimeError):
+            AStarMatcher(model, incumbent_score=1e9).match()

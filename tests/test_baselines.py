@@ -1,0 +1,155 @@
+"""Unit tests for the baseline matchers."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines import (
+    EntropyMatcher,
+    IterativeMatcher,
+    VertexMatcher,
+    VertexEdgeMatcher,
+)
+from repro.baselines.entropy import event_entropy
+from repro.core.distance import (
+    frequency_similarity,
+    normal_distance_vertex,
+    normal_distance_vertex_edge,
+)
+from repro.graph.dependency import dependency_graph
+from repro.log.eventlog import EventLog
+
+
+def random_log(rng, alphabet, num_traces, max_len=6):
+    return EventLog(
+        [
+            [rng.choice(alphabet) for _ in range(rng.randint(1, max_len))]
+            for _ in range(num_traces)
+        ]
+    )
+
+
+class TestVertexMatcher:
+    def test_maximizes_vertex_normal_distance(self):
+        rng = random.Random(0)
+        for _ in range(5):
+            log_1 = random_log(rng, "ABCD", 15)
+            log_2 = random_log(rng, "1234", 15)
+            outcome = VertexMatcher(log_1, log_2).match()
+            graph_1, graph_2 = dependency_graph(log_1), dependency_graph(log_2)
+            sources = sorted(log_1.alphabet())
+            size = min(len(sources), len(log_2.alphabet()))
+            best = max(
+                normal_distance_vertex(
+                    graph_1, graph_2, dict(zip(sources, perm))
+                )
+                for perm in itertools.permutations(
+                    sorted(log_2.alphabet()), size
+                )
+            )
+            assert outcome.score == pytest.approx(best)
+
+    def test_picks_frequency_twins(self):
+        log_1 = EventLog(["AB", "A", "A", "A"])  # A: 1.0, B: 0.25
+        log_2 = EventLog(["12", "1", "1", "1"])  # 1: 1.0, 2: 0.25
+        outcome = VertexMatcher(log_1, log_2).match()
+        assert outcome.mapping.as_dict() == {"A": "1", "B": "2"}
+
+
+class TestVertexEdgeMatcher:
+    def test_maximizes_vertex_edge_normal_distance(self):
+        rng = random.Random(1)
+        log_1 = random_log(rng, "ABCD", 15)
+        log_2 = random_log(rng, "1234", 15)
+        outcome = VertexEdgeMatcher(log_1, log_2).match()
+        graph_1, graph_2 = dependency_graph(log_1), dependency_graph(log_2)
+        sources = sorted(log_1.alphabet())
+        best = max(
+            normal_distance_vertex_edge(
+                graph_1, graph_2, dict(zip(sources, perm))
+            )
+            for perm in itertools.permutations(sorted(log_2.alphabet()))
+        )
+        # The matcher's pattern set omits self-loop edges, which the
+        # direct formula counts; allow that single-sided slack.
+        assert outcome.score <= best + 1e-9
+        recomputed = normal_distance_vertex_edge(
+            graph_1, graph_2, outcome.mapping.as_dict()
+        )
+        assert recomputed == pytest.approx(best, abs=1e-9)
+
+    def test_budget_propagates(self):
+        from repro.core.astar import SearchBudgetExceeded
+
+        rng = random.Random(2)
+        log_1 = random_log(rng, "ABCDEF", 20)
+        log_2 = random_log(rng, "123456", 20)
+        with pytest.raises(SearchBudgetExceeded):
+            VertexEdgeMatcher(log_1, log_2, node_budget=2).match()
+
+
+class TestIterativeMatcher:
+    def test_returns_complete_mapping(self):
+        rng = random.Random(3)
+        log_1 = random_log(rng, "ABCD", 20)
+        log_2 = random_log(rng, "1234", 20)
+        outcome = IterativeMatcher(log_1, log_2).match()
+        assert len(outcome.mapping) == min(
+            len(log_1.alphabet()), len(log_2.alphabet())
+        )
+
+    def test_converges_and_reports_iterations(self):
+        log_1 = EventLog(["ABC", "ACB"])
+        log_2 = EventLog(["123", "132"])
+        outcome = IterativeMatcher(log_1, log_2, tolerance=1e-8).match()
+        assert 1 <= outcome.stats.extra["iterations"] <= 50
+
+    def test_structure_breaks_vertex_ties(self):
+        # A and B share vertex frequency but differ in position; the
+        # neighbour propagation must separate them.
+        log_1 = EventLog(["AXB", "AXB", "AYB"])
+        log_2 = EventLog(["1x2", "1x2", "1y2"])
+        outcome = IterativeMatcher(log_1, log_2).match()
+        assert outcome.mapping["A"] == "1"
+        assert outcome.mapping["B"] == "2"
+
+    def test_invalid_damping_rejected(self):
+        with pytest.raises(ValueError):
+            IterativeMatcher(EventLog(["A"]), EventLog(["1"]), damping=1.5)
+
+
+class TestEntropyMatcher:
+    def test_event_entropy_of_constant_event(self):
+        # An event occurring exactly once in every trace has one count
+        # value -> entropy 0; same for an absent event.
+        log = EventLog(["AB", "AC"])
+        assert event_entropy(log, "A") == 0.0
+        assert event_entropy(log, "Z") == 0.0
+
+    def test_event_entropy_of_even_split(self):
+        log = EventLog(["AB", "B"])  # A occurs in half the traces
+        assert event_entropy(log, "A") == pytest.approx(1.0)
+
+    def test_empty_log(self):
+        assert event_entropy(EventLog([]), "A") == 0.0
+
+    def test_matches_by_entropy_similarity(self):
+        # A (always once) vs B (sometimes) — mirrored in the target log.
+        log_1 = EventLog(["AB", "A", "AB", "A"])
+        log_2 = EventLog(["12", "1", "12", "1"])
+        outcome = EntropyMatcher(log_1, log_2).match()
+        assert outcome.mapping.as_dict() == {"A": "1", "B": "2"}
+
+    def test_score_is_similarity_sum(self):
+        log_1 = EventLog(["AB", "A"])
+        log_2 = EventLog(["12", "1"])
+        outcome = EntropyMatcher(log_1, log_2).match()
+        expected = sum(
+            frequency_similarity(
+                event_entropy(log_1, source),
+                event_entropy(log_2, target),
+            )
+            for source, target in outcome.mapping.as_dict().items()
+        )
+        assert outcome.score == pytest.approx(expected)

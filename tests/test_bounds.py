@@ -1,0 +1,173 @@
+"""Unit tests for repro.core.bounds (Problem 2 / Algorithm 2 / Table 2).
+
+The load-bearing property is admissibility: for any complete mapping of a
+pattern's events into the available target set, the bound must be at least
+the realized contribution d(p).  It is property-tested against exhaustive
+enumeration of placements on random logs.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import BoundKind, upper_bound
+from repro.core.distance import frequency_similarity
+from repro.graph.dependency import dependency_graph
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import and_, event, seq
+from repro.patterns.matching import PatternFrequencyEvaluator
+
+
+@pytest.fixture
+def host():
+    log = EventLog(["1234", "1324", "124", "4321", "2134"])
+    return log, dependency_graph(log)
+
+
+class TestSimpleBound:
+    def test_always_one(self, host):
+        _, graph = host
+        assert upper_bound(
+            seq("A", "B"), 0.9, ["1", "2"], graph, BoundKind.SIMPLE
+        ) == 1.0
+
+
+class TestTightBound:
+    def test_size_check_gives_zero(self, host):
+        _, graph = host
+        assert upper_bound(
+            seq("A", "B", "C"), 0.9, ["1", "2"], graph, BoundKind.TIGHT
+        ) == 0.0
+
+    def test_zero_f1_gives_zero(self, host):
+        _, graph = host
+        assert upper_bound(
+            seq("A", "B"), 0.0, ["1", "2", "3"], graph, BoundKind.TIGHT
+        ) == 0.0
+
+    def test_vertex_pattern_capped_by_max_vertex_weight(self, host):
+        log, graph = host
+        # Event "3" appears in 4 of 5 traces -> 0.8.
+        bound = upper_bound(event("A"), 1.0, ["3"], graph, BoundKind.TIGHT)
+        assert bound == pytest.approx(frequency_similarity(1.0, 0.8))
+
+    def test_cap_above_f1_returns_one(self, host):
+        _, graph = host
+        assert upper_bound(event("A"), 0.1, ["1"], graph, BoundKind.TIGHT) == 1.0
+
+    def test_and_pattern_uses_omega_factor(self, host):
+        _, graph = host
+        # ω(AND(a,b)) = 2, so the edge cap doubles relative to SEQ(a,b).
+        seq_bound = upper_bound(
+            seq("A", "B"), 1.0, ["1", "2"], graph, BoundKind.TIGHT
+        )
+        and_bound = upper_bound(
+            and_("A", "B"), 1.0, ["1", "2"], graph, BoundKind.TIGHT
+        )
+        assert and_bound >= seq_bound
+
+    def test_tight_fast_never_tighter_than_tight(self, host):
+        _, graph = host
+        for pattern in (seq("A", "B"), and_("A", "B", "C"), event("A")):
+            for subset in (["1", "2"], ["2", "3", "4"], ["1", "2", "3", "4"]):
+                tight = upper_bound(
+                    pattern, 0.8, subset, graph, BoundKind.TIGHT
+                )
+                fast = upper_bound(
+                    pattern, 0.8, subset, graph, BoundKind.TIGHT_FAST,
+                    global_max_edge=graph.max_edge_weight(),
+                )
+                assert fast >= tight - 1e-12
+
+
+@st.composite
+def random_log_and_pattern(draw):
+    alphabet = "1234"
+    traces = draw(
+        st.lists(
+            st.lists(st.sampled_from(list(alphabet)), min_size=1, max_size=6),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    shape = draw(st.sampled_from(["seq2", "seq3", "and2", "and3", "vertex"]))
+    f1 = draw(st.floats(0.01, 1.0))
+    subset_size = draw(st.integers(1, 4))
+    subset = list(alphabet)[:subset_size]
+    return EventLog(traces), shape, f1, subset
+
+
+_SHAPES = {
+    "vertex": event("A"),
+    "seq2": seq("A", "B"),
+    "seq3": seq("A", "B", "C"),
+    "and2": and_("A", "B"),
+    "and3": and_("A", "B", "C"),
+}
+
+
+class TestAdmissibility:
+    @settings(max_examples=60, deadline=None)
+    @given(random_log_and_pattern(), st.sampled_from(list(BoundKind)))
+    def test_bound_dominates_every_placement(self, case, kind):
+        log, shape, f1, subset = case
+        pattern = _SHAPES[shape]
+        graph = dependency_graph(log)
+        evaluator = PatternFrequencyEvaluator(log)
+        bound = upper_bound(
+            pattern, f1, subset, graph, kind,
+            global_max_edge=graph.max_edge_weight(),
+        )
+        events = sorted(pattern.event_set())
+        for placement in itertools.permutations(subset, len(events)):
+            mapping = dict(zip(events, placement))
+            f2 = evaluator.mapped_frequency(pattern, mapping)
+            realized = frequency_similarity(f1, f2)
+            assert bound >= realized - 1e-9, (
+                f"{kind} bound {bound} < realized {realized} for "
+                f"{pattern!r} -> {mapping}"
+            )
+
+
+class TestModelHAdmissibility:
+    """ScoreModel.h (with image-aware caps) must dominate realized scores."""
+
+    def test_h_dominates_best_completion(self):
+        from repro.core.scoring import ScoreModel, build_pattern_set
+
+        rng = random.Random(3)
+        for _ in range(10):
+            log_1 = EventLog(
+                [
+                    [rng.choice("ABCD") for _ in range(rng.randint(1, 6))]
+                    for _ in range(15)
+                ]
+            )
+            log_2 = EventLog(
+                [
+                    [rng.choice("1234") for _ in range(rng.randint(1, 6))]
+                    for _ in range(15)
+                ]
+            )
+            if len(log_1.alphabet()) < 4 or len(log_2.alphabet()) < 4:
+                continue
+            patterns = build_pattern_set(log_1)
+            for kind in BoundKind:
+                model = ScoreModel(log_1, log_2, patterns, bound=kind)
+                sources = model.source_events
+                targets = model.target_events
+                partial = {sources[0]: targets[0]}
+                unmapped = targets[1:]
+                h = model.h(partial, unmapped)
+                # Exhaust all completions; h must bound the best remainder.
+                best_remainder = 0.0
+                g_partial = model.g(partial)
+                for perm in itertools.permutations(unmapped):
+                    full = dict(partial)
+                    full.update(zip(sources[1:], perm))
+                    remainder = model.g(full) - g_partial
+                    best_remainder = max(best_remainder, remainder)
+                assert h >= best_remainder - 1e-9

@@ -1,0 +1,177 @@
+"""Unit tests for the CLI, explanation, DOT export and serialization."""
+
+import json
+
+import pytest
+
+from repro.cli import load_log, main
+from repro.core.mapping import Mapping
+from repro.datagen import generate_reallike
+from repro.evaluation.explain import explain_mapping, format_explanation
+from repro.graph.dependency import dependency_graph
+from repro.graph.dot import matching_to_dot, to_dot
+from repro.log.csvio import write_csv
+from repro.log.eventlog import EventLog
+from repro.log.xes import write_xes
+from repro.patterns.ast import and_, seq
+
+
+@pytest.fixture
+def log_files(tmp_path):
+    log_1 = EventLog(["ABCD", "ACBD", "ABD"] * 5, name="one")
+    log_2 = EventLog(["1234", "1324", "124"] * 5, name="two")
+    path_1 = tmp_path / "one.xes"
+    path_2 = tmp_path / "two.csv"
+    write_xes(log_1, path_1)
+    write_csv(log_2, path_2)
+    return path_1, path_2, log_1, log_2
+
+
+class TestLoadLog:
+    def test_loads_both_formats(self, log_files):
+        path_1, path_2, log_1, log_2 = log_files
+        assert load_log(str(path_1)) == log_1
+        assert load_log(str(path_2)) == log_2
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            load_log("/nonexistent/file.xes")
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "log.parquet"
+        path.write_text("")
+        with pytest.raises(SystemExit):
+            load_log(str(path))
+
+
+class TestCliCommands:
+    def test_characterize(self, log_files, capsys):
+        path_1, path_2, *_ = log_files
+        assert main(["characterize", str(path_1), str(path_2)]) == 0
+        output = capsys.readouterr().out
+        assert "one" in output and "two" in output
+        assert "15" in output  # trace count
+
+    def test_match_prints_mapping(self, log_files, capsys):
+        path_1, path_2, *_ = log_files
+        code = main(
+            [
+                "match", str(path_1), str(path_2),
+                "--pattern", "SEQ(A, AND(B, C), D)",
+                "--method", "pattern-tight",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "A\t1" in output
+        assert "D\t4" in output
+        assert "score=" in output
+
+    def test_match_saves_json_and_explains(self, log_files, tmp_path, capsys):
+        path_1, path_2, *_ = log_files
+        out_path = tmp_path / "mapping.json"
+        code = main(
+            [
+                "match", str(path_1), str(path_2),
+                "--output", str(out_path), "--explain",
+            ]
+        )
+        assert code == 0
+        saved = json.loads(out_path.read_text())
+        assert saved["A"] == "1"
+        output = capsys.readouterr().out
+        assert "pattern normal distance" in output
+
+    def test_discover(self, log_files, capsys):
+        path_1, *_ = log_files
+        code = main(["discover", str(path_1), "--min-support", "0.3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SEQ" in output or "AND" in output
+
+    def test_graph(self, log_files, capsys):
+        path_1, *_ = log_files
+        assert main(["graph", str(path_1)]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("digraph")
+        assert '"A" -> "B"' in output
+
+
+class TestExplain:
+    def test_breakdown_sums_to_score(self):
+        task = generate_reallike(num_traces=200, seed=7)
+        explanation = explain_mapping(
+            task.log_1, task.log_2, task.truth, patterns=task.patterns
+        )
+        covered = [r for r in explanation.rows if r.covered]
+        assert explanation.total_score == pytest.approx(
+            sum(r.contribution for r in covered)
+        )
+        assert len(covered) == len(explanation.rows)  # truth covers all
+
+    def test_uncovered_patterns_marked(self):
+        log_1 = EventLog(["ABC"])
+        log_2 = EventLog(["123"])
+        explanation = explain_mapping(log_1, log_2, {"A": "1"})
+        uncovered = [r for r in explanation.rows if not r.covered]
+        assert uncovered
+        assert all(r.contribution == 0.0 for r in uncovered)
+
+    def test_worst_returns_lowest_contributions(self):
+        log_1 = EventLog(["AB", "AB", "BA"])
+        log_2 = EventLog(["12", "21", "21"])
+        explanation = explain_mapping(log_1, log_2, {"A": "1", "B": "2"})
+        worst = explanation.worst(2)
+        contributions = [r.contribution for r in explanation.rows if r.covered]
+        assert worst[0].contribution == min(contributions)
+
+    def test_format_contains_rows_and_total(self):
+        log_1 = EventLog(["AB"])
+        log_2 = EventLog(["12"])
+        explanation = explain_mapping(log_1, log_2, {"A": "1", "B": "2"})
+        text = format_explanation(explanation)
+        assert "SEQ(A,B)" in text
+        assert "pattern normal distance" in text
+
+
+class TestDotExport:
+    def test_to_dot_structure(self):
+        log = EventLog(["AB", "BA"])
+        dot = to_dot(dependency_graph(log))
+        assert dot.startswith("digraph")
+        assert '"A" -> "B"' in dot and '"B" -> "A"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_min_edge_weight_filters(self):
+        log = EventLog(["AB"] * 9 + ["BA"])
+        dot = to_dot(dependency_graph(log), min_edge_weight=0.5)
+        assert '"A" -> "B"' in dot
+        assert '"B" -> "A"' not in dot
+
+    def test_matching_to_dot(self):
+        log_1 = EventLog(["AB"])
+        log_2 = EventLog(["12"])
+        dot = matching_to_dot(
+            dependency_graph(log_1),
+            dependency_graph(log_2),
+            {"A": "1", "B": "2"},
+        )
+        assert "cluster_1" in dot and "cluster_2" in dot
+        assert '"1:A" -> "2:1"' in dot
+
+    def test_quoting_of_odd_names(self):
+        log = EventLog([['he said "hi"', "x"]])
+        dot = to_dot(dependency_graph(log))
+        assert '\\"hi\\"' in dot
+
+
+class TestMappingSerialization:
+    def test_json_round_trip(self):
+        mapping = Mapping({"Ship_Goods": "FH", "Payment": "ZF"})
+        assert Mapping.from_json(mapping.to_json()) == mapping
+
+    def test_from_json_validates(self):
+        with pytest.raises(ValueError):
+            Mapping.from_json('["not", "an", "object"]')
+        with pytest.raises(ValueError):
+            Mapping.from_json('{"a": 3}')

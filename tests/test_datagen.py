@@ -1,0 +1,183 @@
+"""Unit tests for the dataset generators (reallike, synthetic, random, noise,
+obfuscation, tasks)."""
+
+import random
+
+import pytest
+
+from repro.datagen.noise import perturb_log
+from repro.datagen.obfuscate import numeric_names, opaque_names
+from repro.datagen.random_logs import generate_random_pair
+from repro.datagen.reallike import ACTIVITIES, generate_reallike
+from repro.datagen.synthetic import generate_synthetic
+from repro.log.eventlog import EventLog
+from repro.patterns.matching import pattern_frequency
+
+
+class TestObfuscation:
+    def test_opaque_names_bijective_and_deterministic(self):
+        events = ["Ship_Goods", "Payment", "Close_Order"]
+        first = opaque_names(events, seed=3)
+        second = opaque_names(events, seed=3)
+        assert first == second
+        assert len(set(first.values())) == len(events)
+
+    def test_opaque_names_disjoint_from_originals(self):
+        mapping = opaque_names(ACTIVITIES, seed=1)
+        assert not set(mapping.values()) & set(ACTIVITIES)
+
+    def test_numeric_names(self):
+        assert numeric_names(["B", "A"]) == {"A": "1", "B": "2"}
+        assert numeric_names(["X"], start=5) == {"X": "5"}
+
+
+class TestNoise:
+    def test_zero_noise_is_identity(self):
+        log = EventLog(["ABC", "DEF"])
+        assert perturb_log(log, 0.0, 0.0, seed=1) == log
+
+    def test_swap_preserves_multiset(self):
+        log = EventLog(["ABCDEF"] * 50)
+        noisy = perturb_log(log, swap_rate=0.5, seed=2)
+        for original, perturbed in zip(log, noisy):
+            assert sorted(original.events) == sorted(perturbed.events)
+
+    def test_swaps_actually_happen(self):
+        log = EventLog(["ABCDEF"] * 50)
+        noisy = perturb_log(log, swap_rate=0.5, seed=2)
+        assert any(o != p for o, p in zip(log, noisy))
+
+    def test_drop_thins_events(self):
+        log = EventLog(["ABCDEFGH"] * 200)
+        noisy = perturb_log(log, drop_rate=0.25, seed=3)
+        total = sum(len(t) for t in noisy)
+        assert total == pytest.approx(200 * 8 * 0.75, rel=0.1)
+
+    def test_fully_dropped_traces_removed(self):
+        log = EventLog(["A"] * 20)
+        noisy = perturb_log(log, drop_rate=1.0, seed=4)
+        assert len(noisy) == 0
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            perturb_log(EventLog(["A"]), swap_rate=2.0)
+
+
+class TestReallike:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return generate_reallike(num_traces=400, seed=7)
+
+    def test_scale_matches_table3(self, task):
+        assert len(task.log_1) > 350  # drops may remove a few traces
+        assert len(task.log_1.alphabet()) == 11
+        assert len(task.log_2.alphabet()) == 11
+        assert len(task.patterns) == 3
+
+    def test_truth_is_a_bijection_onto_log2(self, task):
+        assert set(task.truth.sources()) == set(ACTIVITIES)
+        assert task.truth.targets() == task.log_2.alphabet()
+
+    def test_patterns_have_positive_frequency_on_both_sides(self, task):
+        for pattern in task.patterns:
+            f1 = pattern_frequency(task.log_1, pattern)
+            f2 = pattern_frequency(
+                task.log_2, pattern.rename(task.truth.as_dict())
+            )
+            assert f1 > 0.05
+            assert f2 > 0.05
+
+    def test_dense_dependency_graph(self, task):
+        # The paper's real log has ~5 edges per event.
+        edges = len(task.log_1.edges())
+        assert edges >= 40
+
+    def test_deterministic(self):
+        a = generate_reallike(num_traces=100, seed=9)
+        b = generate_reallike(num_traces=100, seed=9)
+        assert a.log_1 == b.log_1 and a.log_2 == b.log_2
+
+    def test_zero_heterogeneity_keeps_profiles_identical(self):
+        task = generate_reallike(num_traces=300, seed=5, heterogeneity=0.0)
+        # Same process: frequencies agree within sampling noise.
+        for event in task.log_1.alphabet():
+            f1 = task.log_1.vertex_frequency(event)
+            f2 = task.log_2.vertex_frequency(task.truth[event])
+            assert abs(f1 - f2) < 0.15
+
+
+class TestSynthetic:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return generate_synthetic(num_blocks=3, num_traces=300, seed=11)
+
+    def test_ten_events_per_block(self, task):
+        assert len(task.log_1.alphabet()) == 30
+
+    def test_pattern_count_scales(self, task):
+        # 3 AND patterns + round(3 * 0.6) = 2 SEQ patterns.
+        assert len(task.patterns) == 5
+
+    def test_paper_scale_has_16_patterns(self):
+        task = generate_synthetic(num_blocks=10, num_traces=50, seed=11)
+        assert len(task.patterns) == 16
+        assert len(task.log_1.alphabet()) == 100
+
+    def test_and_patterns_match_every_trace(self, task):
+        and_pattern = task.patterns[0]
+        assert pattern_frequency(task.log_1, and_pattern) == pytest.approx(1.0)
+
+    def test_truth_maps_onto_numeric_names(self, task):
+        assert task.truth.targets() == task.log_2.alphabet()
+        assert all(t.isdigit() for t in task.truth.targets())
+
+    def test_block_structure_in_traces(self, task):
+        # Every trace runs blocks in order: S then 4 parallel then M then
+        # one X, per block.
+        trace = task.log_1[0]
+        assert trace[0] == "B00S"
+        assert len(trace) == 3 * 7  # S + 4P + M + 1X per block
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ValueError):
+            generate_synthetic(num_blocks=0)
+
+
+class TestRandomLogs:
+    def test_no_truth_no_patterns(self):
+        task = generate_random_pair(num_traces=50, seed=0)
+        assert len(task.truth) == 0
+        assert task.patterns == ()
+
+    def test_alphabets(self):
+        task = generate_random_pair(num_events=4, num_traces=200, seed=1)
+        assert task.log_1.alphabet() <= frozenset("ABCD")
+        assert task.log_2.alphabet() <= frozenset("1234")
+
+    def test_trace_lengths_within_bounds(self):
+        task = generate_random_pair(
+            num_traces=100, seed=2, min_length=2, max_length=5
+        )
+        assert all(2 <= len(t) <= 5 for t in task.log_1)
+
+    def test_num_events_validated(self):
+        with pytest.raises(ValueError):
+            generate_random_pair(num_events=0)
+
+
+class TestMatchingTask:
+    def test_project_events_restricts_everything(self):
+        task = generate_reallike(num_traces=200, seed=7)
+        sub = task.project_events(4)
+        assert len(sub.log_1.alphabet()) == 4
+        assert len(sub.truth) == 4
+        kept = set(sub.log_1.alphabet())
+        assert sub.log_2.alphabet() == {task.truth[e] for e in kept}
+        for pattern in sub.patterns:
+            assert pattern.event_set() <= kept
+
+    def test_take_traces(self):
+        task = generate_random_pair(num_traces=100, seed=3)
+        sub = task.take_traces(10)
+        assert len(sub.log_1) == 10
+        assert len(sub.log_2) == 10

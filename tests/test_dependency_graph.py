@@ -1,0 +1,64 @@
+"""Unit tests for repro.graph.dependency (Definition 1)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.dependency import dependency_graph
+from repro.log.eventlog import EventLog
+
+log_strategy = st.lists(
+    st.lists(st.sampled_from(list("ABCD")), min_size=1, max_size=8),
+    min_size=1,
+    max_size=15,
+).map(EventLog)
+
+
+class TestDependencyGraph:
+    def test_vertices_carry_normalized_frequencies(self):
+        log = EventLog(["AB", "AC", "A"])
+        graph = dependency_graph(log)
+        assert graph.vertex_weight("A") == 1.0
+        assert abs(graph.vertex_weight("B") - 1 / 3) < 1e-12
+        assert abs(graph.vertex_weight("C") - 1 / 3) < 1e-12
+
+    def test_edges_carry_consecutive_pair_frequencies(self):
+        log = EventLog(["AB", "AB", "BA", "CC"])
+        graph = dependency_graph(log)
+        assert graph.edge_weight("A", "B") == 0.5
+        assert graph.edge_weight("B", "A") == 0.25
+        assert graph.edge_weight("C", "C") == 0.25
+
+    def test_zero_frequency_edges_are_omitted(self):
+        log = EventLog(["AB", "BC"])
+        graph = dependency_graph(log)
+        assert not graph.has_edge("A", "C")
+        assert not graph.has_edge("C", "B")
+
+    def test_fig1_example_shape(self):
+        # The paper's Example 1: A, then B/C in either order, then D.
+        log = EventLog(["ABCD", "ACBD"])
+        graph = dependency_graph(log)
+        assert graph.has_edge("A", "B") and graph.has_edge("A", "C")
+        assert graph.has_edge("B", "C") and graph.has_edge("C", "B")
+        assert graph.has_edge("B", "D") and graph.has_edge("C", "D")
+        assert not graph.has_edge("A", "D")
+        assert graph.edge_weight("A", "B") == 0.5
+
+    @given(log_strategy)
+    def test_graph_mirrors_log_statistics(self, log):
+        graph = dependency_graph(log)
+        assert set(graph.vertices()) == set(log.alphabet())
+        for event in log.alphabet():
+            assert graph.vertex_weight(event) == log.vertex_frequency(event)
+        assert set(graph.edges()) == set(log.edges())
+        for source, target in graph.edges():
+            assert graph.edge_weight(source, target) == log.edge_frequency(
+                source, target
+            )
+
+    @given(log_strategy)
+    def test_every_edge_endpoint_is_a_log_event(self, log):
+        graph = dependency_graph(log)
+        alphabet = log.alphabet()
+        for source, target in graph.edges():
+            assert source in alphabet and target in alphabet

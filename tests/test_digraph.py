@@ -1,0 +1,104 @@
+"""Unit tests for repro.graph.digraph."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def triangle():
+    graph = DiGraph()
+    graph.add_vertex("A", 1.0)
+    graph.add_vertex("B", 0.5)
+    graph.add_vertex("C", 0.25)
+    graph.add_edge("A", "B", 0.4)
+    graph.add_edge("B", "C", 0.3)
+    graph.add_edge("C", "A", 0.2)
+    return graph
+
+
+class TestConstruction:
+    def test_add_vertex_and_weight(self):
+        graph = DiGraph()
+        graph.add_vertex("X", 0.7)
+        assert "X" in graph
+        assert graph.vertex_weight("X") == 0.7
+
+    def test_add_vertex_overwrites_weight(self):
+        graph = DiGraph()
+        graph.add_vertex("X", 0.1)
+        graph.add_vertex("X", 0.9)
+        assert graph.vertex_weight("X") == 0.9
+        assert len(graph) == 1
+
+    def test_add_edge_autocreates_endpoints(self):
+        graph = DiGraph()
+        graph.add_edge("A", "B", 0.5)
+        assert "A" in graph and "B" in graph
+        assert graph.edge_weight("A", "B") == 0.5
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge("A", "B")
+        assert not triangle.has_edge("A", "B")
+        with pytest.raises(KeyError):
+            triangle.remove_edge("A", "B")
+
+
+class TestQueries:
+    def test_direction_matters(self, triangle):
+        assert triangle.has_edge("A", "B")
+        assert not triangle.has_edge("B", "A")
+
+    def test_edge_weight_missing_raises(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.edge_weight("B", "A")
+
+    def test_edge_weight_or_zero(self, triangle):
+        assert triangle.edge_weight_or_zero("A", "B") == 0.4
+        assert triangle.edge_weight_or_zero("B", "A") == 0.0
+        assert triangle.edge_weight_or_zero("Z", "A") == 0.0
+
+    def test_neighbours_and_degrees(self, triangle):
+        assert list(triangle.successors("A")) == ["B"]
+        assert list(triangle.predecessors("A")) == ["C"]
+        assert triangle.out_degree("A") == 1
+        assert triangle.in_degree("A") == 1
+        assert triangle.degree("A") == 2
+
+    def test_edges_and_count(self, triangle):
+        assert set(triangle.edges()) == {("A", "B"), ("B", "C"), ("C", "A")}
+        assert triangle.num_edges() == 3
+
+
+class TestAggregates:
+    def test_max_vertex_weight(self, triangle):
+        assert triangle.max_vertex_weight() == 1.0
+        assert triangle.max_vertex_weight(["B", "C"]) == 0.5
+        assert triangle.max_vertex_weight([]) == 0.0
+        assert triangle.max_vertex_weight(["unknown"]) == 0.0
+
+    def test_max_edge_weight(self, triangle):
+        assert triangle.max_edge_weight() == 0.4
+        assert triangle.max_edge_weight(["B", "C"]) == 0.3
+        assert triangle.max_edge_weight(["A"]) == 0.0
+
+    def test_max_outgoing_and_incoming(self, triangle):
+        assert triangle.max_outgoing_weight("A", {"B", "C"}) == 0.4
+        assert triangle.max_outgoing_weight("A", {"C"}) == 0.0
+        assert triangle.max_incoming_weight("C", {"B"}) == 0.3
+        assert triangle.max_incoming_weight("C", set()) == 0.0
+
+
+class TestDerived:
+    def test_induced_subgraph(self, triangle):
+        sub = triangle.induced_subgraph(["A", "B"])
+        assert set(sub.vertices()) == {"A", "B"}
+        assert sub.has_edge("A", "B")
+        assert not sub.has_edge("B", "C")
+        assert sub.vertex_weight("B") == 0.5
+
+    def test_copy_is_independent(self, triangle):
+        duplicate = triangle.copy()
+        duplicate.add_edge("A", "C", 0.9)
+        assert not triangle.has_edge("A", "C")
+        assert duplicate.edge_weight("A", "C") == 0.9

@@ -1,0 +1,109 @@
+"""Unit tests for pattern discovery and §2.2 selection guidelines."""
+
+import pytest
+
+from repro.graph.dependency import dependency_graph
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import AND, SEQ, and_, event, seq
+from repro.patterns.discovery import (
+    discover_patterns,
+    fold_and_operators,
+    frequent_sequences,
+)
+from repro.patterns.selection import discriminativeness, rank_patterns
+
+
+class TestFrequentSequences:
+    def test_finds_frequent_contiguous_runs(self):
+        log = EventLog(["ABC", "ABC", "ABD", "XYZ"])
+        frequent = frequent_sequences(log, min_support=0.5)
+        assert frequent[("A", "B")] == 0.75
+        assert frequent[("A", "B", "C")] == 0.5
+        assert ("X", "Y") not in frequent
+
+    def test_min_support_filters(self):
+        log = EventLog(["AB", "CD", "EF", "GH"])
+        assert frequent_sequences(log, min_support=0.5) == {}
+
+    def test_max_length_respected(self):
+        log = EventLog(["ABCDE"] * 4)
+        frequent = frequent_sequences(log, min_support=0.5, max_length=3)
+        assert max(len(s) for s in frequent) == 3
+
+    def test_sequences_with_repeats_excluded(self):
+        log = EventLog(["ABAB", "ABAB"])
+        frequent = frequent_sequences(log, min_support=0.5, max_length=4)
+        for sequence in frequent:
+            assert len(set(sequence)) == len(sequence)
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(ValueError):
+            frequent_sequences(EventLog(["AB"]), min_support=0.0)
+
+    def test_empty_log(self):
+        assert frequent_sequences(EventLog([]), min_support=0.5) == {}
+
+
+class TestFoldAndOperators:
+    def test_complete_similar_family_becomes_and(self):
+        sequences = {("A", "B"): 0.4, ("B", "A"): 0.38}
+        folded = fold_and_operators(sequences)
+        assert and_("A", "B") in folded
+        assert folded[and_("A", "B")] == pytest.approx(0.78)
+
+    def test_dissimilar_family_stays_seq(self):
+        sequences = {("A", "B"): 0.8, ("B", "A"): 0.1}
+        folded = fold_and_operators(sequences)
+        assert seq("A", "B") in folded
+        assert seq("B", "A") in folded
+
+    def test_incomplete_family_stays_seq(self):
+        sequences = {("A", "B", "C"): 0.5, ("C", "B", "A"): 0.5}
+        folded = fold_and_operators(sequences)  # only 2 of 6 orders
+        assert seq("A", "B", "C") in folded
+
+    def test_singletons_become_event_patterns(self):
+        folded = fold_and_operators({("A",): 0.9})
+        assert event("A") in folded
+
+
+class TestDiscoverPatterns:
+    def test_discovers_the_planted_block(self):
+        # A then B/C in either order then D — the paper's Figure 1 block.
+        log = EventLog(["ABCD", "ACBD"] * 10)
+        patterns = discover_patterns(log, min_support=0.3, max_patterns=5)
+        assert patterns, "nothing discovered"
+        assert all(len(p) >= 3 for p in patterns)
+        # The block's events should be covered by some pattern.
+        covered = set().union(*(p.event_set() for p in patterns))
+        assert {"A", "B", "C", "D"} <= covered
+
+    def test_discovered_patterns_work_in_matching(self):
+        from repro.core.matcher import match
+
+        log_1 = EventLog(["ABCD", "ACBD"] * 8 + ["ABD"] * 4)
+        log_2 = EventLog(["1234", "1324"] * 8 + ["124"] * 4)
+        patterns = discover_patterns(log_1, min_support=0.3)
+        result = match(log_1, log_2, patterns=patterns, method="pattern-tight")
+        assert result.mapping["A"] == "1"
+        assert result.mapping["D"] == "4"
+
+
+class TestDiscriminativeness:
+    def test_unique_structure_scores_high(self):
+        # The 4-event block has no other placement in this log's graph.
+        log = EventLog(["ABCD", "ACBD"] * 5)
+        pattern = seq("A", and_("B", "C"), "D")
+        assert discriminativeness(log, pattern) > 0.5
+
+    def test_common_structure_scores_low(self):
+        # A 2-chain in a log full of equally frequent 2-chains.
+        log = EventLog(["AB", "CD", "EF", "AB", "CD", "EF"])
+        assert discriminativeness(log, seq("A", "B")) == pytest.approx(0.0)
+
+    def test_rank_orders_by_score(self):
+        log = EventLog(["ABCD", "ACBD"] * 5 + ["AB"] * 2)
+        unique = seq("A", and_("B", "C"), "D")
+        common = seq("A", "B")
+        ranked = rank_patterns(log, [common, unique])
+        assert ranked[0] == unique

@@ -1,0 +1,161 @@
+"""Unit tests for repro.core.distance (Definitions 2 and 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.distance import (
+    frequency_similarity,
+    normal_distance_vertex,
+    normal_distance_vertex_edge,
+    pattern_contribution,
+    pattern_normal_distance,
+)
+from repro.graph.dependency import dependency_graph
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import and_, event, seq
+from repro.patterns.matching import PatternFrequencyEvaluator
+
+frequencies = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestFrequencySimilarity:
+    def test_equal_frequencies_score_one(self):
+        assert frequency_similarity(0.4, 0.4) == 1.0
+
+    def test_zero_against_positive_scores_zero(self):
+        assert frequency_similarity(0.0, 0.7) == 0.0
+        assert frequency_similarity(0.7, 0.0) == 0.0
+
+    def test_both_zero_scores_zero(self):
+        assert frequency_similarity(0.0, 0.0) == 0.0
+
+    def test_paper_example_3(self):
+        # sim(1.0, 0.9) = 1 − 0.1/1.9 ≈ 0.947 (Example 3).
+        assert frequency_similarity(1.0, 0.9) == pytest.approx(0.9473684, abs=1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_similarity(-0.1, 0.5)
+
+    @given(frequencies, frequencies)
+    def test_bounded_and_symmetric(self, a, b):
+        value = frequency_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == frequency_similarity(b, a)
+
+    @given(frequencies)
+    def test_identity_scores_one_for_positive(self, a):
+        expected = 1.0 if a > 0 else 0.0
+        assert frequency_similarity(a, a) == expected
+
+    @given(frequencies, frequencies, frequencies)
+    def test_monotone_toward_target(self, f1, low, high):
+        # Moving f2 closer to f1 (from the same side) never lowers sim.
+        if f1 == 0:
+            return
+        lo, hi = sorted((low, high))
+        if hi <= f1:
+            assert frequency_similarity(f1, hi) >= frequency_similarity(f1, lo)
+        if lo >= f1:
+            assert frequency_similarity(f1, lo) >= frequency_similarity(f1, hi)
+
+
+@pytest.fixture
+def example_logs():
+    log_1 = EventLog(["ABCD", "ACBD", "ABCD", "ACBD"])
+    log_2 = EventLog(["1234", "1324", "1234", "124"])
+    return log_1, log_2
+
+
+class TestNormalDistances:
+    def test_vertex_form(self, example_logs):
+        log_1, log_2 = example_logs
+        graph_1, graph_2 = dependency_graph(log_1), dependency_graph(log_2)
+        mapping = {"A": "1", "B": "2", "C": "3", "D": "4"}
+        expected = (
+            frequency_similarity(1.0, 1.0)      # A -> 1
+            + frequency_similarity(1.0, 1.0)    # B -> 2
+            + frequency_similarity(1.0, 0.75)   # C -> 3
+            + frequency_similarity(1.0, 1.0)    # D -> 4
+        )
+        assert normal_distance_vertex(graph_1, graph_2, mapping) == pytest.approx(
+            expected
+        )
+
+    def test_vertex_edge_form_adds_edge_terms(self, example_logs):
+        log_1, log_2 = example_logs
+        graph_1, graph_2 = dependency_graph(log_1), dependency_graph(log_2)
+        mapping = {"A": "1", "B": "2", "C": "3", "D": "4"}
+        vertex_part = normal_distance_vertex(graph_1, graph_2, mapping)
+        total = normal_distance_vertex_edge(graph_1, graph_2, mapping)
+        assert total > vertex_part
+        # Edge A->B (0.5) maps to 1->2 (0.75); its exact term:
+        edge_term = frequency_similarity(0.5, 0.75)
+        assert total == pytest.approx(
+            vertex_part
+            + edge_term
+            + frequency_similarity(0.5, 0.25)  # AC -> 13
+            + frequency_similarity(0.5, 0.5)   # BC -> 23  (23 occurs twice)
+            + frequency_similarity(0.5, 0.25)  # CB -> 32
+            + frequency_similarity(0.5, 0.5)   # BD -> 24
+            + frequency_similarity(0.5, 0.5),  # CD -> 34
+            abs=1e-9,
+        )
+
+    def test_unmapped_events_contribute_nothing(self, example_logs):
+        log_1, log_2 = example_logs
+        graph_1, graph_2 = dependency_graph(log_1), dependency_graph(log_2)
+        partial = {"A": "1"}
+        assert normal_distance_vertex(graph_1, graph_2, partial) == 1.0
+
+    def test_edge_mapped_onto_missing_edge_scores_zero(self):
+        log_1 = EventLog(["AB"])
+        log_2 = EventLog(["12", "21"])
+        graph_1, graph_2 = dependency_graph(log_1), dependency_graph(log_2)
+        # Map so that A->2, B->1: edge AB maps onto 21 (exists, freq 0.5).
+        swapped = normal_distance_vertex_edge(graph_1, graph_2, {"A": "2", "B": "1"})
+        straight = normal_distance_vertex_edge(graph_1, graph_2, {"A": "1", "B": "2"})
+        assert swapped == pytest.approx(2.0 + frequency_similarity(1.0, 0.5))
+        assert straight == pytest.approx(2.0 + frequency_similarity(1.0, 0.5))
+
+
+class TestPatternNormalDistance:
+    def test_sums_pattern_contributions(self, example_logs):
+        log_1, log_2 = example_logs
+        evaluator_1 = PatternFrequencyEvaluator(log_1)
+        evaluator_2 = PatternFrequencyEvaluator(log_2)
+        mapping = {"A": "1", "B": "2", "C": "3", "D": "4"}
+        patterns = [event("A"), seq("A", "B"), seq("A", and_("B", "C"), "D")]
+        total = pattern_normal_distance(
+            patterns, mapping, evaluator_1, evaluator_2
+        )
+        expected = sum(
+            pattern_contribution(p, mapping, evaluator_1, evaluator_2)
+            for p in patterns
+        )
+        assert total == pytest.approx(expected)
+
+    def test_incomplete_patterns_are_skipped(self, example_logs):
+        log_1, log_2 = example_logs
+        evaluator_1 = PatternFrequencyEvaluator(log_1)
+        evaluator_2 = PatternFrequencyEvaluator(log_2)
+        partial = {"A": "1"}
+        patterns = [seq("A", "B"), event("A")]
+        total = pattern_normal_distance(
+            patterns, partial, evaluator_1, evaluator_2
+        )
+        assert total == pytest.approx(
+            pattern_contribution(event("A"), partial, evaluator_1, evaluator_2)
+        )
+
+    def test_paper_example_4_pattern(self, example_logs):
+        log_1, log_2 = example_logs
+        evaluator_1 = PatternFrequencyEvaluator(log_1)
+        evaluator_2 = PatternFrequencyEvaluator(log_2)
+        pattern = seq("A", and_("B", "C"), "D")
+        mapping = {"A": "1", "B": "2", "C": "3", "D": "4"}
+        # f1 = 1.0 (all traces), f2 = 0.75 (3 of 4 traces).
+        assert pattern_contribution(
+            pattern, mapping, evaluator_1, evaluator_2
+        ) == pytest.approx(frequency_similarity(1.0, 0.75))

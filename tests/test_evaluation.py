@@ -1,0 +1,122 @@
+"""Unit tests for the evaluation layer (metrics, harness, reporting)."""
+
+import math
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.datagen import generate_random_pair, generate_reallike
+from repro.evaluation.harness import run_method, sweep_events, sweep_traces
+from repro.evaluation.metrics import evaluate_mapping
+from repro.evaluation.reporting import format_runs_table, format_series
+from repro.log.statistics import characterize
+
+
+class TestMetrics:
+    def test_perfect_mapping(self):
+        truth = {"A": "1", "B": "2"}
+        quality = evaluate_mapping(truth, truth)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f_measure == 1.0
+
+    def test_partial_overlap(self):
+        found = {"A": "1", "B": "9", "C": "3"}
+        truth = {"A": "1", "B": "2", "C": "3", "D": "4"}
+        quality = evaluate_mapping(found, truth)
+        assert quality.precision == pytest.approx(2 / 3)
+        assert quality.recall == pytest.approx(0.5)
+        expected_f = 2 * (2 / 3) * 0.5 / (2 / 3 + 0.5)
+        assert quality.f_measure == pytest.approx(expected_f)
+
+    def test_disjoint(self):
+        quality = evaluate_mapping({"A": "9"}, {"A": "1"})
+        assert quality.f_measure == 0.0
+
+    def test_empty_found(self):
+        quality = evaluate_mapping({}, {"A": "1"})
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.f_measure == 0.0
+
+    def test_empty_truth(self):
+        quality = evaluate_mapping({"A": "1"}, {})
+        assert quality.f_measure == 0.0
+
+    def test_counts_exposed(self):
+        quality = evaluate_mapping({"A": "1", "B": "2"}, {"A": "1"})
+        assert quality.correct_pairs == 1
+        assert quality.found_pairs == 2
+        assert quality.truth_pairs == 1
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return generate_reallike(num_traces=150, seed=7).project_events(5)
+
+    def test_run_method_records_quality_and_mapping(self, task):
+        run = run_method(task, "vertex")
+        assert run.quality is not None
+        assert run.mapping is not None
+        assert not run.dnf
+        assert run.num_events == 5
+
+    def test_dnf_on_tiny_budget(self, task):
+        run = run_method(task, "pattern-tight", node_budget=1)
+        assert run.dnf
+        assert run.mapping is None
+        assert math.isnan(run.score)
+
+    def test_random_task_has_no_quality(self):
+        task = generate_random_pair(num_traces=40, seed=0)
+        run = run_method(task, "vertex")
+        assert run.quality is None
+        assert run.f_measure == 0.0
+
+    def test_sweep_events_sizes(self, task_full=None):
+        task = generate_reallike(num_traces=120, seed=7)
+        runs = sweep_events(task, (2, 4), ("vertex", "entropy"))
+        assert len(runs) == 4
+        assert {r.num_events for r in runs} == {2, 4}
+
+    def test_sweep_traces_counts(self):
+        task = generate_reallike(num_traces=120, seed=7).project_events(4)
+        runs = sweep_traces(task, (50, 100), ("vertex",))
+        assert [r.num_traces for r in runs] == [50, 100]
+
+
+class TestReporting:
+    def _runs(self):
+        task = generate_reallike(num_traces=100, seed=7)
+        return sweep_events(task, (2, 3), ("vertex", "entropy"))
+
+    def test_runs_table_mentions_all_methods(self):
+        table = format_runs_table(self._runs())
+        assert "vertex" in table and "entropy" in table
+        assert "F" in table.splitlines()[0]
+
+    def test_series_has_row_per_size(self):
+        runs = self._runs()
+        series = format_series(runs, lambda r: r.f_measure, "F-measure")
+        lines = series.splitlines()
+        assert lines[0].startswith("F-measure")
+        assert any(line.strip().startswith("2") for line in lines)
+        assert any(line.strip().startswith("3") for line in lines)
+
+    def test_series_marks_dnf(self):
+        task = generate_reallike(num_traces=100, seed=7).project_events(6)
+        runs = [run_method(task, "pattern-tight", node_budget=1)]
+        series = format_series(runs, lambda r: r.elapsed_seconds, "time")
+        assert "DNF" in series
+
+
+class TestStatisticsModule:
+    def test_characterize(self):
+        task = generate_random_pair(num_events=4, num_traces=60, seed=1)
+        row = characterize(task.log_1, num_patterns=0, name="random")
+        assert row.name == "random"
+        assert row.num_traces == 60
+        assert row.num_events <= 4
+        assert row.num_patterns == 0
+        assert row.as_row()[0] == "random"

@@ -1,0 +1,107 @@
+"""Unit tests for repro.assignment.hungarian against brute force and scipy."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment import max_weight_assignment
+
+
+def brute_force(weights):
+    rows, cols = len(weights), len(weights[0])
+    k = min(rows, cols)
+    best = float("-inf")
+    if rows <= cols:
+        for chosen_cols in itertools.permutations(range(cols), rows):
+            total = sum(weights[i][chosen_cols[i]] for i in range(rows))
+            best = max(best, total)
+    else:
+        for chosen_rows in itertools.permutations(range(rows), cols):
+            total = sum(weights[chosen_rows[j]][j] for j in range(cols))
+            best = max(best, total)
+    return best, k
+
+
+class TestBasics:
+    def test_empty(self):
+        assert max_weight_assignment([]) == ({}, 0.0)
+
+    def test_single_cell(self):
+        assignment, total = max_weight_assignment([[0.7]])
+        assert assignment == {0: 0}
+        assert total == 0.7
+
+    def test_identity_diagonal(self):
+        weights = [[1.0, 0.0], [0.0, 1.0]]
+        assignment, total = max_weight_assignment(weights)
+        assert assignment == {0: 0, 1: 1}
+        assert total == 2.0
+
+    def test_anti_diagonal(self):
+        weights = [[0.0, 1.0], [1.0, 0.0]]
+        assignment, total = max_weight_assignment(weights)
+        assert assignment == {0: 1, 1: 0}
+        assert total == 2.0
+
+    def test_rectangular_wide(self):
+        weights = [[0.1, 0.9, 0.5]]
+        assignment, total = max_weight_assignment(weights)
+        assert assignment == {0: 1}
+        assert total == 0.9
+
+    def test_rectangular_tall(self):
+        weights = [[0.1], [0.9], [0.5]]
+        assignment, total = max_weight_assignment(weights)
+        assert assignment == {1: 0}
+        assert total == 0.9
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            max_weight_assignment([[1.0, 2.0], [1.0]])
+
+
+matrix_strategy = st.integers(1, 5).flatmap(
+    lambda rows: st.integers(1, 5).flatmap(
+        lambda cols: st.lists(
+            st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+)
+
+
+class TestOptimality:
+    @settings(max_examples=80, deadline=None)
+    @given(matrix_strategy)
+    def test_matches_brute_force(self, weights):
+        assignment, total = max_weight_assignment(weights)
+        best, k = brute_force(weights)
+        assert len(assignment) == k
+        # The returned assignment's own total must equal `total`.
+        recomputed = sum(weights[i][j] for i, j in assignment.items())
+        assert total == pytest.approx(recomputed)
+        assert total == pytest.approx(best, abs=1e-9)
+
+    def test_matches_scipy_on_large_random(self):
+        scipy_optimize = pytest.importorskip("scipy.optimize")
+        rng = random.Random(11)
+        for size in (8, 15, 25):
+            weights = [
+                [rng.random() for _ in range(size)] for _ in range(size)
+            ]
+            _, total = max_weight_assignment(weights)
+            rows, cols = scipy_optimize.linear_sum_assignment(
+                [[-w for w in row] for row in weights]
+            )
+            expected = sum(weights[i][j] for i, j in zip(rows, cols))
+            assert total == pytest.approx(expected, abs=1e-9)
+
+    def test_assignment_is_injective(self):
+        rng = random.Random(5)
+        weights = [[rng.random() for _ in range(6)] for _ in range(6)]
+        assignment, _ = max_weight_assignment(weights)
+        assert len(set(assignment.values())) == len(assignment)

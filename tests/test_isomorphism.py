@@ -1,0 +1,115 @@
+"""Unit tests for repro.graph.isomorphism."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.isomorphism import (
+    find_subgraph_embedding,
+    is_subgraph,
+    subgraph_embeddings,
+)
+
+
+def graph_from_edges(edges, vertices=()):
+    graph = DiGraph()
+    for vertex in vertices:
+        graph.add_vertex(vertex)
+    for source, target in edges:
+        graph.add_edge(source, target)
+    return graph
+
+
+@pytest.fixture
+def host():
+    # Two directed triangles sharing vertex C plus a pendant vertex.
+    return graph_from_edges(
+        [
+            ("A", "B"), ("B", "C"), ("C", "A"),
+            ("C", "D"), ("D", "E"), ("E", "C"),
+            ("E", "F"),
+        ]
+    )
+
+
+class TestIsSubgraph:
+    def test_identical_graph(self, host):
+        assert is_subgraph(host, host)
+
+    def test_concrete_sub_pattern(self, host):
+        pattern = graph_from_edges([("A", "B"), ("B", "C")])
+        assert is_subgraph(pattern, host)
+
+    def test_missing_edge(self, host):
+        assert not is_subgraph(graph_from_edges([("A", "C")]), host)
+
+    def test_missing_vertex(self, host):
+        assert not is_subgraph(graph_from_edges([("A", "Z")]), host)
+
+    def test_isolated_vertices_only_need_presence(self, host):
+        pattern = graph_from_edges([], vertices=["A", "F"])
+        assert is_subgraph(pattern, host)
+
+    def test_empty_pattern(self, host):
+        assert is_subgraph(DiGraph(), host)
+
+
+class TestEmbeddings:
+    def test_triangle_has_three_rotations_per_triangle(self, host):
+        triangle = graph_from_edges([("x", "y"), ("y", "z"), ("z", "x")])
+        embeddings = list(subgraph_embeddings(triangle, host))
+        # Two triangles, three rotations each.
+        assert len(embeddings) == 6
+        images = {frozenset(e.values()) for e in embeddings}
+        assert images == {frozenset("ABC"), frozenset("CDE")}
+
+    def test_embeddings_are_injective_and_edge_preserving(self, host):
+        path = graph_from_edges([("x", "y"), ("y", "z")])
+        for embedding in subgraph_embeddings(path, host):
+            assert len(set(embedding.values())) == len(embedding)
+            assert host.has_edge(embedding["x"], embedding["y"])
+            assert host.has_edge(embedding["y"], embedding["z"])
+
+    def test_monomorphism_semantics_allows_extra_host_edges(self):
+        host = graph_from_edges([("A", "B"), ("B", "A")])
+        single = graph_from_edges([("x", "y")])
+        assert len(list(subgraph_embeddings(single, host))) == 2
+
+    def test_no_embedding(self):
+        host = graph_from_edges([("A", "B")])
+        pattern = graph_from_edges([("x", "y"), ("y", "x")])
+        assert find_subgraph_embedding(pattern, host) is None
+
+    def test_find_returns_first(self, host):
+        pattern = graph_from_edges([("x", "y")])
+        embedding = find_subgraph_embedding(pattern, host)
+        assert embedding is not None
+        assert host.has_edge(embedding["x"], embedding["y"])
+
+    def test_pattern_larger_than_host(self):
+        host = graph_from_edges([("A", "B")])
+        pattern = graph_from_edges([("x", "y"), ("y", "z"), ("z", "w")])
+        assert find_subgraph_embedding(pattern, host) is None
+
+
+class TestAgainstBruteForce:
+    def test_matches_permutation_enumeration(self):
+        from itertools import permutations
+
+        host = graph_from_edges(
+            [("A", "B"), ("B", "C"), ("A", "C"), ("C", "D")]
+        )
+        pattern = graph_from_edges([("x", "y"), ("y", "z"), ("x", "z")])
+        found = {
+            tuple(sorted(e.items()))
+            for e in subgraph_embeddings(pattern, host)
+        }
+        hosts = list(host.vertices())
+        expected = set()
+        for image in permutations(hosts, 3):
+            mapping = dict(zip(["x", "y", "z"], image))
+            if all(
+                host.has_edge(mapping[s], mapping[t])
+                for s, t in pattern.edges()
+            ):
+                expected.add(tuple(sorted(mapping.items())))
+        assert found == expected

@@ -1,0 +1,55 @@
+"""Oracle test: subgraph embeddings vs networkx's DiGraphMatcher.
+
+networkx is a test-only oracle (the library itself is dependency-free);
+its monomorphism matcher independently validates our backtracking search
+on random directed graphs.
+"""
+
+import random
+
+import pytest
+
+networkx = pytest.importorskip("networkx")
+
+from repro.graph.digraph import DiGraph
+from repro.graph.isomorphism import subgraph_embeddings
+
+
+def random_digraph(rng, num_vertices, edge_probability):
+    graph = DiGraph()
+    names = [f"v{i}" for i in range(num_vertices)]
+    for name in names:
+        graph.add_vertex(name)
+    for source in names:
+        for target in names:
+            if source != target and rng.random() < edge_probability:
+                graph.add_edge(source, target)
+    return graph
+
+
+def to_networkx(graph):
+    result = networkx.DiGraph()
+    result.add_nodes_from(graph.vertices())
+    result.add_edges_from(graph.edges())
+    return result
+
+
+class TestAgainstNetworkx:
+    def test_embedding_sets_match(self):
+        rng = random.Random(0)
+        for trial in range(15):
+            host = random_digraph(rng, rng.randint(3, 6), 0.4)
+            pattern = random_digraph(rng, rng.randint(1, 3), 0.6)
+            ours = {
+                tuple(sorted(embedding.items()))
+                for embedding in subgraph_embeddings(pattern, host)
+            }
+            matcher = networkx.algorithms.isomorphism.DiGraphMatcher(
+                to_networkx(host), to_networkx(pattern)
+            )
+            # networkx yields host->pattern maps; invert to compare.
+            theirs = {
+                tuple(sorted((p, h) for h, p in mono.items()))
+                for mono in matcher.subgraph_monomorphisms_iter()
+            }
+            assert ours == theirs, f"trial {trial} disagrees"

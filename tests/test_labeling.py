@@ -1,0 +1,134 @@
+"""Unit tests for repro.core.labeling (Algorithm 4)."""
+
+import random
+
+import pytest
+
+from repro.core.labeling import (
+    EPSILON,
+    augment,
+    build_alternating_tree,
+    initial_labels,
+)
+
+
+def random_theta(rng, sources, targets):
+    return {
+        s: {t: round(rng.random(), 3) for t in targets} for s in sources
+    }
+
+
+def assert_feasible(labels, theta, sources, targets):
+    for s in sources:
+        for t in targets:
+            assert labels[s] + labels[t] >= theta[s][t] - EPSILON
+
+
+class TestInitialLabels:
+    def test_row_maxima_and_zero_columns(self):
+        theta = {"A": {"1": 0.3, "2": 0.8}, "B": {"1": 0.5, "2": 0.1}}
+        labels = initial_labels(theta, ["A", "B"], ["1", "2"])
+        assert labels["A"] == 0.8
+        assert labels["B"] == 0.5
+        assert labels["1"] == 0.0 and labels["2"] == 0.0
+
+    def test_initial_labels_are_feasible(self):
+        rng = random.Random(0)
+        sources, targets = list("ABCD"), list("1234")
+        theta = random_theta(rng, sources, targets)
+        labels = initial_labels(theta, sources, targets)
+        assert_feasible(labels, theta, sources, targets)
+
+
+class TestAlternatingTree:
+    def test_tree_is_maximal(self):
+        rng = random.Random(1)
+        sources, targets = list("ABC"), list("123")
+        theta = random_theta(rng, sources, targets)
+        labels = initial_labels(theta, sources, targets)
+        tree = build_alternating_tree("A", theta, labels, {}, targets)
+        assert set(tree.parent1) == set(targets)
+
+    def test_empty_matching_all_paths_direct(self):
+        rng = random.Random(2)
+        sources, targets = list("ABC"), list("123")
+        theta = random_theta(rng, sources, targets)
+        labels = initial_labels(theta, sources, targets)
+        tree = build_alternating_tree("A", theta, labels, {}, targets)
+        paths = tree.augmenting_paths({})
+        assert len(paths) == 3
+        for path in paths:
+            assert len(path) == 1
+            assert path[0][0] == "A"
+
+    def test_updated_labels_remain_feasible(self):
+        # Proposition 4: α-updates preserve feasibility.
+        rng = random.Random(3)
+        sources, targets = list("ABCD"), list("1234")
+        theta = random_theta(rng, sources, targets)
+        labels = initial_labels(theta, sources, targets)
+        matching = {"B": "2", "C": "3"}
+        tree = build_alternating_tree("A", theta, labels, matching, targets)
+        assert_feasible(tree.labels, theta, sources, targets)
+
+    def test_tree_edges_are_tight(self):
+        rng = random.Random(4)
+        sources, targets = list("ABC"), list("123")
+        theta = random_theta(rng, sources, targets)
+        labels = initial_labels(theta, sources, targets)
+        matching = {"B": "1"}
+        tree = build_alternating_tree("A", theta, labels, matching, targets)
+        for target, source in tree.parent1.items():
+            slack = tree.labels[source] + tree.labels[target] - theta[source][target]
+            assert abs(slack) <= 10 * EPSILON
+
+    def test_augmenting_endpoints_are_unmatched(self):
+        # Proposition 5: an augmenting path always exists.
+        rng = random.Random(5)
+        sources, targets = list("ABCD"), list("1234")
+        theta = random_theta(rng, sources, targets)
+        labels = initial_labels(theta, sources, targets)
+        matching = {"B": "2", "C": "3", "D": "4"}
+        tree = build_alternating_tree("A", theta, labels, matching, targets)
+        assert tree.unmatched_targets == ["1"]
+
+    def test_original_labels_not_mutated(self):
+        rng = random.Random(6)
+        sources, targets = list("AB"), list("12")
+        theta = random_theta(rng, sources, targets)
+        labels = initial_labels(theta, sources, targets)
+        snapshot = dict(labels)
+        build_alternating_tree("A", theta, labels, {}, targets)
+        assert labels == snapshot
+
+
+class TestAugment:
+    def test_matching_grows_by_one(self):
+        matching = {"B": "2"}
+        path = [("A", "1")]
+        augmented = augment(matching, path)
+        assert augmented == {"B": "2", "A": "1"}
+        assert matching == {"B": "2"}  # input untouched
+
+    def test_reroute_path(self):
+        # A takes 2, displacing B onto 1: path endpoint-first.
+        matching = {"B": "2"}
+        path = [("B", "1"), ("A", "2")]
+        augmented = augment(matching, path)
+        assert augmented == {"A": "2", "B": "1"}
+        assert len(set(augmented.values())) == 2
+
+    def test_repeated_augmentation_reaches_perfect_matching(self):
+        rng = random.Random(7)
+        sources, targets = list("ABCD"), list("1234")
+        theta = random_theta(rng, sources, targets)
+        labels = initial_labels(theta, sources, targets)
+        matching = {}
+        for root in sources:
+            tree = build_alternating_tree(root, theta, labels, matching, targets)
+            paths = tree.augmenting_paths(matching)
+            assert paths, "Proposition 5 violated"
+            matching = augment(matching, paths[0])
+            labels = tree.labels
+            assert len(set(matching.values())) == len(matching)
+        assert len(matching) == 4

@@ -1,0 +1,110 @@
+"""Unit tests for CSV and XES import/export."""
+
+import io
+
+import pytest
+
+from repro.log.csvio import read_csv, write_csv
+from repro.log.eventlog import EventLog
+from repro.log.events import Trace
+from repro.log.xes import read_xes, write_xes
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        log = EventLog(
+            [Trace("ABC", case_id="c1"), Trace("AC", case_id="c2")]
+        )
+        path = tmp_path / "log.csv"
+        write_csv(log, path)
+        loaded = read_csv(path)
+        assert loaded == log
+        assert [t.case_id for t in loaded] == ["c1", "c2"]
+
+    def test_read_groups_by_case(self):
+        text = "case_id,activity\nc1,A\nc2,X\nc1,B\nc2,Y\n"
+        log = read_csv(io.StringIO(text))
+        assert log[0] == Trace("AB")
+        assert log[1] == Trace("XY")
+
+    def test_read_sorts_by_numeric_timestamp(self):
+        text = (
+            "case_id,activity,ts\n"
+            "c1,B,10\nc1,A,2\nc1,C,30\n"
+        )
+        log = read_csv(io.StringIO(text), timestamp_column="ts")
+        assert log[0] == Trace("ABC")
+
+    def test_read_sorts_lexicographically_when_not_numeric(self):
+        text = "case_id,activity,ts\nc1,B,t2\nc1,A,t1\n"
+        log = read_csv(io.StringIO(text), timestamp_column="ts")
+        assert log[0] == Trace("AB")
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ValueError):
+            read_csv(io.StringIO("case,act\nc1,A\n"))
+
+    def test_empty_file(self):
+        assert len(read_csv(io.StringIO(""))) == 0
+
+    def test_unnamed_cases_numbered_on_write(self):
+        log = EventLog(["AB"])
+        buffer = io.StringIO()
+        write_csv(log, buffer)
+        assert "0,A" in buffer.getvalue()
+
+
+class TestXes:
+    def test_round_trip(self, tmp_path):
+        log = EventLog(
+            [Trace(["Receive Order", "Ship Goods"], case_id="o-1"),
+             Trace(["Receive Order"], case_id="o-2")]
+        )
+        path = tmp_path / "log.xes"
+        write_xes(log, path)
+        loaded = read_xes(path)
+        assert loaded == log
+        assert [t.case_id for t in loaded] == ["o-1", "o-2"]
+
+    def test_special_characters_escaped(self):
+        log = EventLog([Trace(['Say "hi" & <bye>'], case_id="a&b")])
+        buffer = io.StringIO()
+        write_xes(log, buffer)
+        loaded = read_xes(io.StringIO(buffer.getvalue()))
+        assert loaded == log
+
+    def test_reads_namespaced_documents(self):
+        text = (
+            '<?xml version="1.0"?>'
+            '<log xmlns="http://www.xes-standard.org/">'
+            "<trace>"
+            '<string key="concept:name" value="c"/>'
+            '<event><string key="concept:name" value="A"/></event>'
+            "</trace></log>"
+        )
+        log = read_xes(io.StringIO(text))
+        assert log[0] == Trace("A")
+
+    def test_ignores_unknown_attributes_and_nameless_events(self):
+        text = (
+            "<log>"
+            "<trace>"
+            '<date key="time" value="x"/>'
+            '<event><string key="other" value="A"/></event>'
+            '<event><string key="concept:name" value="B"/></event>'
+            "</trace></log>"
+        )
+        log = read_xes(io.StringIO(text))
+        assert log[0] == Trace("B")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError):
+            read_xes(io.StringIO("<notalog/>"))
+
+    def test_reallike_round_trips_through_xes(self, tmp_path):
+        from repro.datagen import generate_reallike
+
+        task = generate_reallike(num_traces=30, seed=7)
+        path = tmp_path / "dept1.xes"
+        write_xes(task.log_1, path)
+        assert read_xes(path) == task.log_1

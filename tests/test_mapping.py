@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.mapping."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+
+
+class TestConstruction:
+    def test_empty(self):
+        mapping = Mapping()
+        assert len(mapping) == 0
+        assert mapping.as_dict() == {}
+
+    def test_from_dict(self):
+        mapping = Mapping({"A": "1", "B": "2"})
+        assert mapping["A"] == "1"
+        assert len(mapping) == 2
+
+    def test_injectivity_enforced(self):
+        with pytest.raises(ValueError):
+            Mapping({"A": "1", "B": "1"})
+
+
+class TestMappingProtocol:
+    def test_get_and_iteration(self):
+        mapping = Mapping({"A": "1"})
+        assert mapping.get("A") == "1"
+        assert mapping.get("Z") is None
+        assert list(mapping) == ["A"]
+        assert "A" in mapping
+
+    def test_equality_with_dict(self):
+        assert Mapping({"A": "1"}) == {"A": "1"}
+        assert Mapping({"A": "1"}) == Mapping({"A": "1"})
+        assert Mapping({"A": "1"}) != Mapping({"A": "2"})
+
+    def test_hashable(self):
+        assert hash(Mapping({"A": "1"})) == hash(Mapping({"A": "1"}))
+
+
+class TestOperations:
+    def test_extend(self):
+        extended = Mapping({"A": "1"}).extend("B", "2")
+        assert extended == {"A": "1", "B": "2"}
+
+    def test_extend_rejects_duplicate_source(self):
+        with pytest.raises(ValueError):
+            Mapping({"A": "1"}).extend("A", "2")
+
+    def test_extend_rejects_duplicate_target(self):
+        with pytest.raises(ValueError):
+            Mapping({"A": "1"}).extend("B", "1")
+
+    def test_inverse(self):
+        assert Mapping({"A": "1", "B": "2"}).inverse() == {"1": "A", "2": "B"}
+
+    def test_sources_and_targets(self):
+        mapping = Mapping({"A": "1", "B": "2"})
+        assert mapping.sources() == {"A", "B"}
+        assert mapping.targets() == {"1", "2"}
+
+    def test_agreement_count(self):
+        mapping = Mapping({"A": "1", "B": "2", "C": "3"})
+        truth = {"A": "1", "B": "9", "D": "4"}
+        assert mapping.agreement_count(truth) == 1
+
+    def test_restrict_sources(self):
+        mapping = Mapping({"A": "1", "B": "2"})
+        assert mapping.restrict_sources({"A"}) == {"A": "1"}
+        assert mapping.restrict_sources(set()) == {}

@@ -1,0 +1,100 @@
+"""Unit tests for repro.patterns.ast (Definition 3)."""
+
+import pytest
+
+from repro.patterns.ast import AND, SEQ, EventPattern, and_, event, seq
+
+
+class TestEventPattern:
+    def test_single_event(self):
+        pattern = event("A")
+        assert pattern.events() == ("A",)
+        assert len(pattern) == 1
+        assert pattern.event_set() == frozenset({"A"})
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            EventPattern(7)
+
+    def test_repr(self):
+        assert repr(event("Ship_Goods")) == "Ship_Goods"
+
+
+class TestOperators:
+    def test_seq_collects_events_in_order(self):
+        pattern = seq("A", "B", "C")
+        assert pattern.events() == ("A", "B", "C")
+
+    def test_nested_composition(self):
+        pattern = seq("A", and_("B", "C"), "D")
+        assert pattern.events() == ("A", "B", "C", "D")
+        assert isinstance(pattern.children[1], AND)
+
+    def test_operands_promoted_from_strings(self):
+        pattern = and_("X", "Y")
+        assert all(isinstance(c, EventPattern) for c in pattern.children)
+
+    def test_at_least_two_operands(self):
+        with pytest.raises(ValueError):
+            SEQ([event("A")])
+        with pytest.raises(ValueError):
+            AND([event("A")])
+
+    def test_duplicate_events_rejected(self):
+        with pytest.raises(ValueError):
+            seq("A", "B", "A")
+        with pytest.raises(ValueError):
+            seq("A", and_("B", "A"))
+
+    def test_repr_round_trips_through_parser(self):
+        from repro.patterns.parser import parse_pattern
+
+        pattern = seq("A", and_("B", seq("C", "D")), "E")
+        assert parse_pattern(repr(pattern)) == pattern
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        assert seq("A", "B") == seq("A", "B")
+        assert and_("A", "B") == and_("A", "B")
+
+    def test_operator_type_matters(self):
+        assert seq("A", "B") != and_("A", "B")
+
+    def test_order_matters_for_seq(self):
+        assert seq("A", "B") != seq("B", "A")
+
+    def test_equal_patterns_hash_alike(self):
+        assert hash(seq("A", and_("B", "C"))) == hash(seq("A", and_("B", "C")))
+
+    def test_usable_as_dict_keys(self):
+        table = {seq("A", "B"): 1, and_("A", "B"): 2, event("A"): 3}
+        assert table[seq("A", "B")] == 1
+        assert table[and_("A", "B")] == 2
+        assert table[event("A")] == 3
+
+
+class TestImmutability:
+    def test_event_pattern_rejects_mutation(self):
+        with pytest.raises(AttributeError):
+            event("A").event = "B"
+
+    def test_operator_rejects_mutation(self):
+        with pytest.raises(AttributeError):
+            seq("A", "B").children = ()
+
+
+class TestRename:
+    def test_rename_whole_tree(self):
+        pattern = seq("A", and_("B", "C"))
+        renamed = pattern.rename({"A": "1", "B": "2", "C": "3"})
+        assert renamed == seq("1", and_("2", "3"))
+
+    def test_rename_requires_complete_mapping(self):
+        with pytest.raises(KeyError):
+            seq("A", "B").rename({"A": "1"})
+
+    def test_rename_preserves_original(self):
+        pattern = seq("A", "B")
+        pattern.rename({"A": "1", "B": "2"})
+        assert pattern == seq("A", "B")

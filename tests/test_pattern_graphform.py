@@ -1,0 +1,48 @@
+"""Unit tests for repro.patterns.graphform."""
+
+from hypothesis import given
+
+from repro.patterns.ast import and_, event, seq
+from repro.patterns.graphform import pattern_graph
+from tests.test_pattern_parser import pattern_strategy
+
+
+class TestPatternGraph:
+    def test_single_event_is_one_isolated_vertex(self):
+        graph = pattern_graph(event("A"))
+        assert set(graph.vertices()) == {"A"}
+        assert graph.num_edges() == 0
+
+    def test_seq_chain(self):
+        graph = pattern_graph(seq("A", "B", "C"))
+        assert set(graph.edges()) == {("A", "B"), ("B", "C")}
+
+    def test_and_is_a_complete_digraph(self):
+        graph = pattern_graph(and_("A", "B", "C"))
+        expected = {
+            (u, v) for u in "ABC" for v in "ABC" if u != v
+        }
+        assert set(graph.edges()) == expected
+
+    def test_paper_example_4(self):
+        # SEQ(A, AND(B,C), D) → {AB, AC, BC, CB, BD, CD} (Example 4).
+        graph = pattern_graph(seq("A", and_("B", "C"), "D"))
+        assert set(graph.edges()) == {
+            ("A", "B"),
+            ("A", "C"),
+            ("B", "C"),
+            ("C", "B"),
+            ("B", "D"),
+            ("C", "D"),
+        }
+
+    @given(pattern_strategy())
+    def test_edges_are_exactly_allowed_order_adjacencies(self, pattern):
+        from repro.patterns.orders import allowed_orders
+
+        graph = pattern_graph(pattern)
+        expected = set()
+        for order in allowed_orders(pattern):
+            expected.update(zip(order, order[1:]))
+        assert set(graph.edges()) == expected
+        assert set(graph.vertices()) == set(pattern.events())

@@ -1,0 +1,81 @@
+"""Unit tests for repro.patterns.orders (I(p), ω(p))."""
+
+import pytest
+from hypothesis import given
+
+from repro.patterns.ast import and_, event, seq
+from repro.patterns.orders import (
+    MAX_ALLOWED_ORDERS,
+    PatternTooLargeError,
+    allowed_orders,
+    num_allowed_orders,
+)
+from tests.test_pattern_parser import pattern_strategy
+
+
+class TestAllowedOrders:
+    def test_single_event(self):
+        assert allowed_orders(event("A")) == {("A",)}
+
+    def test_flat_seq_has_one_order(self):
+        assert allowed_orders(seq("A", "B", "C")) == {("A", "B", "C")}
+
+    def test_flat_and_has_all_permutations(self):
+        orders = allowed_orders(and_("A", "B", "C"))
+        assert len(orders) == 6
+        assert ("B", "C", "A") in orders
+
+    def test_paper_example_pattern(self):
+        # SEQ(A, AND(B, C), D) allows exactly ABCD and ACBD (Example 2).
+        orders = allowed_orders(seq("A", and_("B", "C"), "D"))
+        assert orders == {("A", "B", "C", "D"), ("A", "C", "B", "D")}
+
+    def test_and_of_seq_blocks_keeps_blocks_contiguous(self):
+        orders = allowed_orders(and_(seq("A", "B"), seq("C", "D")))
+        assert orders == {("A", "B", "C", "D"), ("C", "D", "A", "B")}
+
+    def test_nested_and(self):
+        orders = allowed_orders(and_("A", and_("B", "C")))
+        # Outer AND permutes {A} and {B,C}-block; inner permutes B,C.
+        assert orders == {
+            ("A", "B", "C"),
+            ("A", "C", "B"),
+            ("B", "C", "A"),
+            ("C", "B", "A"),
+        }
+
+
+class TestOmega:
+    @pytest.mark.parametrize(
+        "pattern, expected",
+        [
+            (event("A"), 1),
+            (seq("A", "B", "C", "D"), 1),
+            (and_("A", "B"), 2),
+            (and_("A", "B", "C", "D"), 24),
+            (seq("A", and_("B", "C"), "D"), 2),
+            (and_(seq("A", "B"), seq("C", "D")), 2),
+            (and_("A", and_("B", "C")), 4),
+        ],
+    )
+    def test_counts(self, pattern, expected):
+        assert num_allowed_orders(pattern) == expected
+
+    @given(pattern_strategy())
+    def test_omega_equals_enumeration_size(self, pattern):
+        assert num_allowed_orders(pattern) == len(allowed_orders(pattern))
+
+    @given(pattern_strategy())
+    def test_every_order_is_a_permutation_of_the_events(self, pattern):
+        events = frozenset(pattern.events())
+        for order in allowed_orders(pattern):
+            assert len(order) == len(pattern)
+            assert frozenset(order) == events
+
+
+class TestGuards:
+    def test_oversized_and_rejected(self):
+        huge = and_(*(f"E{i}" for i in range(9)))  # 9! = 362880
+        assert num_allowed_orders(huge) > MAX_ALLOWED_ORDERS
+        with pytest.raises(PatternTooLargeError):
+            allowed_orders(huge)

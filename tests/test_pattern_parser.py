@@ -1,0 +1,96 @@
+"""Unit tests for repro.patterns.parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.patterns.ast import and_, event, seq
+from repro.patterns.parser import PatternSyntaxError, parse_pattern
+
+
+class TestParsing:
+    def test_single_event(self):
+        assert parse_pattern("Ship_Goods") == event("Ship_Goods")
+
+    def test_flat_seq(self):
+        assert parse_pattern("SEQ(A, B, C)") == seq("A", "B", "C")
+
+    def test_flat_and(self):
+        assert parse_pattern("AND(X, Y)") == and_("X", "Y")
+
+    def test_nested(self):
+        assert parse_pattern("SEQ(A, AND(B, C), D)") == seq(
+            "A", and_("B", "C"), "D"
+        )
+
+    def test_deep_nesting(self):
+        text = "AND(SEQ(A, B), SEQ(C, AND(D, E)))"
+        assert parse_pattern(text) == and_(seq("A", "B"), seq("C", and_("D", "E")))
+
+    def test_whitespace_insensitive(self):
+        assert parse_pattern(" SEQ( A ,B ) ") == seq("A", "B")
+
+    def test_operator_names_as_plain_events(self):
+        # SEQ without parentheses is just an event name.
+        assert parse_pattern("SEQ") == event("SEQ")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "SEQ(A)",
+            "SEQ(A,)",
+            "SEQ(A, B",
+            "SEQ A, B)",
+            "SEQ(A, B) C",
+            "(A, B)",
+            ",",
+            "SEQ(,A)",
+        ],
+    )
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern(text)
+
+    def test_duplicate_events_rejected_via_ast(self):
+        with pytest.raises(ValueError):
+            parse_pattern("SEQ(A, A)")
+
+
+@st.composite
+def pattern_strategy(draw, events=tuple("ABCDEF")):
+    """Random valid pattern over a distinct slice of ``events``."""
+    size = draw(st.integers(1, len(events)))
+    chosen = list(draw(st.permutations(events)))[:size]
+
+    def build(pool):
+        if len(pool) == 1:
+            return event(pool[0])
+        operator = draw(st.sampled_from([seq, and_]))
+        # Split the pool into 2..len(pool) consecutive chunks.
+        num_chunks = draw(st.integers(2, len(pool)))
+        cuts = sorted(
+            draw(
+                st.lists(
+                    st.integers(1, len(pool) - 1),
+                    min_size=num_chunks - 1,
+                    max_size=num_chunks - 1,
+                    unique=True,
+                )
+            )
+        )
+        chunks, start = [], 0
+        for cut in cuts + [len(pool)]:
+            chunks.append(pool[start:cut])
+            start = cut
+        return operator(*(build(chunk) for chunk in chunks))
+
+    return build(chosen)
+
+
+class TestRoundTrip:
+    @given(pattern_strategy())
+    def test_repr_parses_back(self, pattern):
+        assert parse_pattern(repr(pattern)) == pattern

@@ -1,0 +1,128 @@
+"""Unit tests for the process-tree simulator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datagen.processtree import (
+    Choice,
+    Interleave,
+    Leaf,
+    Loop,
+    Optional,
+    Parallel,
+    Sequence,
+    simulate_log,
+)
+
+
+def sample_many(tree, n=2000, seed=0):
+    rng = random.Random(seed)
+    return [tuple(tree.sample(rng)) for _ in range(n)]
+
+
+class TestLeafAndSequence:
+    def test_leaf(self):
+        assert Leaf("A").sample(random.Random(0)) == ["A"]
+        assert Leaf("A").activities() == {"A"}
+
+    def test_sequence_order(self):
+        tree = Sequence([Leaf("A"), Leaf("B"), Leaf("C")])
+        assert tree.sample(random.Random(0)) == ["A", "B", "C"]
+        assert tree.activities() == {"A", "B", "C"}
+
+
+class TestParallel:
+    def test_blocks_stay_contiguous(self):
+        tree = Parallel([Sequence([Leaf("A"), Leaf("B")]), Leaf("C")])
+        for sample in sample_many(tree, 200):
+            assert sample in (("A", "B", "C"), ("C", "A", "B"))
+
+    def test_weights_bias_order(self):
+        tree = Parallel([Leaf("A"), Leaf("B")], weights=[3.0, 1.0])
+        samples = sample_many(tree, 4000)
+        a_first = sum(1 for s in samples if s[0] == "A") / len(samples)
+        assert a_first == pytest.approx(0.75, abs=0.03)
+
+    def test_weight_arity_checked(self):
+        with pytest.raises(ValueError):
+            Parallel([Leaf("A")], weights=[1.0, 2.0])
+
+
+class TestInterleave:
+    def test_child_order_preserved(self):
+        tree = Interleave(
+            [Sequence([Leaf("A"), Leaf("B")]), Sequence([Leaf("X"), Leaf("Y")])]
+        )
+        for sample in sample_many(tree, 300):
+            assert sample.index("A") < sample.index("B")
+            assert sample.index("X") < sample.index("Y")
+
+    def test_streams_actually_interleave(self):
+        tree = Interleave(
+            [Sequence([Leaf("A"), Leaf("B")]), Sequence([Leaf("X"), Leaf("Y")])]
+        )
+        samples = set(sample_many(tree, 500))
+        # Unlike Parallel, mixed arrangements like AXBY must occur.
+        assert ("A", "X", "B", "Y") in samples
+
+    def test_weights_bias_which_stream_leads(self):
+        tree = Interleave([Leaf("A"), Leaf("B")], weights=[4.0, 1.0])
+        samples = sample_many(tree, 4000)
+        a_first = sum(1 for s in samples if s[0] == "A") / len(samples)
+        assert a_first == pytest.approx(0.8, abs=0.03)
+
+    def test_empty_child_streams_tolerated(self):
+        tree = Interleave([Optional(Leaf("A"), 0.0), Leaf("B")])
+        assert tree.sample(random.Random(0)) == ["B"]
+
+
+class TestChoice:
+    def test_exactly_one_child(self):
+        tree = Choice([Leaf("A"), Leaf("B")])
+        for sample in sample_many(tree, 100):
+            assert sample in (("A",), ("B",))
+
+    def test_weights_respected(self):
+        tree = Choice([Leaf("A"), Leaf("B")], weights=[0.8, 0.2])
+        counts = Counter(sample_many(tree, 5000))
+        assert counts[("A",)] / 5000 == pytest.approx(0.8, abs=0.03)
+
+
+class TestOptionalAndLoop:
+    def test_optional_probability(self):
+        tree = Optional(Leaf("A"), 0.3)
+        samples = sample_many(tree, 5000)
+        rate = sum(1 for s in samples if s) / len(samples)
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_optional_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Optional(Leaf("A"), 1.5)
+
+    def test_loop_repeats(self):
+        tree = Loop(Leaf("A"), continue_probability=0.5, max_repeats=3)
+        lengths = Counter(len(s) for s in sample_many(tree, 4000))
+        assert lengths[1] / 4000 == pytest.approx(0.5, abs=0.04)
+        assert max(lengths) <= 4  # 1 + max_repeats
+
+    def test_loop_probability_bounds(self):
+        with pytest.raises(ValueError):
+            Loop(Leaf("A"), continue_probability=1.0)
+
+
+class TestSimulateLog:
+    def test_deterministic_given_seed(self):
+        tree = Sequence([Leaf("A"), Choice([Leaf("B"), Leaf("C")])])
+        log_a = simulate_log(tree, 50, seed=5)
+        log_b = simulate_log(tree, 50, seed=5)
+        assert log_a == log_b
+
+    def test_different_seeds_differ(self):
+        tree = Choice([Leaf("B"), Leaf("C")])
+        assert simulate_log(tree, 50, seed=1) != simulate_log(tree, 50, seed=2)
+
+    def test_case_ids_assigned(self):
+        log = simulate_log(Leaf("A"), 3, seed=0)
+        assert [t.case_id for t in log] == ["0", "1", "2"]

@@ -1,0 +1,140 @@
+"""Unit tests for repro.core.scoring (ScoreModel, pattern sets, g/h)."""
+
+import pytest
+
+from repro.core.bounds import BoundKind
+from repro.core.scoring import ScoreModel, _mandatory_edges, build_pattern_set
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import AND, SEQ, EventPattern, and_, event, seq
+
+
+class TestBuildPatternSet:
+    def test_vertices_and_edges_included(self):
+        log = EventLog(["AB", "BA"])
+        patterns = build_pattern_set(log)
+        assert EventPattern("A") in patterns
+        assert EventPattern("B") in patterns
+        assert seq("A", "B") in patterns
+        assert seq("B", "A") in patterns
+
+    def test_self_loop_edges_skipped(self):
+        log = EventLog(["AAB"])
+        patterns = build_pattern_set(log)
+        assert all(
+            len(p.event_set()) == len(p.events()) for p in patterns
+        )
+
+    def test_complex_patterns_appended_once(self):
+        log = EventLog(["AB"])
+        complex_pattern = seq("A", "B")  # duplicates the edge pattern
+        patterns = build_pattern_set(log, [complex_pattern])
+        assert patterns.count(complex_pattern) == 1
+
+    def test_vertex_only_configuration(self):
+        log = EventLog(["AB"])
+        patterns = build_pattern_set(log, include_edges=False)
+        assert all(isinstance(p, EventPattern) for p in patterns)
+
+
+class TestMandatoryEdges:
+    def test_seq_chain_is_fully_mandatory(self):
+        assert _mandatory_edges(seq("A", "B", "C")) == (("A", "B"), ("B", "C"))
+
+    def test_and_has_no_mandatory_edges(self):
+        assert _mandatory_edges(and_("A", "B", "C")) == ()
+
+    def test_mixed_pattern(self):
+        # SEQ(A, AND(B,C), D): no single consecutive pair occurs in both
+        # allowed orders except... A-B only in ABCD, A-C only in ACBD,
+        # so nothing is mandatory.
+        assert _mandatory_edges(seq("A", and_("B", "C"), "D")) == ()
+
+    def test_seq_of_blocks(self):
+        # SEQ(AND(A,B), C): orders ABC and BAC share only the pair ending
+        # at C? ABC pairs {AB, BC}; BAC pairs {BA, AC} — intersection ∅.
+        assert _mandatory_edges(seq(and_("A", "B"), "C")) == ()
+
+    def test_single_event(self):
+        assert _mandatory_edges(event("A")) == ()
+
+
+class TestScoreModel:
+    @pytest.fixture
+    def model(self):
+        log_1 = EventLog(["ABCD", "ACBD", "ABD", "ABCD"])
+        log_2 = EventLog(["1234", "1324", "124", "1234"])
+        patterns = build_pattern_set(log_1, [seq("A", and_("B", "C"), "D")])
+        return ScoreModel(log_1, log_2, patterns)
+
+    def test_rejects_patterns_outside_alphabet(self):
+        log = EventLog(["AB"])
+        with pytest.raises(ValueError):
+            ScoreModel(log, EventLog(["12"]), [event("Z")])
+
+    def test_g_empty_mapping_is_zero(self, model):
+        assert model.g({}) == 0.0
+
+    def test_g_increment_consistency(self, model):
+        """g computed incrementally equals g recomputed from scratch."""
+        mapping = {}
+        g = 0.0
+        for source, target in [("A", "1"), ("B", "2"), ("C", "3"), ("D", "4")]:
+            mapping[source] = target
+            g += model.g_increment(source, mapping)
+            assert g == pytest.approx(model.g(mapping))
+
+    def test_contribution_uses_proposition_3(self, model):
+        from repro.core.stats import SearchStats
+
+        stats = SearchStats()
+        # Map the Example 4 pattern onto targets lacking its edges.
+        mapping = {"A": "4", "B": "3", "C": "2", "D": "1"}
+        pattern = seq("A", and_("B", "C"), "D")
+        value = model.contribution(pattern, mapping, stats)
+        assert value == 0.0
+        assert stats.pruned_by_existence == 1
+
+    def test_h_decreases_along_expansions(self, model):
+        targets = list(model.target_events)
+        h_root = model.h({}, targets)
+        mapping = {"A": "1"}
+        h_child = model.h(mapping, [t for t in targets if t != "1"])
+        assert h_child <= h_root + 1e-12
+
+    def test_h_zero_when_everything_mapped(self, model):
+        mapping = {"A": "1", "B": "2", "C": "3", "D": "4"}
+        assert model.h(mapping, []) == 0.0
+
+    def test_simple_bound_counts_remaining_patterns(self):
+        log_1 = EventLog(["AB"])
+        log_2 = EventLog(["12"])
+        patterns = build_pattern_set(log_1)  # A, B, AB
+        model = ScoreModel(log_1, log_2, patterns, bound=BoundKind.SIMPLE)
+        assert model.h({}, ["1", "2"]) == 3.0
+        assert model.h({"A": "1"}, ["2"]) == 2.0  # B and AB remain
+
+    def test_heuristic_order_covers_all_events(self, model):
+        order = model.heuristic_order()
+        assert sorted(order) == sorted(model.source_events)
+
+    def test_heuristic_order_is_anchored(self):
+        # After the seed event, each next event neighbours a placed one.
+        log_1 = EventLog(["ABC", "ABD", "ABC"])
+        log_2 = EventLog(["123", "124", "123"])
+        model = ScoreModel(log_1, log_2, build_pattern_set(log_1))
+        order = model.heuristic_order()
+        placed = {order[0]}
+        graph = model.graph_1
+        for event_name in order[1:]:
+            neighbours = set(graph.successors(event_name)) | set(
+                graph.predecessors(event_name)
+            )
+            assert neighbours & placed
+            placed.add(event_name)
+
+    def test_score_combines_g_and_h(self, model):
+        mapping = {"A": "1"}
+        unmapped = ["2", "3", "4"]
+        assert model.score(mapping, unmapped) == pytest.approx(
+            model.g(mapping) + model.h(mapping, unmapped)
+        )

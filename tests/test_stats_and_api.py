@@ -1,0 +1,82 @@
+"""Unit tests for search statistics and the public API surface."""
+
+import pytest
+
+import repro
+from repro.core.stats import SearchStats
+
+
+class TestSearchStats:
+    def test_defaults_are_zero(self):
+        stats = SearchStats()
+        assert stats.processed_mappings == 0
+        assert stats.expanded_nodes == 0
+        assert stats.extra == {}
+
+    def test_merge_accumulates(self):
+        first = SearchStats(processed_mappings=3, expanded_nodes=2)
+        first.extra["iterations"] = 4.0
+        second = SearchStats(processed_mappings=5, pruned_by_existence=1)
+        second.extra["iterations"] = 2.0
+        second.extra["other"] = 1.0
+        first.merge(second)
+        assert first.processed_mappings == 8
+        assert first.expanded_nodes == 2
+        assert first.pruned_by_existence == 1
+        assert first.extra == {"iterations": 6.0, "other": 1.0}
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_methods_tuple_matches_facade(self):
+        from repro.core.matcher import METHODS
+
+        assert repro.METHODS is METHODS
+        assert "pattern-tight" in METHODS
+        assert len(METHODS) == 8
+
+    def test_pattern_constructors_exported(self):
+        pattern = repro.seq("A", repro.and_("B", "C"))
+        assert pattern == repro.parse_pattern("SEQ(A, AND(B, C))")
+
+    def test_subpackage_exports_resolve(self):
+        import repro.baselines
+        import repro.core
+        import repro.datagen
+        import repro.evaluation
+        import repro.graph
+        import repro.log
+        import repro.patterns
+
+        for module in (
+            repro.baselines,
+            repro.core,
+            repro.datagen,
+            repro.evaluation,
+            repro.graph,
+            repro.log,
+            repro.patterns,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (
+                    f"{module.__name__} missing export {name}"
+                )
+
+
+class TestHeuristicOrderEdgeCases:
+    def test_isolated_events_are_still_ordered(self):
+        from repro.core.scoring import ScoreModel, build_pattern_set
+        from repro.log.eventlog import EventLog
+
+        # Single-event traces: no edges at all.
+        log_1 = EventLog(["A", "B", "C"])
+        log_2 = EventLog(["1", "2", "3"])
+        model = ScoreModel(log_1, log_2, build_pattern_set(log_1))
+        order = model.heuristic_order()
+        assert sorted(order) == ["A", "B", "C"]

@@ -1,0 +1,113 @@
+"""Unit tests for repro.log.events (Trace)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.log.events import Trace
+
+events_strategy = st.lists(
+    st.sampled_from(list("ABCDEF")), min_size=0, max_size=12
+)
+
+
+class TestConstruction:
+    def test_events_are_preserved_in_order(self):
+        trace = Trace(["A", "B", "A"])
+        assert trace.events == ("A", "B", "A")
+
+    def test_accepts_any_iterable(self):
+        trace = Trace(iter("XYZ"))
+        assert trace.events == ("X", "Y", "Z")
+
+    def test_case_id_is_kept(self):
+        assert Trace("AB", case_id="case-1").case_id == "case-1"
+
+    def test_non_string_event_rejected(self):
+        with pytest.raises(TypeError):
+            Trace(["A", 3])
+
+
+class TestEqualityAndHashing:
+    def test_equal_events_equal_traces(self):
+        assert Trace("ABC") == Trace("ABC")
+
+    def test_case_id_does_not_affect_equality(self):
+        assert Trace("ABC", case_id="x") == Trace("ABC", case_id="y")
+
+    def test_equal_traces_hash_alike(self):
+        assert hash(Trace("ABC")) == hash(Trace("ABC", case_id="z"))
+
+    def test_compares_equal_to_plain_tuple(self):
+        assert Trace("AB") == ("A", "B")
+
+    def test_distinct_sequences_differ(self):
+        assert Trace("AB") != Trace("BA")
+
+
+class TestSequenceProtocol:
+    def test_len(self):
+        assert len(Trace("ABCD")) == 4
+
+    def test_iteration(self):
+        assert list(Trace("ABC")) == ["A", "B", "C"]
+
+    def test_indexing_and_slicing(self):
+        trace = Trace("ABCD")
+        assert trace[0] == "A"
+        assert trace[1:3] == ("B", "C")
+
+    def test_contains(self):
+        assert "B" in Trace("ABC")
+        assert "Z" not in Trace("ABC")
+
+
+class TestProjection:
+    def test_project_keeps_order(self):
+        assert Trace("ABCABC").project({"A", "C"}) == Trace("ACAC")
+
+    def test_project_to_nothing(self):
+        assert len(Trace("ABC").project(set())) == 0
+
+    def test_project_preserves_case_id(self):
+        assert Trace("AB", case_id="k").project({"A"}).case_id == "k"
+
+
+class TestRename:
+    def test_rename_maps_known_events(self):
+        assert Trace("ABA").rename({"A": "x"}) == Trace(["x", "B", "x"])
+
+    def test_rename_keeps_unknown_events(self):
+        assert Trace("AB").rename({}) == Trace("AB")
+
+
+class TestContainsSubstring:
+    def test_finds_contiguous_run(self):
+        assert Trace("XABCY").contains_substring(("A", "B", "C"))
+
+    def test_rejects_non_contiguous_subsequence(self):
+        assert not Trace("AXBXC").contains_substring(("A", "B", "C"))
+
+    def test_empty_needle_always_matches(self):
+        assert Trace("").contains_substring(())
+
+    def test_needle_longer_than_trace(self):
+        assert not Trace("AB").contains_substring(("A", "B", "C"))
+
+    def test_match_at_both_ends(self):
+        assert Trace("ABC").contains_substring(("A", "B"))
+        assert Trace("ABC").contains_substring(("B", "C"))
+
+    @given(events_strategy, st.integers(0, 10), st.integers(0, 5))
+    def test_every_window_is_found(self, events, start, length):
+        trace = Trace(events)
+        window = tuple(events[start:start + length])
+        assert trace.contains_substring(window) or start >= len(events)
+
+    @given(events_strategy, events_strategy)
+    def test_substring_membership_matches_string_search(self, haystack, needle):
+        # Single-character event names let plain str containment serve as
+        # an oracle for the substring check.
+        trace = Trace(haystack)
+        expected = "".join(needle) in "".join(haystack)
+        assert trace.contains_substring(tuple(needle)) == expected

@@ -1,0 +1,82 @@
+"""Unit tests for repro.log.index (the I_t inverted index)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.log.eventlog import EventLog
+from repro.log.index import TraceIndex
+
+log_strategy = st.lists(
+    st.lists(st.sampled_from(list("ABCD")), min_size=1, max_size=8),
+    min_size=1,
+    max_size=20,
+).map(EventLog)
+
+
+class TestPostings:
+    def test_postings_list_trace_ids(self):
+        log = EventLog(["AB", "BC", "CA"])
+        index = TraceIndex(log)
+        assert index.postings("A") == {0, 2}
+        assert index.postings("B") == {0, 1}
+        assert index.postings("Z") == frozenset()
+
+    def test_candidates_intersect(self):
+        log = EventLog(["AB", "BC", "ABC"])
+        index = TraceIndex(log)
+        assert index.candidate_traces(["A", "B"]) == {0, 2}
+        assert index.candidate_traces(["A", "B", "C"]) == {2}
+        assert index.candidate_traces(["A", "Z"]) == frozenset()
+
+    def test_empty_event_set_selects_all(self):
+        log = EventLog(["AB", "BC"])
+        index = TraceIndex(log)
+        assert index.candidate_traces([]) == {0, 1}
+
+    @given(log_strategy, st.sets(st.sampled_from(list("ABCD")), max_size=3))
+    def test_candidates_equal_scan(self, log, events):
+        index = TraceIndex(log)
+        expected = {
+            trace_id
+            for trace_id, trace in enumerate(log)
+            if all(event in trace for event in events)
+        }
+        assert index.candidate_traces(events) == expected
+
+
+class TestSubstringCounting:
+    def test_counts_any_alternative(self):
+        log = EventLog(["ABC", "ACB", "BCA", "AXB"])
+        index = TraceIndex(log)
+        # AND(B, C)-style alternatives share the event set {B, C}.
+        assert index.count_traces_with_any_substring(
+            [("B", "C"), ("C", "B")]
+        ) == 3
+
+    def test_empty_sequence_list(self):
+        index = TraceIndex(EventLog(["AB"]))
+        assert index.count_traces_with_any_substring([]) == 0
+
+    def test_rejects_mismatched_event_sets(self):
+        index = TraceIndex(EventLog(["AB"]))
+        with pytest.raises(ValueError):
+            index.count_traces_with_any_substring([("A", "B"), ("A", "C")])
+
+    def test_trace_counted_once_even_if_both_orders_occur(self):
+        log = EventLog(["BCACB"])
+        index = TraceIndex(log)
+        assert index.count_traces_with_any_substring(
+            [("B", "C"), ("C", "B")]
+        ) == 1
+
+    @given(log_strategy)
+    def test_count_matches_unindexed_scan(self, log):
+        index = TraceIndex(log)
+        sequences = [("A", "B", "C"), ("A", "C", "B")]
+        expected = sum(
+            1
+            for trace in log
+            if any(trace.contains_substring(s) for s in sequences)
+        )
+        assert index.count_traces_with_any_substring(sequences) == expected
