@@ -1,0 +1,127 @@
+"""Streaming ingestion — incremental deltas vs rebuild-per-batch.
+
+The streaming subsystem's economic argument: because ``I_t`` postings,
+dependency-graph counts, and pattern match counts are monotone under
+append, each committed trace needs to be scanned exactly once.  A
+consumer that instead rebuilds its indices and re-evaluates every
+pattern frequency after each batch pays O(total backlog) per batch —
+quadratic in the length of the stream.
+
+This benchmark replays a real-like log trace-by-trace in batches and
+measures, after every batch, a full drift check (reading the frequency
+of every tracked pattern):
+
+* **incremental** — one :class:`~repro.stream.ingest.StreamingLog` with
+  an attached :class:`~repro.stream.deltas.DeltaState`; frequencies are
+  read straight from maintained counts;
+* **rebuild-per-batch** — a fresh :class:`~repro.log.eventlog.EventLog`
+  plus :class:`~repro.patterns.matching.PatternFrequencyEvaluator` built
+  over the whole backlog at every batch boundary.
+
+A second section reports online re-match latency: how long the
+:class:`~repro.stream.engine.OnlineMatcher` spends on a hold (pure
+drift check) versus an actual warm-started re-match.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.scoring import build_pattern_set
+from repro.datagen import generate_reallike
+from repro.log.eventlog import EventLog
+from repro.patterns.matching import PatternFrequencyEvaluator
+from repro.stream.deltas import DeltaState
+from repro.stream.engine import OnlineMatcher
+from repro.stream.ingest import StreamingLog
+
+
+@pytest.fixture(scope="module")
+def stream_ingest(scale):
+    num_traces = 10_000 if scale == "paper" else 1_200
+    batch = 100
+    task = generate_reallike(num_traces=num_traces, seed=11)
+    feed = task.log_1.traces[:num_traces]
+    patterns = build_pattern_set(task.log_1, task.patterns)
+
+    # --- incremental: deltas maintained at commit time -----------------
+    stream = StreamingLog(name="bench")
+    deltas = DeltaState(stream, patterns=patterns)
+    started = time.perf_counter()
+    for start in range(0, len(feed), batch):
+        for trace in feed[start : start + batch]:
+            stream.append_trace(trace)
+        incremental_freqs = [deltas.frequency(p) for p in patterns]
+    incremental = time.perf_counter() - started
+
+    # --- rebuild-per-batch: fresh log + evaluator over the backlog -----
+    backlog = []
+    started = time.perf_counter()
+    for start in range(0, len(feed), batch):
+        backlog.extend(feed[start : start + batch])
+        log = EventLog(backlog)
+        evaluator = PatternFrequencyEvaluator(log)
+        rebuild_freqs = [evaluator.frequency(p) for p in patterns]
+    rebuild = time.perf_counter() - started
+
+    # Both strategies must agree on the final frequencies.
+    assert incremental_freqs == pytest.approx(rebuild_freqs)
+
+    # --- online re-match latency: hold vs warm-started re-match --------
+    live = StreamingLog(name="live")
+    engine = OnlineMatcher(
+        task.log_1, live, patterns=task.patterns, min_traces=batch
+    )
+    hold_time = 0.0
+    holds = 0
+    for start in range(0, len(task.log_2), batch):
+        for trace in task.log_2.traces[start : start + batch]:
+            live.append_trace(trace)
+        update_started = time.perf_counter()
+        record = engine.update()
+        if not record.rematched:
+            hold_time += time.perf_counter() - update_started
+            holds += 1
+    rematches = [u for u in engine.history if u.rematched]
+    rematch_time = sum(u.elapsed_seconds for u in rematches)
+
+    lines = [
+        f"ingestion of {len(feed)} traces in batches of {batch}, "
+        f"drift check over {len(patterns)} patterns per batch:",
+        f"  incremental deltas   : {incremental:8.3f}s "
+        f"({len(feed) / incremental:8.0f} traces/s)",
+        f"  rebuild per batch    : {rebuild:8.3f}s "
+        f"({len(feed) / rebuild:8.0f} traces/s)",
+        f"  speedup              : {rebuild / max(incremental, 1e-9):8.2f}x",
+        "",
+        f"online matching over {len(task.log_2)} streamed traces "
+        f"({len(engine.history)} updates):",
+        f"  re-matches           : {len(rematches)} "
+        f"({', '.join(u.reason for u in rematches) or 'none'})",
+        f"  re-match latency     : {rematch_time:8.3f}s total, "
+        f"{rematch_time / max(len(rematches), 1):8.3f}s mean",
+        f"  hold (drift check)   : "
+        f"{hold_time / max(holds, 1) * 1000:8.3f}ms mean over {holds} holds",
+    ]
+    save_report("stream_ingest", "\n".join(lines))
+    return incremental, rebuild
+
+
+def test_stream_ingest_benchmark(benchmark, stream_ingest):
+    """Time committing a batch of traces into a delta-maintained stream."""
+    task = generate_reallike(num_traces=300, seed=11)
+    patterns = build_pattern_set(task.log_1, task.patterns)
+
+    def kernel():
+        stream = StreamingLog()
+        deltas = DeltaState(stream, patterns=patterns)
+        for trace in task.log_1.traces:
+            stream.append_trace(trace)
+        return deltas.frequencies()
+
+    benchmark(kernel)
+
+    incremental, rebuild = stream_ingest
+    # The whole point: maintaining deltas must beat rebuilding per batch.
+    assert incremental < rebuild

@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Four subcommands cover the library's workflow on files (CSV or XES logs,
+Five subcommands cover the library's workflow on files (CSV or XES logs,
 detected by extension):
 
 * ``repro characterize LOG ...`` — Table-3-style statistics of logs;
 * ``repro match LOG1 LOG2`` — match two logs, print the mapping (and
   optionally save it as JSON / explain it pattern by pattern);
+* ``repro stream LOG1 FEED`` — replay ``FEED`` as a live stream against
+  the frozen reference ``LOG1``: traces are ingested case by case, state
+  is maintained incrementally, and re-matching only fires on drift;
 * ``repro discover LOG`` — mine discriminative SEQ/AND patterns;
 * ``repro graph LOG`` — export a log's dependency graph as DOT.
 
@@ -14,6 +17,8 @@ Examples::
     python -m repro.cli match dept1.xes dept2.csv \\
         --pattern "SEQ(Receive_Order, AND(Payment, Check_Inventory))" \\
         --method heuristic-advanced --explain
+    python -m repro.cli stream dept1.xes live_feed.csv \\
+        --batch-size 100 --drift-threshold 0.05
     python -m repro.cli discover dept1.xes --min-support 0.3
 """
 
@@ -25,6 +30,7 @@ from pathlib import Path
 
 from repro.core.matcher import METHODS, EventMatcher
 from repro.evaluation.explain import explain_mapping, format_explanation
+from repro.evaluation.reporting import format_stream_report
 from repro.graph.dependency import dependency_graph
 from repro.graph.dot import to_dot
 from repro.log.csvio import read_csv
@@ -34,6 +40,8 @@ from repro.log.xes import read_xes
 from repro.patterns.discovery import discover_patterns
 from repro.patterns.matching import pattern_frequency
 from repro.patterns.parser import parse_pattern
+from repro.stream.engine import OnlineMatcher
+from repro.stream.ingest import StreamingLog
 
 
 def load_log(path: str) -> EventLog:
@@ -93,6 +101,58 @@ def _cmd_match(args: argparse.Namespace) -> int:
         )
         print()
         print(format_explanation(explanation, limit=args.explain_limit))
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    if args.batch_size < 1:
+        raise SystemExit("error: --batch-size must be at least 1")
+    reference = load_log(args.log1)
+    feed = load_log(args.feed)
+    patterns = [parse_pattern(text) for text in args.pattern]
+
+    stream = StreamingLog(name=Path(args.feed).stem)
+    engine = OnlineMatcher(
+        reference,
+        stream,
+        patterns=patterns,
+        drift_threshold=args.drift_threshold,
+        exact_cutoff=args.exact_cutoff,
+        node_budget=args.node_budget,
+        time_budget=args.time_budget,
+        min_traces=args.min_traces,
+    )
+
+    # Replay the feed as live traffic: every event goes through the
+    # per-case open/append/close lifecycle, and the engine re-evaluates
+    # drift after each committed batch.
+    pending = 0
+    for trace in feed:
+        case_id = trace.case_id if trace.case_id is not None else f"case-{pending}"
+        for event in trace:
+            stream.append_event(case_id, event)
+        stream.close_trace(case_id)
+        pending += 1
+        if pending % args.batch_size == 0:
+            engine.update()
+    if pending % args.batch_size != 0 or not engine.history:
+        engine.update()
+
+    print(format_stream_report(engine.history))
+    rematches = sum(1 for update in engine.history if update.rematched)
+    print(
+        f"\n# {len(stream)} traces ingested, {len(engine.history)} updates, "
+        f"{rematches} re-matches, final score={engine.current_score():.4f}"
+    )
+    mapping = engine.mapping
+    if mapping is None:
+        print("# no mapping (feed shorter than --min-traces?)", file=sys.stderr)
+        return 1
+    for source, target in sorted(mapping.as_dict().items()):
+        print(f"{source}\t{target}")
+    if args.output:
+        Path(args.output).write_text(mapping.to_json() + "\n")
+        print(f"# mapping saved to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -157,6 +217,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     match_parser.add_argument("--explain-limit", type=int, default=None)
     match_parser.set_defaults(handler=_cmd_match)
+
+    stream_parser = commands.add_parser(
+        "stream",
+        help="replay FEED as a live stream against the reference LOG1, "
+        "re-matching only on drift",
+    )
+    stream_parser.add_argument("log1", metavar="LOG1")
+    stream_parser.add_argument("feed", metavar="FEED")
+    stream_parser.add_argument(
+        "--pattern", action="append", default=[], metavar="EXPR",
+        help='complex pattern over LOG1, e.g. "SEQ(A, AND(B, C))" (repeatable)',
+    )
+    stream_parser.add_argument(
+        "--batch-size", type=int, default=100,
+        help="traces committed between drift evaluations",
+    )
+    stream_parser.add_argument(
+        "--drift-threshold", type=float, default=0.05,
+        help="relative score drift that triggers a re-match",
+    )
+    stream_parser.add_argument(
+        "--exact-cutoff", type=int, default=6,
+        help="use exact A* when both vocabularies are at most this large",
+    )
+    stream_parser.add_argument(
+        "--min-traces", type=int, default=1,
+        help="hold until this many traces are committed",
+    )
+    stream_parser.add_argument("--node-budget", type=int, default=200_000)
+    stream_parser.add_argument("--time-budget", type=float, default=None)
+    stream_parser.add_argument(
+        "--output", metavar="FILE", help="save the final mapping as JSON"
+    )
+    stream_parser.set_defaults(handler=_cmd_stream)
 
     discover_parser = commands.add_parser(
         "discover", help="mine discriminative SEQ/AND patterns from a log"

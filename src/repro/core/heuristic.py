@@ -35,6 +35,8 @@ commit-forever heuristic has to make its well-informed decisions first.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping as MappingABC
+
 from repro.assignment import max_weight_assignment
 from repro.core.estimation import estimated_scores
 from repro.core.labeling import augment, build_alternating_tree, initial_labels
@@ -45,6 +47,30 @@ from repro.core.stats import SearchStats
 from repro.log.events import Event
 
 _DUMMY_PREFIX = "\x00dummy"
+
+
+def sanitize_warm_start(
+    warm: MappingABC[Event, Event] | None,
+    sources: Iterable[Event],
+    targets: Iterable[Event],
+) -> dict[Event, Event] | None:
+    """Restrict a warm-start mapping to the current vocabularies.
+
+    Drops pairs whose source or target no longer exists and keeps the
+    first pair per target (injectivity).  Returns ``None`` when nothing
+    survives — callers fall back to a cold start.
+    """
+    if warm is None:
+        return None
+    source_set = set(sources)
+    target_set = set(targets)
+    kept: dict[Event, Event] = {}
+    used: set[Event] = set()
+    for source, target in warm.items():
+        if source in source_set and target in target_set and target not in used:
+            kept[source] = target
+            used.add(target)
+    return kept or None
 
 
 class SimpleHeuristicMatcher:
@@ -103,6 +129,15 @@ class AdvancedHeuristicMatcher:
         docstring.
     max_refinement_passes:
         Upper bound on hill-climbing sweeps of the refine strategy.
+    initial_mapping:
+        Optional warm-start seed (e.g. the previous epoch's mapping in
+        the streaming engine).  The refine strategy considers it as a
+        third candidate alongside the θ-assignment and the greedy pass —
+        when the logs have only drifted slightly, revision starts from a
+        near-optimal point and converges in a pass or two.  Pairs whose
+        source/target fell out of the current vocabularies are dropped;
+        the ``"faithful"`` strategy ignores the seed (Algorithm 3 has no
+        warm-start notion).
     """
 
     def __init__(
@@ -110,12 +145,16 @@ class AdvancedHeuristicMatcher:
         model: ScoreModel,
         strategy: str = "refine",
         max_refinement_passes: int = 20,
+        initial_mapping: MappingABC[Event, Event] | None = None,
     ):
         if strategy not in ("refine", "faithful"):
             raise ValueError(f"unknown strategy {strategy!r}")
         self.model = model
         self.strategy = strategy
         self.max_refinement_passes = max_refinement_passes
+        self.initial_mapping = sanitize_warm_start(
+            initial_mapping, model.source_events, model.target_events
+        )
 
     def match(self) -> MatchOutcome:
         if not self.model.source_events or not self.model.target_events:
@@ -140,15 +179,19 @@ class AdvancedHeuristicMatcher:
         km_mapping = {sources[i]: targets[j] for i, j in assignment.items()}
         stats.processed_mappings += len(sources) * len(targets)
 
-        # Phase B: the greedy pass; start revision from the better of the
-        # two, so the advanced heuristic never scores below the simple one.
+        # Phase B: the greedy pass; start revision from the best seed —
+        # θ-assignment, greedy, or (when given) the warm start — so the
+        # advanced heuristic never scores below the simple one, and a
+        # still-good previous mapping survives re-matching untouched.
         greedy_mapping = SimpleHeuristicMatcher(model)._greedy_mapping(stats)
-        km_score = model.g(km_mapping, stats)
-        greedy_score = model.g(greedy_mapping, stats)
-        if km_score >= greedy_score:
-            mapping, score = km_mapping, km_score
-        else:
-            mapping, score = greedy_mapping, greedy_score
+        seeds = [
+            (model.g(km_mapping, stats), km_mapping),
+            (model.g(greedy_mapping, stats), greedy_mapping),
+        ]
+        if self.initial_mapping is not None:
+            warm_mapping = self._complete(dict(self.initial_mapping), stats)
+            seeds.append((model.g(warm_mapping, stats), warm_mapping))
+        score, mapping = max(seeds, key=lambda seed: seed[0])
 
         # Phase C: revise earlier decisions — pairwise target swaps and
         # re-assignments onto unused targets, accepted on realized score.
@@ -156,6 +199,38 @@ class AdvancedHeuristicMatcher:
 
         model.collect_frequency_evaluations(stats)
         return MatchOutcome(Mapping(mapping), score, stats)
+
+    def _complete(
+        self, mapping: dict[Event, Event], stats: SearchStats
+    ) -> dict[Event, Event]:
+        """Extend a partial warm-start seed over the remaining sources.
+
+        Each still-unmapped source (in the anchored heuristic order)
+        greedily takes the unused target with the best realized score
+        increment; the later hill-climb can revise any of it.
+        """
+        model = self.model
+        used = set(mapping.values())
+        free_targets = [t for t in model.target_events if t not in used]
+        for source in model.heuristic_order():
+            if not free_targets:
+                break
+            if source in mapping:
+                continue
+            best_target = None
+            best_increment = float("-inf")
+            for target in free_targets:
+                candidate = dict(mapping)
+                candidate[source] = target
+                stats.processed_mappings += 1
+                increment = model.g_increment(source, candidate, stats)
+                if increment > best_increment + 1e-12:
+                    best_increment = increment
+                    best_target = target
+            assert best_target is not None
+            mapping[source] = best_target
+            free_targets.remove(best_target)
+        return mapping
 
     def _hill_climb(
         self,

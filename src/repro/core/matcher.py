@@ -26,7 +26,7 @@ Method names follow the paper's figures:
 from __future__ import annotations
 
 import time
-from collections.abc import Sequence
+from collections.abc import Mapping as MappingABC, Sequence
 from dataclasses import dataclass
 
 from repro.baselines.entropy import EntropyMatcher
@@ -35,8 +35,13 @@ from repro.baselines.vertex import VertexMatcher
 from repro.baselines.vertex_edge import VertexEdgeMatcher
 from repro.core.astar import AStarMatcher
 from repro.core.bounds import BoundKind
-from repro.core.heuristic import AdvancedHeuristicMatcher, SimpleHeuristicMatcher
+from repro.core.heuristic import (
+    AdvancedHeuristicMatcher,
+    SimpleHeuristicMatcher,
+    sanitize_warm_start,
+)
 from repro.core.mapping import Mapping
+from repro.log.events import Event
 from repro.core.result import MatchOutcome
 from repro.core.scoring import ScoreModel, build_pattern_set
 from repro.core.stats import SearchStats
@@ -123,12 +128,20 @@ class EventMatcher:
         node_budget: int | None = None,
         time_budget: float | None = None,
         heuristic_bound: BoundKind = BoundKind.TIGHT_FAST,
+        warm_start: MappingABC[Event, Event] | None = None,
     ) -> MatchResult:
         """Run ``method`` and return its annotated result.
 
         ``node_budget``/``time_budget`` apply to the exact searches
         (``pattern-*`` and ``vertex-edge``); exceeding them raises
         :class:`~repro.core.astar.SearchBudgetExceeded`.
+
+        ``warm_start`` — typically the previous mapping in an online
+        setting — seeds the revision phase of ``heuristic-advanced`` and
+        provides the exact ``pattern-*`` searches with an achievable
+        incumbent score for pruning (the realized score of the warm
+        mapping is a lower bound on the optimum, so pruning strictly
+        below it preserves optimality).  Other methods ignore it.
         """
         started = time.perf_counter()
         if method in _PATTERN_METHODS:
@@ -138,8 +151,20 @@ class EventMatcher:
                 self.full_pattern_set(),
                 bound=_PATTERN_METHODS[method],
             )
+            incumbent = None
+            warm = sanitize_warm_start(
+                warm_start, model.source_events, model.target_events
+            )
+            if warm is not None:
+                # g of a valid partial mapping is achievable by any of its
+                # completions (contributions are non-negative), hence a
+                # sound incumbent for strictly-below pruning.
+                incumbent = model.g(warm)
             outcome = AStarMatcher(
-                model, node_budget=node_budget, time_budget=time_budget
+                model,
+                node_budget=node_budget,
+                time_budget=time_budget,
+                incumbent_score=incumbent,
             ).match()
         elif method in _HEURISTIC_METHODS:
             model = ScoreModel(
@@ -148,7 +173,13 @@ class EventMatcher:
                 self.full_pattern_set(),
                 bound=heuristic_bound,
             )
-            outcome = _HEURISTIC_METHODS[method](model).match()
+            matcher_class = _HEURISTIC_METHODS[method]
+            if matcher_class is AdvancedHeuristicMatcher:
+                outcome = matcher_class(
+                    model, initial_mapping=warm_start
+                ).match()
+            else:
+                outcome = matcher_class(model).match()
         elif method == "vertex":
             outcome = VertexMatcher(self.log_1, self.log_2).match()
         elif method == "vertex-edge":
@@ -177,9 +208,13 @@ def match(
     method: str = "pattern-tight",
     node_budget: int | None = None,
     time_budget: float | None = None,
+    warm_start: MappingABC[Event, Event] | None = None,
 ) -> MatchResult:
     """One-call event matching between two logs (see module docstring)."""
     matcher = EventMatcher(log_1, log_2, patterns=patterns)
     return matcher.run(
-        method, node_budget=node_budget, time_budget=time_budget
+        method,
+        node_budget=node_budget,
+        time_budget=time_budget,
+        warm_start=warm_start,
     )

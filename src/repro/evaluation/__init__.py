@@ -14,7 +14,11 @@ from repro.evaluation.explain import (
 )
 from repro.evaluation.harness import MethodRun, run_method, sweep_events, sweep_traces
 from repro.evaluation.metrics import MatchQuality, evaluate_mapping
-from repro.evaluation.reporting import format_runs_table, format_series
+from repro.evaluation.reporting import (
+    format_runs_table,
+    format_series,
+    format_stream_report,
+)
 
 __all__ = [
     "MappingExplanation",
@@ -25,6 +29,7 @@ __all__ = [
     "format_explanation",
     "format_runs_table",
     "format_series",
+    "format_stream_report",
     "run_method",
     "sweep_events",
     "sweep_traces",

@@ -85,3 +85,41 @@ def format_series(
         )
         lines.append(row)
     return "\n".join(lines)
+
+
+def format_stream_report(updates: Sequence["StreamUpdate"]) -> str:
+    """A per-update table of an online matching run.
+
+    One row per :meth:`~repro.stream.engine.OnlineMatcher.update` call:
+    the committed trace count, the realized pattern normal distance at
+    the live frequencies, the relative drift against the last re-match's
+    baseline, and what the engine did about it (``hold``, or the matcher
+    method it ran and why).
+    """
+    actions = []
+    for update in updates:
+        if update.rematched:
+            actions.append(f"re-match[{update.reason}]:{update.method}")
+        else:
+            actions.append("hold")
+    action_width = max([len(action) for action in actions] + [6])
+    header = (
+        f"{'update':>6} {'traces':>7} {'score':>9} {'drift':>7} "
+        f"{'action':<{action_width}} {'time(s)':>8} {'mapping':<9}"
+    )
+    lines = [header, "-" * len(header)]
+    for update, action in zip(updates, actions):
+        mapping_text = (
+            ("changed" if update.mapping_changed else "kept")
+            if update.rematched
+            else "-"
+        )
+        drift_text = (
+            "inf" if math.isinf(update.drift) else f"{update.drift:7.4f}"
+        )
+        lines.append(
+            f"{update.update_id:>6} {update.num_traces:>7} "
+            f"{update.score:9.3f} {drift_text:>7} {action:<{action_width}} "
+            f"{update.elapsed_seconds:8.3f} {mapping_text:<9}"
+        )
+    return "\n".join(lines)

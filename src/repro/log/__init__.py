@@ -10,7 +10,7 @@ for fast pattern-frequency evaluation (`repro.log.index`).
 """
 
 from repro.log.events import Event, Trace
-from repro.log.eventlog import EventLog
+from repro.log.eventlog import EventLog, StaleIndexError
 from repro.log.index import TraceIndex
 from repro.log.statistics import LogCharacteristics, characterize
 
@@ -18,6 +18,7 @@ __all__ = [
     "Event",
     "Trace",
     "EventLog",
+    "StaleIndexError",
     "TraceIndex",
     "LogCharacteristics",
     "characterize",

@@ -10,8 +10,16 @@ collection and exposes exactly the statistics the matching algorithms need:
 * projections onto event subsets and trace prefixes, used by the paper's
   experiment sweeps over "# of events" and "# of traces".
 
-All frequency statistics are computed once, lazily, and cached; logs are
-treated as immutable after construction.
+Logs are *append-only*: batch workflows construct a log once and never
+touch it again (the historical regime), while the streaming subsystem
+(:mod:`repro.stream`) grows a log one committed trace at a time through
+:meth:`EventLog.append_trace`.  Appending maintains the alphabet and the
+vertex/edge counts incrementally — counts are monotone under append, so a
+new trace only ever *adds* to them — and bumps a :attr:`generation`
+counter.  Derived structures (the ``I_t`` trace index, frequency
+evaluators) record the generation they were built against and fail loudly
+with :class:`StaleIndexError` when used after the log has grown, instead
+of silently returning frequencies for a log that no longer exists.
 """
 
 from __future__ import annotations
@@ -22,8 +30,16 @@ from collections.abc import Iterable, Iterator, Sequence
 from repro.log.events import Event, Trace
 
 
+class StaleIndexError(RuntimeError):
+    """A derived index/cache was used after its log gained new traces.
+
+    Consumers that can catch up incrementally expose a ``refresh()``
+    method; everything else must be rebuilt from a fresh snapshot.
+    """
+
+
 class EventLog:
-    """An immutable collection of traces.
+    """An append-only collection of traces.
 
     Parameters
     ----------
@@ -40,7 +56,9 @@ class EventLog:
             if not isinstance(trace, Trace):
                 trace = Trace(trace)
             promoted.append(trace)
-        self._traces: tuple[Trace, ...] = tuple(promoted)
+        self._traces: list[Trace] = promoted
+        self._traces_view: tuple[Trace, ...] | None = None
+        self._generation = 0
         self.name = name
         self._alphabet: frozenset[Event] | None = None
         self._vertex_counts: Counter[Event] | None = None
@@ -51,7 +69,14 @@ class EventLog:
     # ------------------------------------------------------------------
     @property
     def traces(self) -> tuple[Trace, ...]:
-        return self._traces
+        if self._traces_view is None:
+            self._traces_view = tuple(self._traces)
+        return self._traces_view
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter; bumped by every committed append."""
+        return self._generation
 
     def __len__(self) -> int:
         return len(self._traces)
@@ -68,11 +93,44 @@ class EventLog:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._traces)
+        # Hashing is only meaningful for logs used as frozen values (the
+        # batch regime); a log mutated after being hashed violates the
+        # usual dict-key contract exactly like any mutated Python object.
+        return hash(self.traces)
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
         return f"EventLog({len(self._traces)} traces{label})"
+
+    # ------------------------------------------------------------------
+    # Append path (streaming ingestion)
+    # ------------------------------------------------------------------
+    def append_trace(self, trace: Trace | Sequence[Event]) -> int:
+        """Append one committed trace, returning its trace id.
+
+        Statistics already materialized (alphabet, vertex/edge counts)
+        are updated incrementally — under append they only gain, never
+        lose — and :attr:`generation` is bumped so stale derived indices
+        fail loudly.
+        """
+        if not isinstance(trace, Trace):
+            trace = Trace(trace)
+        if len(trace) == 0:
+            raise ValueError("cannot append an empty trace")
+        trace_id = len(self._traces)
+        self._traces.append(trace)
+        self._traces_view = None
+        self._generation += 1
+        if self._alphabet is not None:
+            self._alphabet |= trace.alphabet()
+        if self._vertex_counts is not None:
+            assert self._edge_counts is not None
+            events = trace.events
+            self._vertex_counts.update(set(events))
+            self._edge_counts.update(
+                {(events[i], events[i + 1]) for i in range(len(events) - 1)}
+            )
+        return trace_id
 
     # ------------------------------------------------------------------
     # Alphabet and frequencies
@@ -98,6 +156,16 @@ class EventLog:
                 if event not in seen:
                     seen[event] = None
         return list(seen)
+
+    def ensure_statistics(self) -> None:
+        """Materialize the vertex/edge counts now.
+
+        Once materialized, :meth:`append_trace` maintains them
+        incrementally; streaming consumers call this up-front so every
+        later append is O(|trace|) instead of deferring a full recount.
+        """
+        self._ensure_counts()
+        self.alphabet()
 
     def _ensure_counts(self) -> None:
         if self._vertex_counts is not None:

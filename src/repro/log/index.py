@@ -4,14 +4,21 @@ For each event ``v`` the index stores the ids of traces containing ``v``.
 Evaluating a pattern's frequency then only scans
 ``⋂_{v ∈ V(p)} I_t(v)`` instead of the whole log, which is the paper's
 second index for accelerating normal-distance computation.
+
+The index supports append-only logs: :meth:`TraceIndex.refresh` absorbs
+traces appended to the wrapped log since the last sync (each new trace
+contributes its postings exactly once — postings are monotone under
+append).  Querying an index that has fallen behind its log raises
+:class:`~repro.log.eventlog.StaleIndexError` rather than silently
+answering for a shorter log.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Sequence, Set as AbstractSet
 
 from repro.log.events import Event
-from repro.log.eventlog import EventLog
+from repro.log.eventlog import EventLog, StaleIndexError
 
 
 class TraceIndex:
@@ -19,21 +26,53 @@ class TraceIndex:
 
     def __init__(self, log: EventLog):
         self._log = log
-        postings: dict[Event, set[int]] = {}
-        for trace_id, trace in enumerate(log):
-            for event in trace.alphabet():
-                postings.setdefault(event, set()).add(trace_id)
-        self._postings: dict[Event, frozenset[int]] = {
-            event: frozenset(ids) for event, ids in postings.items()
-        }
+        self._postings: dict[Event, set[int]] = {}
         self._empty: frozenset[int] = frozenset()
+        self._synced_traces = 0
+        self._generation = log.generation
+        self.refresh()
 
     @property
     def log(self) -> EventLog:
         return self._log
 
-    def postings(self, event: Event) -> frozenset[int]:
-        """Ids of traces containing ``event`` (empty set if unseen)."""
+    @property
+    def generation(self) -> int:
+        """The log generation this index last synced with."""
+        return self._generation
+
+    def refresh(self) -> int:
+        """Absorb traces appended since the last sync; return how many.
+
+        This is the ``I_t`` delta-maintenance path: each committed trace
+        is indexed exactly once, immediately after its append, and never
+        rescanned.
+        """
+        traces = self._log.traces
+        added = 0
+        for trace_id in range(self._synced_traces, len(traces)):
+            for event in traces[trace_id].alphabet():
+                self._postings.setdefault(event, set()).add(trace_id)
+            added += 1
+        self._synced_traces = len(traces)
+        self._generation = self._log.generation
+        return added
+
+    def _check_fresh(self) -> None:
+        if self._log.generation != self._generation:
+            raise StaleIndexError(
+                f"trace index synced at generation {self._generation} but "
+                f"log {self._log.name!r} is at generation "
+                f"{self._log.generation}; call refresh() or rebuild"
+            )
+
+    def postings(self, event: Event) -> AbstractSet[int]:
+        """Ids of traces containing ``event`` (empty set if unseen).
+
+        The returned set is a live internal view; callers must not
+        mutate it.
+        """
+        self._check_fresh()
         return self._postings.get(event, self._empty)
 
     def candidate_traces(self, events: Iterable[Event]) -> frozenset[int]:
@@ -42,8 +81,10 @@ class TraceIndex:
         Intersects the posting lists smallest-first; an event with no
         postings short-circuits to the empty set.
         """
+        self._check_fresh()
         lists = sorted(
-            (self.postings(event) for event in set(events)), key=len
+            (self._postings.get(event, self._empty) for event in set(events)),
+            key=len,
         )
         if not lists:
             return frozenset(range(len(self._log)))
@@ -52,7 +93,7 @@ class TraceIndex:
             if not result:
                 return self._empty
             result = result & posting
-        return result
+        return frozenset(result)
 
     def count_traces_with_any_substring(
         self, sequences: Iterable[Sequence[Event]]

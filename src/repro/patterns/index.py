@@ -21,16 +21,38 @@ from repro.patterns.ast import Pattern
 class PatternIndex:
     """Inverted index from events to the patterns involving them."""
 
-    def __init__(self, patterns: Iterable[Pattern]):
-        self._patterns: tuple[Pattern, ...] = tuple(patterns)
+    def __init__(self, patterns: Iterable[Pattern] = ()):
+        self._patterns: tuple[Pattern, ...] = ()
         self._by_event: dict[Event, tuple[Pattern, ...]] = {}
+        self._positions: dict[Pattern, int] = {}
+        self.extend(patterns)
+
+    def extend(self, patterns: Iterable[Pattern]) -> tuple[Pattern, ...]:
+        """Register additional patterns, returning the genuinely new ones.
+
+        This is the ``I_p`` update path used by the streaming subsystem:
+        re-matching introduces freshly mapped patterns mid-stream, and
+        only those need indexing (and back-filling) — existing postings
+        are untouched.  Duplicates of already-registered patterns are
+        ignored.
+        """
+        fresh: list[Pattern] = []
         collecting: dict[Event, list[Pattern]] = {}
-        for pattern in self._patterns:
+        for pattern in patterns:
+            if pattern in self._positions:
+                continue
+            fresh.append(pattern)
+            self._positions[pattern] = len(self._positions)
             for event in pattern.event_set():
                 collecting.setdefault(event, []).append(pattern)
-        self._by_event = {
-            event: tuple(involved) for event, involved in collecting.items()
-        }
+        if not fresh:
+            return ()
+        self._patterns = self._patterns + tuple(fresh)
+        for event, involved in collecting.items():
+            self._by_event[event] = self._by_event.get(event, ()) + tuple(
+                involved
+            )
+        return tuple(fresh)
 
     @property
     def patterns(self) -> tuple[Pattern, ...]:
@@ -38,6 +60,9 @@ class PatternIndex:
 
     def __len__(self) -> int:
         return len(self._patterns)
+
+    def __contains__(self, pattern: object) -> bool:
+        return pattern in self._positions
 
     def involving(self, event: Event) -> tuple[Pattern, ...]:
         """``I_p(event)`` — the patterns containing ``event``."""
@@ -71,6 +96,34 @@ class PatternIndex:
             ):
                 completed.append(pattern)
         return completed
+
+    def candidates_for_alphabet(
+        self, alphabet: Collection[Event]
+    ) -> list[Pattern]:
+        """Patterns whose whole event set occurs in ``alphabet``.
+
+        Used by streaming delta maintenance: a newly committed trace can
+        only raise the count of patterns whose events all appear in it,
+        and those are found through ``I_p`` postings of the trace's
+        (usually small) alphabet instead of scanning every pattern.
+        Registration order is preserved.
+        """
+        alphabet_set = (
+            alphabet
+            if isinstance(alphabet, (set, frozenset))
+            else set(alphabet)
+        )
+        seen: set[Pattern] = set()
+        candidates: list[Pattern] = []
+        for event in alphabet_set:
+            for pattern in self._by_event.get(event, ()):
+                if pattern in seen:
+                    continue
+                seen.add(pattern)
+                if pattern.event_set() <= alphabet_set:
+                    candidates.append(pattern)
+        candidates.sort(key=self._positions.__getitem__)
+        return candidates
 
     def completed_by(self, mapped_events: Collection[Event]) -> list[Pattern]:
         """All patterns whose events are fully inside ``mapped_events``."""

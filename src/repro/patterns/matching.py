@@ -14,7 +14,7 @@ branches, and the memo turns those into dictionary hits.
 from __future__ import annotations
 
 from repro.log.events import Event, Trace
-from repro.log.eventlog import EventLog
+from repro.log.eventlog import EventLog, StaleIndexError
 from repro.log.index import TraceIndex
 from repro.patterns.ast import Pattern
 from repro.patterns.orders import allowed_orders
@@ -75,6 +75,7 @@ class PatternFrequencyEvaluator:
         self._log = log
         self._index = trace_index if trace_index is not None else TraceIndex(log)
         self._use_index = use_index
+        self._generation = log.generation
         # Frequencies memoized by the *instantiated* allowed-order set, so
         # structurally equal patterns (and the same pattern renamed to the
         # same targets) share one entry.
@@ -112,9 +113,27 @@ class PatternFrequencyEvaluator:
         """Drop memoized frequencies (used by ablation benchmarks)."""
         self._frequency_memo.clear()
 
+    def refresh(self) -> None:
+        """Re-sync with an appended-to log.
+
+        Memoized frequencies are normalized by ``|L|``, so *every* entry
+        is invalidated by a single append; the memo is dropped and the
+        trace index caught up incrementally.  Frequencies are then
+        recomputed lazily on demand.
+        """
+        self._index.refresh()
+        self._frequency_memo.clear()
+        self._generation = self._log.generation
+
     def _frequency_of_orders(
         self, orders: frozenset[tuple[Event, ...]]
     ) -> float:
+        if self._log.generation != self._generation:
+            raise StaleIndexError(
+                f"frequency evaluator synced at generation "
+                f"{self._generation} but log {self._log.name!r} is at "
+                f"generation {self._log.generation}; call refresh()"
+            )
         cached = self._frequency_memo.get(orders)
         if cached is not None:
             return cached

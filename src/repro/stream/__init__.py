@@ -1,0 +1,33 @@
+"""Incremental ingestion and online matching.
+
+The batch pipeline (freeze a log, build indices, run a matcher) assumed a
+finished log; this package serves *live* event traffic instead:
+
+* :class:`~repro.stream.ingest.StreamingLog` — append-only ingestion with
+  a per-case open/close lifecycle over a wrapped
+  :class:`~repro.log.eventlog.EventLog`;
+* :class:`~repro.stream.deltas.DeltaState` — delta maintenance of the
+  ``I_t`` trace index, dependency-graph counts and pattern frequencies
+  (each committed trace scanned exactly once), with a batch-rebuild
+  :meth:`~repro.stream.deltas.DeltaState.verify` cross-check;
+* :class:`~repro.stream.engine.OnlineMatcher` — holds the current mapping
+  ``M``, recomputes its realized pattern normal distance cheaply from the
+  maintained frequencies, and re-matches (warm-started) only when drift
+  exceeds a threshold;
+* :class:`~repro.stream.snapshots.LogSnapshot` — frozen point-in-time
+  views handed to the existing batch matchers unchanged.
+"""
+
+from repro.stream.deltas import DeltaState, DeltaVerificationError
+from repro.stream.engine import OnlineMatcher, StreamUpdate
+from repro.stream.ingest import StreamingLog
+from repro.stream.snapshots import LogSnapshot
+
+__all__ = [
+    "DeltaState",
+    "DeltaVerificationError",
+    "LogSnapshot",
+    "OnlineMatcher",
+    "StreamUpdate",
+    "StreamingLog",
+]

@@ -1,0 +1,213 @@
+"""Delta maintenance of matching state under append-only ingestion.
+
+Everything the matchers derive from a log — the trace inverted index
+``I_t``, the dependency graph's vertex/edge trace counts, and pattern
+match counts behind ``f(p)`` — is *monotone under append*: a newly
+committed trace can only add postings and raise counts, never retract
+anything.  :class:`DeltaState` exploits this: each committed trace is
+examined exactly once, at commit time,
+
+* its alphabet extends the ``I_t`` postings
+  (:meth:`~repro.log.index.TraceIndex.refresh`);
+* the wrapped :class:`~repro.log.eventlog.EventLog` updates its
+  vertex/edge counts in O(|trace|) (the ``repro.log`` append path);
+* the trace is scanned against the allowed-order windows ``I(p)`` of
+  exactly the tracked patterns whose event set it covers — found through
+  the ``I_p`` index of the trace's alphabet, not a scan over all
+  patterns — bumping their match counts.
+
+Normalized frequencies are then count / current-trace-total at read time.
+:meth:`DeltaState.verify` cross-checks the whole incremental state
+against a from-scratch batch rebuild — the safety net behind the
+subsystem's core invariant (*incremental equals batch*), cheap enough to
+run in tests and periodically in production.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.dependency import dependency_graph
+from repro.graph.digraph import DiGraph
+from repro.log.events import Event, Trace
+from repro.log.eventlog import EventLog
+from repro.log.index import TraceIndex
+from repro.patterns.ast import Pattern
+from repro.patterns.index import PatternIndex
+from repro.patterns.matching import cached_allowed_orders, pattern_frequency
+from repro.stream.ingest import StreamingLog
+
+
+class DeltaVerificationError(RuntimeError):
+    """Incremental state diverged from a batch rebuild of the same log."""
+
+
+class DeltaState:
+    """Incrementally maintained ``I_t`` / dependency / pattern-frequency state.
+
+    Parameters
+    ----------
+    stream:
+        The streaming log to attach to.  Already-committed traces are
+        back-filled at attach time; afterwards the state follows every
+        commit through the stream's listener hook.
+    patterns:
+        Patterns to track from the start; more can be registered later
+        with :meth:`track` (e.g. mapped patterns after a re-match).
+    """
+
+    def __init__(self, stream: StreamingLog, patterns: Iterable[Pattern] = ()):
+        self._stream = stream
+        self._log = stream.log
+        self._log.ensure_statistics()
+        self._trace_index = TraceIndex(self._log)
+        self._pattern_index = PatternIndex()
+        self._orders: dict[Pattern, frozenset[tuple[Event, ...]]] = {}
+        self._counts: dict[Pattern, int] = {}
+        self.track(patterns)
+        stream.subscribe(self._on_commit)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _on_commit(self, trace_id: int, trace: Trace) -> None:
+        self._trace_index.refresh()
+        alphabet = trace.alphabet()
+        for pattern in self._pattern_index.candidates_for_alphabet(alphabet):
+            orders = self._orders[pattern]
+            if any(trace.contains_substring(order) for order in orders):
+                self._counts[pattern] += 1
+
+    def track(self, patterns: Iterable[Pattern]) -> tuple[Pattern, ...]:
+        """Start tracking additional patterns; returns the new ones.
+
+        Genuinely new patterns are back-filled with one indexed count
+        over the committed backlog (posting-list intersection, then
+        ``I(p)`` window checks); already-tracked patterns cost nothing.
+        """
+        fresh = self._pattern_index.extend(patterns)
+        for pattern in fresh:
+            orders = cached_allowed_orders(pattern)
+            self._orders[pattern] = orders
+            self._counts[pattern] = (
+                self._trace_index.count_traces_with_any_substring(orders)
+            )
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def stream(self) -> StreamingLog:
+        return self._stream
+
+    @property
+    def trace_index(self) -> TraceIndex:
+        """The incrementally maintained ``I_t``."""
+        return self._trace_index
+
+    @property
+    def num_traces(self) -> int:
+        return len(self._log)
+
+    @property
+    def patterns(self) -> tuple[Pattern, ...]:
+        """The tracked patterns, in registration order."""
+        return self._pattern_index.patterns
+
+    def match_count(self, pattern: Pattern) -> int:
+        """Number of committed traces matching ``pattern``."""
+        return self._counts[pattern]
+
+    def frequency(self, pattern: Pattern) -> float:
+        """Normalized frequency ``f(p)`` over the committed traces."""
+        if not self._log:
+            return 0.0
+        return self._counts[pattern] / len(self._log)
+
+    def frequencies(self) -> dict[Pattern, float]:
+        """All tracked frequencies at the current trace total."""
+        total = len(self._log)
+        if total == 0:
+            return {pattern: 0.0 for pattern in self._counts}
+        return {
+            pattern: count / total for pattern, count in self._counts.items()
+        }
+
+    def vertex_frequency(self, event: Event) -> float:
+        return self._log.vertex_frequency(event)
+
+    def edge_frequency(self, source: Event, target: Event) -> float:
+        return self._log.edge_frequency(source, target)
+
+    def dependency_graph(self) -> DiGraph:
+        """The Definition 1 graph from the incrementally kept counts."""
+        return dependency_graph(self._log)
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Cross-check every incremental structure against a batch rebuild.
+
+        Rebuilds the log, ``I_t``, dependency counts and every tracked
+        pattern frequency from the raw committed traces and compares.
+        Raises :class:`DeltaVerificationError` naming the first mismatch;
+        silent divergence is the one failure mode an online engine cannot
+        tolerate.
+        """
+        live = self._log
+        rebuilt = EventLog(live.traces, name=live.name)
+
+        if self._trace_index.generation != live.generation:
+            raise DeltaVerificationError(
+                "trace index out of sync: generation "
+                f"{self._trace_index.generation} != {live.generation}"
+            )
+        fresh_index = TraceIndex(rebuilt)
+        for event in sorted(rebuilt.alphabet() | live.alphabet()):
+            live_postings = frozenset(self._trace_index.postings(event))
+            fresh_postings = frozenset(fresh_index.postings(event))
+            if live_postings != fresh_postings:
+                raise DeltaVerificationError(
+                    f"I_t postings diverged for event {event!r}: "
+                    f"incremental {sorted(live_postings)} != "
+                    f"batch {sorted(fresh_postings)}"
+                )
+
+        if live.alphabet() != rebuilt.alphabet():
+            raise DeltaVerificationError(
+                "alphabet diverged: incremental "
+                f"{sorted(live.alphabet())} != batch "
+                f"{sorted(rebuilt.alphabet())}"
+            )
+        for event in sorted(rebuilt.alphabet()):
+            if live.vertex_count(event) != rebuilt.vertex_count(event):
+                raise DeltaVerificationError(
+                    f"vertex count diverged for {event!r}: incremental "
+                    f"{live.vertex_count(event)} != batch "
+                    f"{rebuilt.vertex_count(event)}"
+                )
+        if live.edges() != rebuilt.edges():
+            raise DeltaVerificationError(
+                "dependency edge set diverged: incremental "
+                f"{live.edges()} != batch {rebuilt.edges()}"
+            )
+        for source, target in rebuilt.edges():
+            if live.edge_count(source, target) != rebuilt.edge_count(
+                source, target
+            ):
+                raise DeltaVerificationError(
+                    f"edge count diverged for ({source!r}, {target!r}): "
+                    f"incremental {live.edge_count(source, target)} != "
+                    f"batch {rebuilt.edge_count(source, target)}"
+                )
+
+        for pattern in self.patterns:
+            batch = pattern_frequency(rebuilt, pattern)
+            incremental = self.frequency(pattern)
+            if abs(batch - incremental) > 1e-12:
+                raise DeltaVerificationError(
+                    f"frequency diverged for pattern {pattern!r}: "
+                    f"incremental {incremental} != batch {batch}"
+                )

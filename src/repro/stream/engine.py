@@ -1,0 +1,266 @@
+"""Online matching: keep a mapping current while a log streams in.
+
+The :class:`OnlineMatcher` serves the paper's matching problem against
+live traffic.  One side (``reference``) is a frozen log over which the
+patterns are declared; the other side arrives as a
+:class:`~repro.stream.ingest.StreamingLog`.  Between (expensive) matcher
+runs the engine only does cheap bookkeeping:
+
+* a :class:`~repro.stream.deltas.DeltaState` maintains the frequencies of
+  the *mapped* patterns ``M(p)`` in the streaming log — each committed
+  trace is scanned once, at commit time;
+* after each batch, :meth:`update` re-evaluates the realized pattern
+  normal distance ``D^N(M)`` of the current mapping directly from those
+  maintained frequencies (a sum over patterns, no trace access);
+* only when the score has drifted beyond a configurable relative
+  threshold — or the target vocabulary grew, or no mapping exists yet —
+  does the engine re-match, warm-starting the advanced heuristic from the
+  previous mapping and using exact A* (with the warm score as incumbent)
+  below a vocabulary-size cutoff.
+
+Every :meth:`update` call appends a :class:`StreamUpdate` record to
+:attr:`OnlineMatcher.history`, which the evaluation layer renders as a
+drift/re-match report.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.astar import SearchBudgetExceeded
+from repro.core.distance import frequency_similarity
+from repro.core.mapping import Mapping
+from repro.core.matcher import EventMatcher
+from repro.core.scoring import build_pattern_set
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import Pattern
+from repro.patterns.matching import PatternFrequencyEvaluator
+from repro.stream.deltas import DeltaState
+from repro.stream.ingest import StreamingLog
+
+
+@dataclass(frozen=True)
+class StreamUpdate:
+    """What one :meth:`OnlineMatcher.update` call observed and did."""
+
+    update_id: int
+    num_traces: int
+    score: float
+    baseline: float
+    drift: float
+    rematched: bool
+    reason: str | None
+    method: str | None
+    elapsed_seconds: float
+    mapping_changed: bool
+
+
+class OnlineMatcher:
+    """Drift-triggered online event matching against a streaming log.
+
+    Parameters
+    ----------
+    reference:
+        The frozen log whose vocabulary is being mapped; patterns are
+        declared over it.
+    stream:
+        The live side.  The engine attaches a delta maintainer at
+        construction, so it should be created before heavy ingestion
+        (back-fill is handled either way).
+    patterns:
+        Complex SEQ/AND patterns over the reference vocabulary; vertex
+        and edge patterns of the reference dependency graph are included
+        automatically, as in the batch facade.
+    drift_threshold:
+        Re-match when ``|score - baseline| / baseline`` exceeds this.
+    exact_cutoff:
+        Use exact A* (``pattern-tight``) when both vocabularies have at
+        most this many events; the advanced heuristic otherwise.
+    node_budget, time_budget:
+        Budgets for the exact search; on
+        :class:`~repro.core.astar.SearchBudgetExceeded` the engine falls
+        back to the warm-started heuristic instead of failing.
+    min_traces:
+        Hold (do nothing) until the stream has committed this many
+        traces; matching a near-empty log produces noise mappings.
+    """
+
+    def __init__(
+        self,
+        reference: EventLog,
+        stream: StreamingLog,
+        patterns: Sequence[Pattern] = (),
+        drift_threshold: float = 0.05,
+        exact_cutoff: int = 6,
+        node_budget: int | None = 200_000,
+        time_budget: float | None = None,
+        min_traces: int = 1,
+    ):
+        if drift_threshold < 0:
+            raise ValueError("drift_threshold must be non-negative")
+        self.reference = reference
+        self.stream = stream
+        self.complex_patterns = tuple(patterns)
+        self.drift_threshold = drift_threshold
+        self.exact_cutoff = exact_cutoff
+        self.node_budget = node_budget
+        self.time_budget = time_budget
+        self.min_traces = min_traces
+
+        self._pattern_set = tuple(
+            build_pattern_set(reference, complex_patterns=patterns)
+        )
+        evaluator = PatternFrequencyEvaluator(reference)
+        self._f1 = {
+            pattern: evaluator.frequency(pattern)
+            for pattern in self._pattern_set
+        }
+        self._deltas = DeltaState(stream)
+        self._mapping: Mapping | None = None
+        self._mapped: dict[Pattern, Pattern] = {}
+        self._baseline = 0.0
+        self._known_targets: frozenset[str] = frozenset()
+        self._history: list[StreamUpdate] = []
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def mapping(self) -> Mapping | None:
+        """The current mapping (``None`` before the first match)."""
+        return self._mapping
+
+    @property
+    def deltas(self) -> DeltaState:
+        return self._deltas
+
+    @property
+    def history(self) -> tuple[StreamUpdate, ...]:
+        return tuple(self._history)
+
+    @property
+    def baseline_score(self) -> float:
+        """``D^N(M)`` as realized right after the last re-match."""
+        return self._baseline
+
+    def current_score(self) -> float:
+        """``D^N(M)`` of the current mapping at the live frequencies.
+
+        Computed purely from the delta-maintained match counts: one
+        similarity term per fully-mapped pattern, no trace access.
+        """
+        if self._mapping is None:
+            return 0.0
+        deltas = self._deltas
+        score = 0.0
+        for pattern, mapped in self._mapped.items():
+            score += frequency_similarity(
+                self._f1[pattern], deltas.frequency(mapped)
+            )
+        return score
+
+    # ------------------------------------------------------------------
+    # The update step
+    # ------------------------------------------------------------------
+    def update(self) -> StreamUpdate:
+        """Re-evaluate drift after a batch; re-match only if warranted."""
+        num_traces = len(self.stream)
+        reason = self._rematch_reason(num_traces)
+        if reason is None:
+            score = self.current_score()
+            drift = self._relative_drift(score)
+            record = StreamUpdate(
+                update_id=len(self._history),
+                num_traces=num_traces,
+                score=score,
+                baseline=self._baseline,
+                drift=drift,
+                rematched=False,
+                reason=None,
+                method=None,
+                elapsed_seconds=0.0,
+                mapping_changed=False,
+            )
+        else:
+            record = self._rematch(num_traces, reason)
+        self._history.append(record)
+        return record
+
+    def _rematch_reason(self, num_traces: int) -> str | None:
+        if num_traces < self.min_traces:
+            return None
+        if self._mapping is None:
+            return "cold-start"
+        if self.stream.log.alphabet() - self._known_targets:
+            return "alphabet-grew"
+        drift = self._relative_drift(self.current_score())
+        if drift > self.drift_threshold:
+            return "drift"
+        return None
+
+    def _relative_drift(self, score: float) -> float:
+        if self._mapping is None:
+            return 0.0
+        if self._baseline <= 0.0:
+            return 0.0 if score <= 0.0 else float("inf")
+        return abs(score - self._baseline) / self._baseline
+
+    def _rematch(self, num_traces: int, reason: str) -> StreamUpdate:
+        snapshot = self.stream.snapshot()
+        matcher = EventMatcher(
+            self.reference, snapshot, patterns=self.complex_patterns
+        )
+        exact = (
+            len(self.reference.alphabet()) <= self.exact_cutoff
+            and len(snapshot.alphabet()) <= self.exact_cutoff
+        )
+        previous = self._mapping
+        drift_before = self._relative_drift(self.current_score())
+        if exact:
+            try:
+                result = matcher.run(
+                    "pattern-tight",
+                    warm_start=previous,
+                    node_budget=self.node_budget,
+                    time_budget=self.time_budget,
+                )
+            except SearchBudgetExceeded:
+                result = matcher.run(
+                    "heuristic-advanced", warm_start=previous
+                )
+        else:
+            result = matcher.run("heuristic-advanced", warm_start=previous)
+
+        self._mapping = result.mapping
+        self._known_targets = self.stream.log.alphabet()
+        self._refresh_mapped_patterns()
+        self._baseline = self.current_score()
+        return StreamUpdate(
+            update_id=len(self._history),
+            num_traces=num_traces,
+            score=self._baseline,
+            baseline=self._baseline,
+            drift=drift_before,
+            rematched=True,
+            reason=reason,
+            method=result.method,
+            elapsed_seconds=result.elapsed_seconds,
+            mapping_changed=result.mapping != previous,
+        )
+
+    def _refresh_mapped_patterns(self) -> None:
+        """Re-derive ``p → M(p)`` and register the images with the deltas.
+
+        Newly seen mapped patterns are back-filled once over the
+        committed backlog; mapped patterns surviving a re-match keep
+        their counts and cost nothing.
+        """
+        assert self._mapping is not None
+        as_dict = self._mapping.as_dict()
+        mapped_events = set(as_dict)
+        self._mapped = {}
+        for pattern in self._pattern_set:
+            if pattern.event_set() <= mapped_events:
+                self._mapped[pattern] = pattern.rename(as_dict)
+        self._deltas.track(self._mapped.values())

@@ -1,0 +1,179 @@
+"""Append-only ingestion: the :class:`StreamingLog`.
+
+A streaming log accepts live event traffic — single events appended to
+open cases, or whole traces at once — and commits each case to a wrapped
+:class:`~repro.log.eventlog.EventLog` when it closes.  Commitment is the
+unit of consistency:
+
+* open (still-growing) cases are invisible to every statistic, index and
+  matcher — a case participates in frequencies only once its final event
+  order is known;
+* each committed trace is announced exactly once to subscribed listeners
+  (delta maintainers, engines), in commit order, with its trace id;
+* the wrapped log's generation counter advances per commit, so any stale
+  derived state fails loudly.
+
+:meth:`StreamingLog.snapshot` hands out frozen point-in-time copies for
+the existing batch matchers, which need no changes to consume them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.log.events import Event, Trace
+from repro.log.eventlog import EventLog
+from repro.stream.snapshots import LogSnapshot
+
+#: Listener signature: called with (trace_id, trace) after each commit.
+CommitListener = Callable[[int, Trace], None]
+
+
+class StreamingLog:
+    """An append-only event log with a per-case open/close lifecycle.
+
+    Parameters
+    ----------
+    name:
+        Name of the wrapped log (snapshots inherit it, suffixed with the
+        snapshot sequence number).
+    traces:
+        Optional initial backlog, committed immediately in order.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        traces: Iterable[Trace | Sequence[Event]] = (),
+    ):
+        self._log = EventLog([], name=name)
+        # Materialize counts up-front so every commit maintains them in
+        # O(|trace|) instead of deferring a full recount to the first
+        # frequency query.
+        self._log.ensure_statistics()
+        self._open: dict[str, list[Event]] = {}
+        self._listeners: list[CommitListener] = []
+        self._snapshots_taken = 0
+        for trace in traces:
+            self.append_trace(trace)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def log(self) -> EventLog:
+        """The live log of committed traces (grows in place)."""
+        return self._log
+
+    @property
+    def generation(self) -> int:
+        return self._log.generation
+
+    @property
+    def name(self) -> str:
+        return self._log.name
+
+    def __len__(self) -> int:
+        """Number of *committed* traces."""
+        return len(self._log)
+
+    def open_cases(self) -> dict[str, tuple[Event, ...]]:
+        """The still-open cases and their events so far."""
+        return {case: tuple(events) for case, events in self._open.items()}
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"StreamingLog({len(self._log)} committed, "
+            f"{len(self._open)} open{label})"
+        )
+
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: CommitListener) -> None:
+        """Register ``listener`` to be called after every commit.
+
+        Listeners registered mid-stream see only subsequent commits; the
+        delta maintainer back-fills the backlog itself at attach time.
+        """
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Per-event lifecycle
+    # ------------------------------------------------------------------
+    def open_trace(self, case_id: str) -> None:
+        """Explicitly open a case (error if already open)."""
+        if case_id in self._open:
+            raise ValueError(f"case {case_id!r} is already open")
+        self._open[case_id] = []
+
+    def append_event(self, case_id: str, event: Event) -> None:
+        """Append one event to a case, opening it if necessary."""
+        if not isinstance(event, str):
+            raise TypeError(f"events must be strings, got {event!r}")
+        self._open.setdefault(case_id, []).append(event)
+
+    def close_trace(self, case_id: str) -> int:
+        """Close a case, committing its trace; returns the trace id."""
+        try:
+            events = self._open.pop(case_id)
+        except KeyError:
+            raise ValueError(f"case {case_id!r} is not open") from None
+        if not events:
+            raise ValueError(
+                f"case {case_id!r} has no events; refusing to commit an "
+                "empty trace"
+            )
+        return self._commit(Trace(events, case_id=case_id))
+
+    def abort_trace(self, case_id: str) -> None:
+        """Discard an open case without committing it."""
+        try:
+            del self._open[case_id]
+        except KeyError:
+            raise ValueError(f"case {case_id!r} is not open") from None
+
+    # ------------------------------------------------------------------
+    # Whole-trace ingestion
+    # ------------------------------------------------------------------
+    def append_trace(self, trace: Trace | Sequence[Event]) -> int:
+        """Commit a whole trace at once; returns the trace id."""
+        if not isinstance(trace, Trace):
+            trace = Trace(trace)
+        return self._commit(trace)
+
+    def extend(self, traces: Iterable[Trace | Sequence[Event]]) -> int:
+        """Commit many traces in order; returns how many were committed."""
+        count = 0
+        for trace in traces:
+            self.append_trace(trace)
+            count += 1
+        return count
+
+    def _commit(self, trace: Trace) -> int:
+        trace_id = self._log.append_trace(trace)
+        for listener in self._listeners:
+            listener(trace_id, trace)
+        return trace_id
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self, name: str | None = None) -> LogSnapshot:
+        """A frozen point-in-time copy of the committed traces.
+
+        The snapshot records the stream's current generation; batch
+        matchers and indices consume it like any other event log, and it
+        can never go stale because it never changes.
+        """
+        self._snapshots_taken += 1
+        if name is None:
+            base = self._log.name or "stream"
+            name = f"{base}@{self._snapshots_taken}"
+        return LogSnapshot(
+            self._log.traces,
+            name=name,
+            stream_generation=self._log.generation,
+            sequence=self._snapshots_taken,
+        )
