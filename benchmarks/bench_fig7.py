@@ -6,13 +6,15 @@ Pattern-Simple, Vertex, Vertex+Edge and Iterative, and benchmarks the
 exact matcher at a mid-size configuration.
 """
 
+import math
+
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench_json, save_report
 from repro.datagen import generate_reallike
 from repro.evaluation.experiments import figure7_exact_vs_events
 from repro.evaluation.harness import run_method
-from repro.evaluation.reporting import format_series
+from repro.evaluation.reporting import format_kernel_counters, format_series
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +37,30 @@ def fig7_runs(scale):
             (lambda r: float(r.processed_mappings), "processed mappings (Fig 7c)"),
         )
     )
+    tight = [
+        r
+        for r in runs
+        if r.method == "pattern-tight"
+        and not r.dnf
+        and not math.isnan(r.elapsed_seconds)
+    ]
+    if tight:
+        total_seconds = sum(r.elapsed_seconds for r in tight)
+        largest = max(tight, key=lambda r: r.num_events)
+        if largest.stats is not None:
+            report += "\n\n" + format_kernel_counters(
+                largest.stats, f"pattern-tight @ {largest.num_events} events"
+            )
+        record_bench_json(
+            "fig7",
+            {
+                "scale": bench_scale(),
+                "pattern_tight_total_s": round(total_seconds, 6),
+                "pattern_tight_largest_events": largest.num_events,
+                "pattern_tight_largest_s": round(largest.elapsed_seconds, 6),
+                "processed_mappings_largest": largest.processed_mappings,
+            },
+        )
     save_report("fig7", report)
     return runs
 

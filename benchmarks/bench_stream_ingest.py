@@ -27,7 +27,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench_json, save_report
 from repro.core.scoring import build_pattern_set
 from repro.datagen import generate_reallike
 from repro.log.eventlog import EventLog
@@ -39,7 +39,12 @@ from repro.stream.ingest import StreamingLog
 
 @pytest.fixture(scope="module")
 def stream_ingest(scale):
-    num_traces = 10_000 if scale == "paper" else 1_200
+    if scale == "paper":
+        num_traces = 10_000
+    elif scale == "smoke":
+        num_traces = 300
+    else:
+        num_traces = 1_200
     batch = 100
     task = generate_reallike(num_traces=num_traces, seed=11)
     feed = task.log_1.traces[:num_traces]
@@ -105,6 +110,18 @@ def stream_ingest(scale):
         f"{hold_time / max(holds, 1) * 1000:8.3f}ms mean over {holds} holds",
     ]
     save_report("stream_ingest", "\n".join(lines))
+    record_bench_json(
+        "stream_ingest",
+        {
+            "scale": bench_scale(),
+            "num_traces": len(feed),
+            "batch": batch,
+            "incremental_s": round(incremental, 6),
+            "rebuild_s": round(rebuild, 6),
+            "speedup": round(rebuild / max(incremental, 1e-9), 3),
+            "traces_per_s": round(len(feed) / max(incremental, 1e-9), 1),
+        },
+    )
     return incremental, rebuild
 
 
@@ -124,4 +141,7 @@ def test_stream_ingest_benchmark(benchmark, stream_ingest):
 
     incremental, rebuild = stream_ingest
     # The whole point: maintaining deltas must beat rebuilding per batch.
-    assert incremental < rebuild
+    # At smoke scale the backlog is too short for the rebuild baseline's
+    # quadratic cost to show, so only the wiring is exercised there.
+    if bench_scale() != "smoke":
+        assert incremental < rebuild

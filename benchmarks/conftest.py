@@ -7,28 +7,38 @@ kernel with pytest-benchmark.
 
 Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
 
+* ``smoke`` — tiny sizes for CI wiring checks: seconds, not minutes.
+  Numbers are meaningless; only correctness assertions and the plumbing
+  (reports, ``BENCH_freq_kernel.json``) are exercised.
 * ``quick`` (default) — laptop-friendly sizes; every series keeps the
   paper's *shape* (who wins, where the exact methods stop scaling) at a
   fraction of the cost.
 * ``paper`` — the paper's configurations (3,000 real traces, 10,000
   synthetic traces, 100 events, 1,000 random trials).  Expect a long run.
+
+Structured numbers additionally land in ``BENCH_freq_kernel.json`` at the
+repo root via :func:`record_bench_json`, one top-level key per benchmark,
+so the performance trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_freq_kernel.json"
 
 
 def bench_scale() -> str:
     scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
-    if scale not in ("quick", "paper"):
+    if scale not in ("smoke", "quick", "paper"):
         raise ValueError(
-            f"REPRO_BENCH_SCALE must be 'quick' or 'paper', got {scale!r}"
+            f"REPRO_BENCH_SCALE must be 'smoke', 'quick' or 'paper', "
+            f"got {scale!r}"
         )
     return scale
 
@@ -44,3 +54,22 @@ def save_report(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n[{name}] (saved to {path})\n{text}")
+
+
+def record_bench_json(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_freq_kernel.json``.
+
+    Each benchmark owns one top-level key; re-runs overwrite only their
+    own section, so the file accumulates the latest number from every
+    benchmark that has run on this checkout.
+    """
+    data: dict = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            data = json.loads(BENCH_JSON_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )

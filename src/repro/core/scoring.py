@@ -97,6 +97,9 @@ class ScoreModel:
         Which ``Δ(p, U)`` estimate :meth:`h` uses.
     use_index:
         Disable the ``I_t`` posting-list acceleration (ablation only).
+    use_kernel:
+        Disable the compiled frequency kernel, falling back to the naive
+        per-order candidate scan (ablation only).
     """
 
     def __init__(
@@ -106,6 +109,7 @@ class ScoreModel:
         patterns: Sequence[Pattern],
         bound: BoundKind = BoundKind.TIGHT,
         use_index: bool = True,
+        use_kernel: bool = True,
     ):
         validate_patterns(patterns, log_1.alphabet())
         self.log_1 = log_1
@@ -113,8 +117,12 @@ class ScoreModel:
         self.bound = bound
         self.graph_1 = dependency_graph(log_1)
         self.graph_2 = dependency_graph(log_2)
-        self.evaluator_1 = PatternFrequencyEvaluator(log_1, use_index=use_index)
-        self.evaluator_2 = PatternFrequencyEvaluator(log_2, use_index=use_index)
+        self.evaluator_1 = PatternFrequencyEvaluator(
+            log_1, use_index=use_index, use_kernel=use_kernel
+        )
+        self.evaluator_2 = PatternFrequencyEvaluator(
+            log_2, use_index=use_index, use_kernel=use_kernel
+        )
         self.index = PatternIndex(patterns)
         self.patterns: tuple[Pattern, ...] = self.index.patterns
         self.source_events: list[Event] = sorted(log_1.alphabet())
@@ -413,7 +421,25 @@ class ScoreModel:
         return ordered
 
     def collect_frequency_evaluations(self, stats: SearchStats) -> None:
-        """Record the evaluators' trace-scan counters into ``stats``."""
+        """Record the evaluators' trace-scan counters into ``stats``.
+
+        Kernel observability counters (automaton builds/hits, bitset
+        intersections, trace cells scanned) are summed over both logs'
+        kernels so reports can attribute where evaluation time went.
+        """
         stats.frequency_evaluations = (
             self.evaluator_1.evaluations + self.evaluator_2.evaluations
         )
+        stats.automaton_builds = 0
+        stats.automaton_hits = 0
+        stats.bitset_intersections = 0
+        stats.trace_cells_scanned = 0
+        for evaluator in (self.evaluator_1, self.evaluator_2):
+            kernel = evaluator.kernel
+            if kernel is None:
+                continue
+            counters = kernel.counters
+            stats.automaton_builds += counters.automaton_builds
+            stats.automaton_hits += counters.automaton_hits
+            stats.bitset_intersections += counters.bitset_intersections
+            stats.trace_cells_scanned += counters.trace_cells_scanned

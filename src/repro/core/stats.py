@@ -29,6 +29,14 @@ class SearchStats:
     #: Label updates performed while growing alternating trees
     #: (advanced heuristic only).
     label_updates: int = 0
+    #: Aho–Corasick automata compiled by the frequency kernel.
+    automaton_builds: int = 0
+    #: Frequency-kernel queries answered by a memoized automaton.
+    automaton_hits: int = 0
+    #: Bitset posting-list ``&``/``|`` operations in the kernel.
+    bitset_intersections: int = 0
+    #: Trace cells fed through kernel automaton/naive scans.
+    trace_cells_scanned: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "SearchStats") -> None:
@@ -39,5 +47,9 @@ class SearchStats:
         self.pruned_by_existence += other.pruned_by_existence
         self.pruned_by_bound += other.pruned_by_bound
         self.label_updates += other.label_updates
+        self.automaton_builds += other.automaton_builds
+        self.automaton_hits += other.automaton_hits
+        self.bitset_intersections += other.bitset_intersections
+        self.trace_cells_scanned += other.trace_cells_scanned
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0.0) + value

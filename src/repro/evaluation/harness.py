@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.core.astar import SearchBudgetExceeded
 from repro.core.mapping import Mapping
 from repro.core.matcher import EventMatcher
+from repro.core.stats import SearchStats
 from repro.datagen.task import MatchingTask
 from repro.evaluation.metrics import MatchQuality, evaluate_mapping
 
@@ -34,6 +35,8 @@ class MethodRun:
     expanded_nodes: int
     dnf: bool
     mapping: Mapping | None = None
+    #: Full counter set of the run (kernel observability included).
+    stats: SearchStats | None = None
 
     @property
     def f_measure(self) -> float:
@@ -67,6 +70,7 @@ def run_method(
             expanded_nodes=overrun.stats.expanded_nodes,
             dnf=True,
             mapping=None,
+            stats=overrun.stats,
         )
     quality = (
         evaluate_mapping(result.mapping, task.truth) if len(task.truth) else None
@@ -83,6 +87,7 @@ def run_method(
         expanded_nodes=result.stats.expanded_nodes,
         dnf=False,
         mapping=result.mapping,
+        stats=result.stats,
     )
 
 

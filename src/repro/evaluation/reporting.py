@@ -10,6 +10,7 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Sequence
 
+from repro.core.stats import SearchStats
 from repro.evaluation.harness import MethodRun
 
 
@@ -85,6 +86,26 @@ def format_series(
         )
         lines.append(row)
     return "\n".join(lines)
+
+
+def format_kernel_counters(stats: SearchStats, label: str = "") -> str:
+    """One line of frequency-kernel observability counters.
+
+    Shows where evaluation effort went: how many automata were compiled
+    vs served from the memo, how many bitset posting-list operations ran,
+    and how many trace cells the tier-3 scans actually touched.  A run
+    dominated by ``cells`` did real scanning; a run dominated by memo and
+    bigram hits never left the bitset tier.
+    """
+    prefix = f"{label}: " if label else ""
+    return (
+        f"{prefix}kernel counters — "
+        f"freq evals {stats.frequency_evaluations}, "
+        f"automata built {stats.automaton_builds} / "
+        f"memo hits {stats.automaton_hits}, "
+        f"bitset ops {stats.bitset_intersections}, "
+        f"trace cells scanned {stats.trace_cells_scanned}"
+    )
 
 
 def format_stream_report(updates: Sequence["StreamUpdate"]) -> str:

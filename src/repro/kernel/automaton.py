@@ -1,0 +1,112 @@
+"""Multi-order substring matching via an Aho–Corasick automaton.
+
+A pattern ``p`` matches a trace when *any* of its allowed orders ``I(p)``
+occurs contiguously (Definition 4).  The naive evaluator checks the
+orders one by one — ω(p) scans of every candidate trace, with
+``ω(p) = k!`` for an AND pattern over ``k`` events.  An Aho–Corasick
+automaton built over the whole order set decides the same disjunction in
+**one** left-to-right pass per trace, independent of ω(p).
+
+The construction is the textbook one (goto trie, BFS failure links,
+output merging) followed by full DFA resolution over the needle
+alphabet: every state stores a complete transition map for the symbols
+that occur in the needles, so the scan loop is a single dict lookup per
+trace symbol, with symbols outside the needle alphabet falling to the
+root implicitly (``dict.get(sym, 0)``).
+
+Symbols are any hashables: the frequency kernel builds automata over
+interned int ids, while the streaming delta layer builds them directly
+over event-name strings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Sequence
+
+Symbol = Hashable
+
+
+class OrderAutomaton:
+    """One-pass "contains any needle as substring" decision procedure.
+
+    Parameters
+    ----------
+    needles:
+        The sequences to detect (for pattern matching: the allowed-order
+        set ``I(p)``).  Empty needles are rejected — an empty order never
+        arises from a well-formed pattern and would match everything.
+    """
+
+    __slots__ = ("_delta", "_accept", "num_states", "num_needles")
+
+    def __init__(self, needles: Iterable[Sequence[Symbol]]):
+        needle_list = [tuple(needle) for needle in needles]
+        if not needle_list:
+            raise ValueError("OrderAutomaton requires at least one needle")
+        if any(len(needle) == 0 for needle in needle_list):
+            raise ValueError("needles must be non-empty")
+
+        # Goto trie.
+        children: list[dict[Symbol, int]] = [{}]
+        accept = bytearray(1)
+        for needle in needle_list:
+            state = 0
+            for symbol in needle:
+                nxt = children[state].get(symbol)
+                if nxt is None:
+                    nxt = len(children)
+                    children[state][symbol] = nxt
+                    children.append({})
+                    accept.append(0)
+                state = nxt
+            accept[state] = 1
+
+        alphabet = {symbol for needle in needle_list for symbol in needle}
+
+        # BFS failure links with immediate DFA resolution: failure links
+        # always point to strictly shallower states, so ``delta[fail]``
+        # is complete by the time a state is popped.
+        root = dict.fromkeys(alphabet, 0)
+        root.update(children[0])
+        delta: list[dict[Symbol, int] | None] = [None] * len(children)
+        delta[0] = root
+        fail = [0] * len(children)
+        queue: deque[int] = deque(children[0].values())
+        while queue:
+            state = queue.popleft()
+            fallback = delta[fail[state]]
+            assert fallback is not None
+            if accept[fail[state]]:
+                accept[state] = 1
+            resolved = dict(fallback)
+            for symbol, child in children[state].items():
+                resolved[symbol] = child
+                fail[child] = fallback.get(symbol, 0)
+                queue.append(child)
+            delta[state] = resolved
+
+        self._delta = delta
+        self._accept = bytes(accept)
+        self.num_states = len(children)
+        self.num_needles = len(needle_list)
+
+    def find(self, sequence: Sequence[Symbol]) -> int:
+        """1-based end position of the first needle occurrence, 0 if none.
+
+        The return value doubles as the number of sequence cells scanned
+        on a hit; a miss scans the whole sequence.
+        """
+        delta = self._delta
+        accept = self._accept
+        transitions = delta[0]
+        for position, symbol in enumerate(sequence):
+            state = transitions.get(symbol, 0)
+            if accept[state]:
+                return position + 1
+            transitions = delta[state]
+        return 0
+
+    def matches(self, sequence: Sequence[Symbol]) -> bool:
+        """Whether any needle occurs contiguously in ``sequence``."""
+        return self.find(sequence) > 0

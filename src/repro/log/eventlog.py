@@ -63,6 +63,7 @@ class EventLog:
         self._alphabet: frozenset[Event] | None = None
         self._vertex_counts: Counter[Event] | None = None
         self._edge_counts: Counter[tuple[Event, Event]] | None = None
+        self._interner = None  # lazy repro.kernel.interner.EventInterner
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -130,7 +131,31 @@ class EventLog:
             self._edge_counts.update(
                 {(events[i], events[i + 1]) for i in range(len(events) - 1)}
             )
+        if self._interner is not None:
+            self._interner.absorb(trace.events)
         return trace_id
+
+    # ------------------------------------------------------------------
+    # Interning (the repro.kernel fast path)
+    # ------------------------------------------------------------------
+    def interner(self):
+        """The log's :class:`~repro.kernel.interner.EventInterner`.
+
+        Built lazily over the committed traces on first access; once
+        materialized, :meth:`append_trace` keeps it synced in O(|trace|)
+        exactly like the alphabet and vertex/edge counts.  Dense ids are
+        assigned in first-appearance order and never change, so derived
+        structures (bitsets, automata) stay valid as the log grows.
+        """
+        if self._interner is None:
+            # Local import: repro.kernel sits above the log substrate.
+            from repro.kernel.interner import EventInterner
+
+            interner = EventInterner()
+            for trace in self._traces:
+                interner.absorb(trace.events)
+            self._interner = interner
+        return self._interner
 
     # ------------------------------------------------------------------
     # Alphabet and frequencies

@@ -5,6 +5,14 @@ Evaluating a pattern's frequency then only scans
 ``⋂_{v ∈ V(p)} I_t(v)`` instead of the whole log, which is the paper's
 second index for accelerating normal-distance computation.
 
+Posting lists are stored as **big-int bitsets**: bit ``i`` of the posting
+int for event ``v`` is set iff trace ``i`` contains ``v``.  Intersection
+is then a chain of CPython-native ``&`` operations over machine words,
+candidate counting is one ``int.bit_count()``, and delta maintenance
+under append is a single set-bit per (event, new trace) — the same
+append-only contract the previous set-backed representation had, so the
+streaming delta layer is unaffected.
+
 The index supports append-only logs: :meth:`TraceIndex.refresh` absorbs
 traces appended to the wrapped log since the last sync (each new trace
 contributes its postings exactly once — postings are monotone under
@@ -15,10 +23,20 @@ answering for a shorter log.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence, Set as AbstractSet
+from collections.abc import Iterable, Sequence
 
 from repro.log.events import Event
 from repro.log.eventlog import EventLog, StaleIndexError
+
+
+def _decode_bits(bits: int) -> frozenset[int]:
+    """The set-bit positions of ``bits`` as a frozen set."""
+    positions = []
+    while bits:
+        low = bits & -bits
+        positions.append(low.bit_length() - 1)
+        bits ^= low
+    return frozenset(positions)
 
 
 class TraceIndex:
@@ -26,7 +44,7 @@ class TraceIndex:
 
     def __init__(self, log: EventLog):
         self._log = log
-        self._postings: dict[Event, set[int]] = {}
+        self._postings: dict[Event, int] = {}
         self._empty: frozenset[int] = frozenset()
         self._synced_traces = 0
         self._generation = log.generation
@@ -45,14 +63,16 @@ class TraceIndex:
         """Absorb traces appended since the last sync; return how many.
 
         This is the ``I_t`` delta-maintenance path: each committed trace
-        is indexed exactly once, immediately after its append, and never
-        rescanned.
+        is indexed exactly once, immediately after its append — one
+        set-bit per distinct event — and never rescanned.
         """
         traces = self._log.traces
+        postings = self._postings
         added = 0
         for trace_id in range(self._synced_traces, len(traces)):
+            bit = 1 << trace_id
             for event in traces[trace_id].alphabet():
-                self._postings.setdefault(event, set()).add(trace_id)
+                postings[event] = postings.get(event, 0) | bit
             added += 1
         self._synced_traces = len(traces)
         self._generation = self._log.generation
@@ -66,34 +86,48 @@ class TraceIndex:
                 f"{self._log.generation}; call refresh() or rebuild"
             )
 
-    def postings(self, event: Event) -> AbstractSet[int]:
-        """Ids of traces containing ``event`` (empty set if unseen).
+    def posting_bits(self, event: Event) -> int:
+        """The posting list of ``event`` as a bitset (0 if unseen).
 
-        The returned set is a live internal view; callers must not
-        mutate it.
+        Bit ``i`` is set iff trace ``i`` contains ``event``.  This is
+        the fast-path accessor: ``&`` chains intersect, ``|`` unions,
+        ``int.bit_count()`` counts.
         """
         self._check_fresh()
-        return self._postings.get(event, self._empty)
+        return self._postings.get(event, 0)
+
+    def postings(self, event: Event) -> frozenset[int]:
+        """Ids of traces containing ``event`` (empty set if unseen).
+
+        The returned set is an immutable snapshot decoded from the
+        bitset; callers cannot corrupt the index through it.
+        """
+        self._check_fresh()
+        bits = self._postings.get(event, 0)
+        if not bits:
+            return self._empty
+        return _decode_bits(bits)
+
+    def candidate_bits(self, events: Iterable[Event]) -> int:
+        """Bitset of traces containing *all* of ``events``."""
+        self._check_fresh()
+        postings = self._postings
+        result = -1
+        for event in set(events):
+            result &= postings.get(event, 0)
+            if not result:
+                return 0
+        if result == -1:  # no events: every trace qualifies
+            return (1 << len(self._log)) - 1
+        return result
 
     def candidate_traces(self, events: Iterable[Event]) -> frozenset[int]:
         """Ids of traces containing *all* of ``events``.
 
-        Intersects the posting lists smallest-first; an event with no
+        An ``&`` chain over the bitset posting lists; an event with no
         postings short-circuits to the empty set.
         """
-        self._check_fresh()
-        lists = sorted(
-            (self._postings.get(event, self._empty) for event in set(events)),
-            key=len,
-        )
-        if not lists:
-            return frozenset(range(len(self._log)))
-        result = lists[0]
-        for posting in lists[1:]:
-            if not result:
-                return self._empty
-            result = result & posting
-        return frozenset(result)
+        return _decode_bits(self.candidate_bits(events))
 
     def count_traces_with_any_substring(
         self, sequences: Iterable[Sequence[Event]]
@@ -105,6 +139,10 @@ class TraceIndex:
         pattern when some allowed order occurs contiguously (Definition 4).
         All sequences of a pattern share the same event set, so a single
         posting-list intersection covers every alternative.
+
+        This is the *naive* per-order scan retained as the oracle;
+        :class:`~repro.kernel.frequency.FrequencyKernel` answers the
+        same query through bigram bitsets and Aho–Corasick automata.
         """
         needles = [tuple(sequence) for sequence in sequences]
         if not needles:
@@ -117,8 +155,11 @@ class TraceIndex:
                 )
         count = 0
         traces = self._log.traces
-        for trace_id in self.candidate_traces(events):
-            trace = traces[trace_id]
+        candidates = self.candidate_bits(events)
+        while candidates:
+            low = candidates & -candidates
+            trace = traces[low.bit_length() - 1]
+            candidates ^= low
             if any(trace.contains_substring(needle) for needle in needles):
                 count += 1
         return count

@@ -13,6 +13,7 @@ from repro.patterns.graphform import pattern_graph
 from repro.patterns.index import PatternIndex
 from repro.patterns.matching import (
     PatternFrequencyEvaluator,
+    clear_orders_cache,
     pattern_frequency,
     trace_matches,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "PatternIndex",
     "allowed_orders",
     "and_",
+    "clear_orders_cache",
     "event",
     "num_allowed_orders",
     "parse_pattern",

@@ -24,6 +24,10 @@ class PatternIndex:
     def __init__(self, patterns: Iterable[Pattern] = ()):
         self._patterns: tuple[Pattern, ...] = ()
         self._by_event: dict[Event, tuple[Pattern, ...]] = {}
+        # Each pattern is additionally filed under exactly one
+        # *representative* event, so alphabet-candidate scans visit it
+        # once without a dedup set.
+        self._by_representative: dict[Event, list[Pattern]] = {}
         self._positions: dict[Pattern, int] = {}
         self.extend(patterns)
 
@@ -43,8 +47,12 @@ class PatternIndex:
                 continue
             fresh.append(pattern)
             self._positions[pattern] = len(self._positions)
-            for event in pattern.event_set():
+            events = pattern.event_set()
+            for event in events:
                 collecting.setdefault(event, []).append(pattern)
+            self._by_representative.setdefault(
+                next(iter(events)), []
+            ).append(pattern)
         if not fresh:
             return ()
         self._patterns = self._patterns + tuple(fresh)
@@ -104,22 +112,20 @@ class PatternIndex:
 
         Used by streaming delta maintenance: a newly committed trace can
         only raise the count of patterns whose events all appear in it,
-        and those are found through ``I_p`` postings of the trace's
-        (usually small) alphabet instead of scanning every pattern.
-        Registration order is preserved.
+        and those are found through the representative-event partition of
+        the trace's (usually small) alphabet — each pattern is examined
+        at most once, with no dedup set.  Registration order is
+        preserved.
         """
         alphabet_set = (
             alphabet
             if isinstance(alphabet, (set, frozenset))
             else set(alphabet)
         )
-        seen: set[Pattern] = set()
+        by_representative = self._by_representative
         candidates: list[Pattern] = []
         for event in alphabet_set:
-            for pattern in self._by_event.get(event, ()):
-                if pattern in seen:
-                    continue
-                seen.add(pattern)
+            for pattern in by_representative.get(event, ()):
                 if pattern.event_set() <= alphabet_set:
                     candidates.append(pattern)
         candidates.sort(key=self._positions.__getitem__)

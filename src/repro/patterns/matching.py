@@ -8,7 +8,11 @@ number of matching traces divided by ``|L|``.
 :class:`~repro.log.index.TraceIndex` (the paper's ``I_t``), caches allowed
 orders per pattern and memoizes frequencies per concrete order set — during
 A* search the same mapped pattern is evaluated across thousands of
-branches, and the memo turns those into dictionary hits.
+branches, and the memo turns those into dictionary hits.  Cache misses are
+counted by a :class:`~repro.kernel.frequency.FrequencyKernel` (interned
+events, bitset posting lists, multi-order Aho–Corasick automata) unless
+``use_kernel=False`` selects the naive per-order scan, which is kept as
+the oracle for ablation benchmarks and property tests.
 """
 
 from __future__ import annotations
@@ -19,16 +23,35 @@ from repro.log.index import TraceIndex
 from repro.patterns.ast import Pattern
 from repro.patterns.orders import allowed_orders
 
+#: Bound on the process-wide allowed-orders cache.  Pattern sets are a few
+#: hundred entries per matching task; the bound only matters to long-lived
+#: processes (test runs, services) churning through many unrelated logs,
+#: where the cache previously grew without limit.
+ORDERS_CACHE_MAX = 4096
+
 _orders_cache: dict[Pattern, frozenset[tuple[Event, ...]]] = {}
 
 
 def cached_allowed_orders(pattern: Pattern) -> frozenset[tuple[Event, ...]]:
-    """``I(p)`` with a process-wide cache keyed by the pattern itself."""
+    """``I(p)`` with a bounded process-wide cache keyed by the pattern.
+
+    Allowed orders depend only on the pattern's structure — never on a
+    log — so sharing across tasks is sound; the bound (FIFO eviction at
+    :data:`ORDERS_CACHE_MAX` entries) just keeps the cache from leaking
+    memory across unrelated workloads.
+    """
     orders = _orders_cache.get(pattern)
     if orders is None:
         orders = allowed_orders(pattern)
+        if len(_orders_cache) >= ORDERS_CACHE_MAX:
+            _orders_cache.pop(next(iter(_orders_cache)))
         _orders_cache[pattern] = orders
     return orders
+
+
+def clear_orders_cache() -> None:
+    """Drop every cached allowed-order set (test isolation hook)."""
+    _orders_cache.clear()
 
 
 def trace_matches(trace: Trace, pattern: Pattern) -> bool:
@@ -61,7 +84,12 @@ class PatternFrequencyEvaluator:
     use_index:
         When ``False`` every evaluation scans the full log instead of the
         posting-list candidates.  Only the index-ablation benchmark should
-        ever disable this.
+        ever disable this (implies ``use_kernel=False``).
+    use_kernel:
+        When ``True`` (the default) cache misses are answered by the
+        compiled :class:`~repro.kernel.frequency.FrequencyKernel`; when
+        ``False`` the naive per-order candidate scan runs instead — the
+        oracle configuration for ablations and equivalence tests.
     """
 
     def __init__(
@@ -69,6 +97,7 @@ class PatternFrequencyEvaluator:
         log: EventLog,
         trace_index: TraceIndex | None = None,
         use_index: bool = True,
+        use_kernel: bool = True,
     ):
         if trace_index is not None and trace_index.log is not log:
             raise ValueError("trace_index was built for a different log")
@@ -76,6 +105,14 @@ class PatternFrequencyEvaluator:
         self._index = trace_index if trace_index is not None else TraceIndex(log)
         self._use_index = use_index
         self._generation = log.generation
+        if use_index and use_kernel:
+            # Local import: the kernel package builds on this module's
+            # sibling layers.
+            from repro.kernel.frequency import FrequencyKernel
+
+            self._kernel = FrequencyKernel(log, trace_index=self._index)
+        else:
+            self._kernel = None
         # Frequencies memoized by the *instantiated* allowed-order set, so
         # structurally equal patterns (and the same pattern renamed to the
         # same targets) share one entry.
@@ -89,6 +126,11 @@ class PatternFrequencyEvaluator:
     @property
     def trace_index(self) -> TraceIndex:
         return self._index
+
+    @property
+    def kernel(self):
+        """The compiled kernel, or ``None`` in naive configurations."""
+        return self._kernel
 
     def frequency(self, pattern: Pattern) -> float:
         """``f(p)`` with memoization and posting-list acceleration."""
@@ -118,10 +160,14 @@ class PatternFrequencyEvaluator:
 
         Memoized frequencies are normalized by ``|L|``, so *every* entry
         is invalidated by a single append; the memo is dropped and the
-        trace index caught up incrementally.  Frequencies are then
-        recomputed lazily on demand.
+        trace index (plus kernel bitsets) caught up incrementally.
+        Frequencies are then recomputed lazily on demand.  Compiled
+        automata survive: interned ids are stable under append.
         """
-        self._index.refresh()
+        if self._kernel is not None:
+            self._kernel.refresh()
+        else:
+            self._index.refresh()
         self._frequency_memo.clear()
         self._generation = self._log.generation
 
@@ -141,7 +187,9 @@ class PatternFrequencyEvaluator:
             frequency = 0.0
         else:
             self.evaluations += 1
-            if self._use_index:
+            if self._kernel is not None:
+                matches = self._kernel.count_matching(orders)
+            elif self._use_index:
                 matches = self._index.count_traces_with_any_substring(orders)
             else:
                 matches = sum(

@@ -11,10 +11,15 @@ examined exactly once, at commit time,
   (:meth:`~repro.log.index.TraceIndex.refresh`);
 * the wrapped :class:`~repro.log.eventlog.EventLog` updates its
   vertex/edge counts in O(|trace|) (the ``repro.log`` append path);
-* the trace is scanned against the allowed-order windows ``I(p)`` of
-  exactly the tracked patterns whose event set it covers — found through
-  the ``I_p`` index of the trace's alphabet, not a scan over all
-  patterns — bumping their match counts.
+* the :class:`~repro.kernel.frequency.FrequencyKernel` absorbs the
+  trace into its bitset posting lists and bigram bitsets, so the match
+  counts of every pattern of one or two events are *derived state* —
+  popcounts over incrementally maintained bitsets, costing nothing at
+  commit time and microseconds at read time;
+* only the (rare) patterns of three or more events are scanned at
+  commit time, each through its compiled multi-order
+  :class:`~repro.kernel.automaton.OrderAutomaton` — and only when the
+  trace's alphabet covers the pattern's event set.
 
 Normalized frequencies are then count / current-trace-total at read time.
 :meth:`DeltaState.verify` cross-checks the whole incremental state
@@ -29,6 +34,8 @@ from collections.abc import Iterable
 
 from repro.graph.dependency import dependency_graph
 from repro.graph.digraph import DiGraph
+from repro.kernel.automaton import OrderAutomaton
+from repro.kernel.frequency import FrequencyKernel
 from repro.log.events import Event, Trace
 from repro.log.eventlog import EventLog
 from repro.log.index import TraceIndex
@@ -62,7 +69,15 @@ class DeltaState:
         self._log.ensure_statistics()
         self._trace_index = TraceIndex(self._log)
         self._pattern_index = PatternIndex()
+        self._kernel = FrequencyKernel(
+            self._log, trace_index=self._trace_index
+        )
         self._orders: dict[Pattern, frozenset[tuple[Event, ...]]] = {}
+        # Patterns of one or two events are answered lazily from the
+        # kernel's posting/bigram bitsets; only patterns of three or
+        # more events keep a commit-time count, each matched through a
+        # compiled multi-order automaton.
+        self._deep: list[tuple[Pattern, frozenset[Event], OrderAutomaton]] = []
         self._counts: dict[Pattern, int] = {}
         self.track(patterns)
         stream.subscribe(self._on_commit)
@@ -71,27 +86,36 @@ class DeltaState:
     # Maintenance
     # ------------------------------------------------------------------
     def _on_commit(self, trace_id: int, trace: Trace) -> None:
-        self._trace_index.refresh()
+        self._kernel.refresh()
+        if not self._deep:
+            return
         alphabet = trace.alphabet()
-        for pattern in self._pattern_index.candidates_for_alphabet(alphabet):
-            orders = self._orders[pattern]
-            if any(trace.contains_substring(order) for order in orders):
-                self._counts[pattern] += 1
+        events = trace.events
+        counts = self._counts
+        for pattern, event_set, automaton in self._deep:
+            if event_set <= alphabet and automaton.matches(events):
+                counts[pattern] += 1
 
     def track(self, patterns: Iterable[Pattern]) -> tuple[Pattern, ...]:
         """Start tracking additional patterns; returns the new ones.
 
-        Genuinely new patterns are back-filled with one indexed count
-        over the committed backlog (posting-list intersection, then
-        ``I(p)`` window checks); already-tracked patterns cost nothing.
+        Patterns of one or two events need no back-fill at all: their
+        counts are read on demand from the kernel's bitsets.  A new
+        pattern of three or more events gets a compiled
+        :class:`~repro.kernel.automaton.OrderAutomaton` (so the commit
+        hook checks all ω(p) allowed orders in one pass per trace) plus
+        one kernel count over the committed backlog; already-tracked
+        patterns cost nothing.
         """
         fresh = self._pattern_index.extend(patterns)
         for pattern in fresh:
             orders = cached_allowed_orders(pattern)
             self._orders[pattern] = orders
-            self._counts[pattern] = (
-                self._trace_index.count_traces_with_any_substring(orders)
-            )
+            if len(next(iter(orders))) >= 3:
+                self._deep.append(
+                    (pattern, pattern.event_set(), OrderAutomaton(orders))
+                )
+                self._counts[pattern] = self._kernel.count_matching(orders)
         return fresh
 
     # ------------------------------------------------------------------
@@ -107,6 +131,11 @@ class DeltaState:
         return self._trace_index
 
     @property
+    def kernel(self) -> FrequencyKernel:
+        """The frequency kernel maintained alongside ``I_t``."""
+        return self._kernel
+
+    @property
     def num_traces(self) -> int:
         return len(self._log)
 
@@ -117,21 +146,25 @@ class DeltaState:
 
     def match_count(self, pattern: Pattern) -> int:
         """Number of committed traces matching ``pattern``."""
-        return self._counts[pattern]
+        count = self._counts.get(pattern)
+        if count is not None:
+            return count
+        return self._kernel.count_matching(self._orders[pattern])
 
     def frequency(self, pattern: Pattern) -> float:
         """Normalized frequency ``f(p)`` over the committed traces."""
         if not self._log:
             return 0.0
-        return self._counts[pattern] / len(self._log)
+        return self.match_count(pattern) / len(self._log)
 
     def frequencies(self) -> dict[Pattern, float]:
         """All tracked frequencies at the current trace total."""
         total = len(self._log)
         if total == 0:
-            return {pattern: 0.0 for pattern in self._counts}
+            return {pattern: 0.0 for pattern in self._orders}
         return {
-            pattern: count / total for pattern, count in self._counts.items()
+            pattern: self.match_count(pattern) / total
+            for pattern in self._orders
         }
 
     def vertex_frequency(self, event: Event) -> float:

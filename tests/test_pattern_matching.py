@@ -8,11 +8,45 @@ from repro.log.events import Trace
 from repro.log.eventlog import EventLog
 from repro.log.index import TraceIndex
 from repro.patterns.ast import and_, event, seq
+from repro.patterns import matching
 from repro.patterns.matching import (
     PatternFrequencyEvaluator,
+    cached_allowed_orders,
+    clear_orders_cache,
     pattern_frequency,
     trace_matches,
 )
+
+
+class TestOrdersCache:
+    def test_clear_orders_cache_empties_it(self):
+        clear_orders_cache()
+        cached_allowed_orders(seq("A", "B"))
+        assert len(matching._orders_cache) == 1
+        clear_orders_cache()
+        assert len(matching._orders_cache) == 0
+
+    def test_cache_is_bounded(self, monkeypatch):
+        # Regression: the process-wide cache used to grow without limit
+        # across unrelated logs and test runs.
+        clear_orders_cache()
+        monkeypatch.setattr(matching, "ORDERS_CACHE_MAX", 3)
+        patterns = [seq("A", str(i)) for i in range(5)]
+        for pattern in patterns:
+            cached_allowed_orders(pattern)
+        assert len(matching._orders_cache) == 3
+        # The most recent entries survive FIFO eviction.
+        assert patterns[-1] in matching._orders_cache
+        assert patterns[0] not in matching._orders_cache
+        clear_orders_cache()
+
+    def test_eviction_does_not_change_results(self, monkeypatch):
+        clear_orders_cache()
+        monkeypatch.setattr(matching, "ORDERS_CACHE_MAX", 1)
+        first = cached_allowed_orders(and_("A", "B"))
+        cached_allowed_orders(seq("C", "D"))
+        assert cached_allowed_orders(and_("A", "B")) == first
+        clear_orders_cache()
 
 
 class TestTraceMatches:

@@ -132,7 +132,9 @@ class TestIncrementalEqualsBatch:
 class TestVerify:
     def test_detects_corrupted_pattern_count(self):
         stream = StreamingLog(traces=["ABC", "AB"])
-        pattern = parse_pattern("SEQ(A, B)")
+        # Three events: patterns this deep keep an eager commit-time
+        # count (shorter ones are derived from kernel bitsets).
+        pattern = parse_pattern("SEQ(A, B, C)")
         deltas = DeltaState(stream, patterns=[pattern])
         deltas.verify()
         deltas._counts[pattern] -= 1  # simulate a maintenance bug

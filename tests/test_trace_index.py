@@ -22,6 +22,41 @@ class TestPostings:
         assert index.postings("B") == {0, 1}
         assert index.postings("Z") == frozenset()
 
+    def test_postings_view_is_immutable(self):
+        # Regression: postings() used to hand out the live internal set;
+        # mutating it could silently corrupt the index.
+        log = EventLog(["AB", "BC", "CA"])
+        index = TraceIndex(log)
+        view = index.postings("A")
+        with pytest.raises(AttributeError):
+            view.add(1)
+        with pytest.raises(AttributeError):
+            view.discard(0)
+        assert index.postings("A") == {0, 2}
+
+    def test_posting_bits_layout(self):
+        log = EventLog(["AB", "BC", "CA"])
+        index = TraceIndex(log)
+        assert index.posting_bits("A") == 0b101
+        assert index.posting_bits("B") == 0b011
+        assert index.posting_bits("Z") == 0
+
+    def test_posting_bits_maintained_under_append(self):
+        log = EventLog(["AB"])
+        index = TraceIndex(log)
+        log.append_trace("CA")
+        index.refresh()
+        assert index.posting_bits("A") == 0b11
+        assert index.posting_bits("C") == 0b10
+        assert index.postings("A") == {0, 1}
+
+    def test_candidate_bits_intersection(self):
+        log = EventLog(["AB", "BC", "ABC"])
+        index = TraceIndex(log)
+        assert index.candidate_bits(["A", "B"]) == 0b101
+        assert index.candidate_bits(["A", "Z"]) == 0
+        assert index.candidate_bits([]) == 0b111
+
     def test_candidates_intersect(self):
         log = EventLog(["AB", "BC", "ABC"])
         index = TraceIndex(log)
