@@ -1,0 +1,171 @@
+"""Resilience overhead — what hardening the ingestion path costs.
+
+The robustness layer must be cheap enough to leave on: this benchmark
+replays the same real-like feed through three stream configurations and
+compares ingestion throughput (including per-batch drift checks, the
+realistic consumption pattern):
+
+* **trusting** — the historical `StreamingLog` with no validation;
+* **validated** — a :class:`~repro.resilience.validation.TraceValidator`
+  and quarantine store in front of every commit;
+* **validated + checks** — validation plus sampled self-healing
+  invariant checks on the delta state (``check_every=25``).
+
+The target (asserted at non-smoke scales) is that the fully hardened
+configuration stays within 10% of trusting throughput.  A second section
+reports what a chaos-perturbed feed (10% dirty) costs end to end,
+including quarantine accounting.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_scale, record_bench_json, save_report
+from repro.core.scoring import build_pattern_set
+from repro.datagen import generate_reallike
+from repro.resilience.chaos import ChaosConfig, ChaosInjector
+from repro.resilience.quarantine import QuarantineStore
+from repro.resilience.validation import TraceValidator
+from repro.stream.deltas import DeltaState
+from repro.stream.ingest import StreamingLog
+
+#: Hardened ingestion may cost at most this fraction over trusting.
+OVERHEAD_TARGET = 0.10
+
+CHECK_EVERY = 25
+
+
+def _ingest(feed, patterns, batch, validator=None, check_every=None):
+    stream = StreamingLog(
+        name="bench",
+        validator=validator,
+        quarantine=QuarantineStore() if validator is not None else None,
+    )
+    deltas = DeltaState(stream, patterns=patterns, check_every=check_every)
+    started = time.perf_counter()
+    for start in range(0, len(feed), batch):
+        for trace in feed[start : start + batch]:
+            stream.append_trace(trace)
+        freqs = [deltas.frequency(p) for p in patterns]
+    elapsed = time.perf_counter() - started
+    return elapsed, freqs, stream, deltas
+
+
+@pytest.fixture(scope="module")
+def resilience_overhead(scale):
+    if scale == "paper":
+        num_traces = 10_000
+    elif scale == "smoke":
+        num_traces = 300
+    else:
+        num_traces = 2_000
+    batch = 100
+    task = generate_reallike(num_traces=num_traces, seed=13)
+    feed = task.log_1.traces[:num_traces]
+    patterns = build_pattern_set(task.log_1, task.patterns)
+
+    # Warm-up pass so interning/automata compilation does not bias the
+    # first measured configuration.
+    _ingest(feed[: min(len(feed), 200)], patterns, batch)
+
+    trusting_s, trusting_freqs, _, _ = _ingest(feed, patterns, batch)
+    validated_s, validated_freqs, _, _ = _ingest(
+        feed, patterns, batch, validator=TraceValidator()
+    )
+    hardened_s, hardened_freqs, _, hardened_deltas = _ingest(
+        feed, patterns, batch,
+        validator=TraceValidator(), check_every=CHECK_EVERY,
+    )
+
+    # Hardening must not change what a clean feed computes.
+    assert validated_freqs == pytest.approx(trusting_freqs)
+    assert hardened_freqs == pytest.approx(trusting_freqs)
+    assert hardened_deltas.recovery.invariant_checks > 0
+    assert hardened_deltas.recovery.cheap_check_failures == 0
+
+    # --- chaos pass: 10% dirty feed through the hardened pipeline ------
+    injector = ChaosInjector(ChaosConfig(
+        drop_event_rate=0.03,
+        corrupt_event_rate=0.04,
+        reorder_event_rate=0.03,
+        duplicate_trace_rate=0.02,
+        seed=13,
+    ))
+    chaos_stream = StreamingLog(
+        name="chaos", validator=TraceValidator(), quarantine=QuarantineStore()
+    )
+    chaos_deltas = DeltaState(
+        chaos_stream, patterns=patterns, check_every=CHECK_EVERY
+    )
+    started = time.perf_counter()
+    for case_id, events in injector.perturb(feed):
+        for event in events:
+            chaos_stream.append_event(case_id, event)
+        chaos_stream.close_trace(case_id)
+    chaos_s = time.perf_counter() - started
+    chaos_deltas.verify()
+    quarantined = chaos_stream.quarantine.total_seen
+
+    overhead_validated = validated_s / trusting_s - 1.0
+    overhead_hardened = hardened_s / trusting_s - 1.0
+    lines = [
+        f"ingestion of {len(feed)} traces in batches of {batch}, "
+        f"drift check over {len(patterns)} patterns per batch:",
+        f"  trusting             : {trusting_s:8.3f}s "
+        f"({len(feed) / trusting_s:8.0f} traces/s)",
+        f"  validated            : {validated_s:8.3f}s "
+        f"({overhead_validated:+7.1%} overhead)",
+        f"  validated + checks   : {hardened_s:8.3f}s "
+        f"({overhead_hardened:+7.1%} overhead, "
+        f"check_every={CHECK_EVERY}, "
+        f"{hardened_deltas.recovery.invariant_checks} checks)",
+        f"  overhead target      : <{OVERHEAD_TARGET:.0%}",
+        "",
+        f"chaos pass (10% dirty feed, seed {injector.config.seed}):",
+        f"  ingested+verified    : {chaos_s:8.3f}s, "
+        f"{len(chaos_stream)} committed, {quarantined} quarantined "
+        f"({injector.actions.events_corrupted} corrupted events, "
+        f"{injector.actions.traces_duplicated} duplicated traces)",
+    ]
+    save_report("resilience", "\n".join(lines))
+    record_bench_json(
+        "resilience",
+        {
+            "scale": bench_scale(),
+            "num_traces": len(feed),
+            "batch": batch,
+            "trusting_s": round(trusting_s, 6),
+            "validated_s": round(validated_s, 6),
+            "hardened_s": round(hardened_s, 6),
+            "overhead_validated": round(overhead_validated, 4),
+            "overhead_hardened": round(overhead_hardened, 4),
+            "overhead_target": OVERHEAD_TARGET,
+            "check_every": CHECK_EVERY,
+            "chaos_s": round(chaos_s, 6),
+            "chaos_quarantined": quarantined,
+        },
+    )
+    return overhead_hardened
+
+
+def test_resilience_overhead_benchmark(benchmark, resilience_overhead):
+    """Time one hardened ingestion batch (validation + sampled checks)."""
+    task = generate_reallike(num_traces=300, seed=13)
+    patterns = build_pattern_set(task.log_1, task.patterns)
+
+    def kernel():
+        stream = StreamingLog(validator=TraceValidator())
+        deltas = DeltaState(
+            stream, patterns=patterns, check_every=CHECK_EVERY
+        )
+        for trace in task.log_1.traces:
+            stream.append_trace(trace)
+        return deltas.frequencies()
+
+    benchmark(kernel)
+
+    # The hardening-pays-its-way claim.  Smoke scale is too short for a
+    # stable ratio; there only the wiring is exercised.
+    if bench_scale() != "smoke":
+        assert resilience_overhead < OVERHEAD_TARGET

@@ -28,12 +28,14 @@ class VertexEdgeMatcher:
         bound: BoundKind = BoundKind.TIGHT,
         node_budget: int | None = None,
         time_budget: float | None = None,
+        strict: bool = False,
     ):
         self.log_1 = log_1
         self.log_2 = log_2
         self.bound = bound
         self.node_budget = node_budget
         self.time_budget = time_budget
+        self.strict = strict
 
     def match(self) -> MatchOutcome:
         patterns = build_pattern_set(
@@ -45,5 +47,6 @@ class VertexEdgeMatcher:
             model,
             node_budget=self.node_budget,
             time_budget=self.time_budget,
+            strict=self.strict,
         )
         return matcher.match()

@@ -30,7 +30,10 @@ from pathlib import Path
 
 from repro.core.matcher import METHODS, EventMatcher
 from repro.evaluation.explain import explain_mapping, format_explanation
-from repro.evaluation.reporting import format_stream_report
+from repro.evaluation.reporting import (
+    format_recovery_stats,
+    format_stream_report,
+)
 from repro.graph.dependency import dependency_graph
 from repro.graph.dot import to_dot
 from repro.log.csvio import read_csv
@@ -40,6 +43,9 @@ from repro.log.xes import read_xes
 from repro.patterns.discovery import discover_patterns
 from repro.patterns.matching import pattern_frequency
 from repro.patterns.parser import parse_pattern
+from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
+from repro.resilience.quarantine import QuarantineStore
+from repro.resilience.validation import TraceValidator
 from repro.stream.engine import OnlineMatcher
 from repro.stream.ingest import StreamingLog
 
@@ -84,11 +90,16 @@ def _cmd_match(args: argparse.Namespace) -> int:
         args.method,
         node_budget=args.node_budget,
         time_budget=args.time_budget,
+        strict=args.strict,
+        degraded_fallback=args.degraded_fallback,
+    )
+    degraded_text = (
+        f" DEGRADED gap<={result.gap:.4f}" if result.degraded else ""
     )
     print(
         f"# method={result.method} score={result.score:.4f} "
         f"time={result.elapsed_seconds:.2f}s "
-        f"processed={result.stats.processed_mappings}"
+        f"processed={result.stats.processed_mappings}{degraded_text}"
     )
     for source, target in sorted(result.mapping.as_dict().items()):
         print(f"{source}\t{target}")
@@ -107,21 +118,44 @@ def _cmd_match(args: argparse.Namespace) -> int:
 def _cmd_stream(args: argparse.Namespace) -> int:
     if args.batch_size < 1:
         raise SystemExit("error: --batch-size must be at least 1")
-    reference = load_log(args.log1)
     feed = load_log(args.feed)
     patterns = [parse_pattern(text) for text in args.pattern]
 
-    stream = StreamingLog(name=Path(args.feed).stem)
-    engine = OnlineMatcher(
-        reference,
-        stream,
-        patterns=patterns,
-        drift_threshold=args.drift_threshold,
-        exact_cutoff=args.exact_cutoff,
-        node_budget=args.node_budget,
-        time_budget=args.time_budget,
-        min_traces=args.min_traces,
-    )
+    if args.resume:
+        # Everything but the feed comes out of the checkpoint: reference
+        # log, patterns, engine configuration, committed backlog, open
+        # cases, quarantine and mapping.
+        engine = load_checkpoint(args.resume)
+        stream = engine.stream
+        print(
+            f"# resumed from {args.resume}: {len(stream)} traces committed, "
+            f"{len(stream.open_cases())} cases open",
+            file=sys.stderr,
+        )
+    else:
+        reference = load_log(args.log1)
+        validator = TraceValidator() if args.validate else None
+        quarantine = (
+            QuarantineStore(capacity=args.quarantine_capacity)
+            if args.validate
+            else None
+        )
+        stream = StreamingLog(
+            name=Path(args.feed).stem,
+            validator=validator,
+            quarantine=quarantine,
+        )
+        engine = OnlineMatcher(
+            reference,
+            stream,
+            patterns=patterns,
+            drift_threshold=args.drift_threshold,
+            exact_cutoff=args.exact_cutoff,
+            node_budget=args.node_budget,
+            time_budget=args.time_budget,
+            min_traces=args.min_traces,
+            check_every=args.check_every,
+        )
 
     # Replay the feed as live traffic: every event goes through the
     # per-case open/append/close lifecycle, and the engine re-evaluates
@@ -137,8 +171,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             engine.update()
     if pending % args.batch_size != 0 or not engine.history:
         engine.update()
+    if args.checkpoint:
+        save_checkpoint(engine, args.checkpoint)
+        print(f"# checkpoint saved to {args.checkpoint}", file=sys.stderr)
 
     print(format_stream_report(engine.history))
+    recovery = stream.recovery.merged_with(engine.deltas.recovery)
+    if recovery.total() or stream.quarantine:
+        print()
+        print(format_recovery_stats(recovery, quarantine=stream.quarantine))
     rematches = sum(1 for update in engine.history if update.rematched)
     print(
         f"\n# {len(stream)} traces ingested, {len(engine.history)} updates, "
@@ -209,6 +250,16 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser.add_argument("--node-budget", type=int, default=None)
     match_parser.add_argument("--time-budget", type=float, default=None)
     match_parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on budget exhaustion instead of returning the "
+        "degraded anytime incumbent",
+    )
+    match_parser.add_argument(
+        "--degraded-fallback", type=float, default=None, metavar="GAP",
+        help="re-run the warm-started advanced heuristic when a degraded "
+        "exact result's optimality gap exceeds GAP",
+    )
+    match_parser.add_argument(
         "--output", metavar="FILE", help="save the mapping as JSON"
     )
     match_parser.add_argument(
@@ -247,6 +298,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream_parser.add_argument("--node-budget", type=int, default=200_000)
     stream_parser.add_argument("--time-budget", type=float, default=None)
+    stream_parser.add_argument(
+        "--validate", action="store_true",
+        help="validate every trace before commit; rejects go to a "
+        "bounded quarantine store instead of raising",
+    )
+    stream_parser.add_argument(
+        "--quarantine-capacity", type=int, default=1024,
+        help="quarantined payloads kept in memory (counting continues "
+        "past the bound)",
+    )
+    stream_parser.add_argument(
+        "--check-every", type=int, default=None, metavar="N",
+        help="run cheap self-healing invariant checks on the delta "
+        "state every N commits",
+    )
+    stream_parser.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="save the engine state to FILE after the feed is replayed",
+    )
+    stream_parser.add_argument(
+        "--resume", metavar="FILE",
+        help="restore the engine from a checkpoint and replay FEED on "
+        "top of it (LOG1 and --pattern/--drift options are taken from "
+        "the checkpoint)",
+    )
     stream_parser.add_argument(
         "--output", metavar="FILE", help="save the final mapping as JSON"
     )

@@ -71,13 +71,21 @@ _HEURISTIC_METHODS = {
 
 @dataclass(frozen=True)
 class MatchResult:
-    """A matcher outcome annotated with method name and wall-clock time."""
+    """A matcher outcome annotated with method name and wall-clock time.
+
+    ``degraded``/``gap`` carry the anytime flags of the underlying
+    :class:`~repro.core.result.MatchOutcome`: a degraded result is a
+    complete, injective, achievable mapping whose score may fall short of
+    the optimum by at most ``gap``.
+    """
 
     method: str
     mapping: Mapping
     score: float
     stats: SearchStats
     elapsed_seconds: float
+    degraded: bool = False
+    gap: float = 0.0
 
     @classmethod
     def from_outcome(
@@ -89,6 +97,8 @@ class MatchResult:
             score=outcome.score,
             stats=outcome.stats,
             elapsed_seconds=elapsed_seconds,
+            degraded=outcome.degraded,
+            gap=outcome.gap,
         )
 
 
@@ -129,12 +139,23 @@ class EventMatcher:
         time_budget: float | None = None,
         heuristic_bound: BoundKind = BoundKind.TIGHT_FAST,
         warm_start: MappingABC[Event, Event] | None = None,
+        strict: bool = False,
+        degraded_fallback: float | None = None,
     ) -> MatchResult:
         """Run ``method`` and return its annotated result.
 
         ``node_budget``/``time_budget`` apply to the exact searches
-        (``pattern-*`` and ``vertex-edge``); exceeding them raises
-        :class:`~repro.core.astar.SearchBudgetExceeded`.
+        (``pattern-*`` and ``vertex-edge``).  Exceeding a budget returns
+        the search's best incumbent complete mapping flagged
+        ``degraded=True`` with an optimality-gap bound in ``gap``;
+        ``strict=True`` restores the historical
+        :class:`~repro.core.astar.SearchBudgetExceeded` instead.
+
+        ``degraded_fallback`` — when a ``pattern-*`` search degrades with
+        a gap *larger* than this threshold, the facade re-runs
+        ``heuristic-advanced`` warm-started from the degraded mapping and
+        keeps whichever mapping scores higher (still flagged degraded,
+        with the gap tightened by any improvement).
 
         ``warm_start`` — typically the previous mapping in an online
         setting — seeds the revision phase of ``heuristic-advanced`` and
@@ -165,7 +186,17 @@ class EventMatcher:
                 node_budget=node_budget,
                 time_budget=time_budget,
                 incumbent_score=incumbent,
+                incumbent_mapping=warm,
+                strict=strict,
             ).match()
+            if (
+                outcome.degraded
+                and degraded_fallback is not None
+                and outcome.gap > degraded_fallback
+            ):
+                outcome, method = self._heuristic_rescue(
+                    outcome, heuristic_bound, method
+                )
         elif method in _HEURISTIC_METHODS:
             model = ScoreModel(
                 self.log_1,
@@ -188,6 +219,7 @@ class EventMatcher:
                 self.log_2,
                 node_budget=node_budget,
                 time_budget=time_budget,
+                strict=strict,
             ).match()
         elif method == "iterative":
             outcome = IterativeMatcher(self.log_1, self.log_2).match()
@@ -200,6 +232,40 @@ class EventMatcher:
         elapsed = time.perf_counter() - started
         return MatchResult.from_outcome(method, outcome, elapsed)
 
+    def _heuristic_rescue(
+        self, degraded: MatchOutcome, heuristic_bound: BoundKind, method: str
+    ) -> tuple[MatchOutcome, str]:
+        """Try to beat a wide-gap degraded result with the heuristic.
+
+        The advanced heuristic is warm-started from the degraded mapping
+        (so it can only revise, never regress below a cold start) and the
+        better realized score wins.  The result stays ``degraded`` —
+        neither run proves optimality — but the gap bound tightens by
+        exactly the score improvement, since the frontier upper bound
+        that produced it is unchanged.
+        """
+        rescue_model = ScoreModel(
+            self.log_1,
+            self.log_2,
+            self.full_pattern_set(),
+            bound=heuristic_bound,
+        )
+        rescue = AdvancedHeuristicMatcher(
+            rescue_model, initial_mapping=degraded.mapping
+        ).match()
+        degraded.stats.merge(rescue.stats)
+        if rescue.score <= degraded.score:
+            return degraded, method
+        tightened = max(0.0, degraded.gap - (rescue.score - degraded.score))
+        outcome = MatchOutcome(
+            rescue.mapping,
+            rescue.score,
+            degraded.stats,
+            degraded=True,
+            gap=tightened,
+        )
+        return outcome, "heuristic-advanced"
+
 
 def match(
     log_1: EventLog,
@@ -209,6 +275,8 @@ def match(
     node_budget: int | None = None,
     time_budget: float | None = None,
     warm_start: MappingABC[Event, Event] | None = None,
+    strict: bool = False,
+    degraded_fallback: float | None = None,
 ) -> MatchResult:
     """One-call event matching between two logs (see module docstring)."""
     matcher = EventMatcher(log_1, log_2, patterns=patterns)
@@ -217,4 +285,6 @@ def match(
         node_budget=node_budget,
         time_budget=time_budget,
         warm_start=warm_start,
+        strict=strict,
+        degraded_fallback=degraded_fallback,
     )

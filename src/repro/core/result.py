@@ -15,8 +15,16 @@ class MatchOutcome:
     ``score`` is the pattern normal distance of ``mapping`` under the
     pattern set the matcher was configured with (for baselines it is the
     objective that baseline maximizes).
+
+    ``degraded`` marks an *anytime* result: the search ran out of budget
+    and returned its best incumbent complete mapping instead of a proven
+    optimum.  ``gap`` then upper-bounds how much better the optimal score
+    could be (best open ``g + h`` on the frontier minus the incumbent's
+    realized score); a proven-optimal result has ``gap == 0.0``.
     """
 
     mapping: Mapping
     score: float
     stats: SearchStats
+    degraded: bool = False
+    gap: float = 0.0

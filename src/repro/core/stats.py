@@ -37,6 +37,8 @@ class SearchStats:
     bitset_intersections: int = 0
     #: Trace cells fed through kernel automaton/naive scans.
     trace_cells_scanned: int = 0
+    #: Times the anytime search improved its best complete incumbent.
+    incumbent_updates: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "SearchStats") -> None:
@@ -51,5 +53,6 @@ class SearchStats:
         self.automaton_hits += other.automaton_hits
         self.bitset_intersections += other.bitset_intersections
         self.trace_cells_scanned += other.trace_cells_scanned
+        self.incumbent_updates += other.incumbent_updates
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0.0) + value

@@ -120,7 +120,10 @@ def format_stream_report(updates: Sequence["StreamUpdate"]) -> str:
     actions = []
     for update in updates:
         if update.rematched:
-            actions.append(f"re-match[{update.reason}]:{update.method}")
+            action = f"re-match[{update.reason}]:{update.method}"
+            if update.degraded:
+                action += f" gap<={update.gap:.3f}"
+            actions.append(action)
         else:
             actions.append("hold")
     action_width = max([len(action) for action in actions] + [6])
@@ -143,4 +146,31 @@ def format_stream_report(updates: Sequence["StreamUpdate"]) -> str:
             f"{update.score:9.3f} {drift_text:>7} {action:<{action_width}} "
             f"{update.elapsed_seconds:8.3f} {mapping_text:<9}"
         )
+    return "\n".join(lines)
+
+
+def format_recovery_stats(recovery, quarantine=None, label: str = "") -> str:
+    """An operator-facing summary of the resilience counters.
+
+    One line of :class:`~repro.resilience.recovery.RecoveryStats`
+    counters (quarantines, isolated listener errors, the self-healing
+    check→verify→rebuild funnel), followed — when a
+    :class:`~repro.resilience.quarantine.QuarantineStore` is given and
+    non-empty — by its per-reason breakdown.  All zeros means nothing
+    ever degraded.
+    """
+    prefix = f"{label}: " if label else ""
+    lines = [
+        f"{prefix}recovery — "
+        f"quarantined {recovery.quarantined_traces}, "
+        f"listener errors {recovery.listener_errors}, "
+        f"checks {recovery.invariant_checks} "
+        f"(failed {recovery.cheap_check_failures}), "
+        f"verifies {recovery.verifications} "
+        f"(diverged {recovery.divergences}), "
+        f"rebuilds {recovery.rebuilds} "
+        f"(suppressed {recovery.rebuilds_suppressed})"
+    ]
+    if quarantine is not None and quarantine.total_seen:
+        lines.append(prefix + quarantine.summary())
     return "\n".join(lines)

@@ -4,6 +4,11 @@ The on-disk format is the conventional flat event table used by process
 mining tools: one row per event occurrence with a case-id column and an
 activity column, ordered within each case either by row order or by an
 optional timestamp column.
+
+Malformed rows (missing case id or activity) raise a
+:class:`~repro.log.errors.LogReadError` naming the offending file line
+and case id; pass ``on_error="quarantine"`` to skip them instead and
+report each into a :class:`~repro.resilience.quarantine.QuarantineStore`.
 """
 
 from __future__ import annotations
@@ -12,8 +17,11 @@ import csv
 import io
 from pathlib import Path
 
+from repro.log.errors import LogReadError
 from repro.log.events import Trace
 from repro.log.eventlog import EventLog
+
+_ON_ERROR_MODES = ("raise", "quarantine")
 
 
 def read_csv(
@@ -22,6 +30,8 @@ def read_csv(
     activity_column: str = "activity",
     timestamp_column: str | None = None,
     name: str = "",
+    on_error: str = "raise",
+    quarantine=None,
 ) -> EventLog:
     """Read an event log from a CSV event table.
 
@@ -30,25 +40,53 @@ def read_csv(
     sort on the raw string values, numeric when all values parse), else by
     the order rows appear in the file.  Cases appear in the log in order of
     first occurrence.
+
+    A row with a missing/empty case id or activity raises
+    :class:`LogReadError` naming the file line and case id.  With
+    ``on_error="quarantine"`` the row is skipped instead; pass a
+    :class:`~repro.resilience.quarantine.QuarantineStore` to collect the
+    skips (one is created and discarded otherwise — use the stream layer
+    if you only want counts).
     """
+    if on_error not in _ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+        )
     if isinstance(source, (str, Path)):
         with open(source, newline="") as handle:
             return read_csv(
-                handle, case_column, activity_column, timestamp_column, name
+                handle, case_column, activity_column, timestamp_column,
+                name, on_error, quarantine,
             )
+    if quarantine is None and on_error == "quarantine":
+        from repro.resilience.quarantine import QuarantineStore
+
+        quarantine = QuarantineStore()
 
     reader = csv.DictReader(source)
     if reader.fieldnames is None:
         return EventLog([], name=name)
     for column in filter(None, (case_column, activity_column, timestamp_column)):
         if column not in reader.fieldnames:
-            raise ValueError(f"missing column {column!r} in CSV header")
+            raise LogReadError(f"missing column {column!r} in CSV header")
 
     cases: dict[str, list[tuple[str, str]]] = {}
     for row in reader:
-        case_id = row[case_column]
+        case_id = row.get(case_column)
+        activity = row.get(activity_column)
+        problem = None
+        if not case_id:
+            problem = f"missing case id in column {case_column!r}"
+        elif not activity:
+            problem = f"missing activity in column {activity_column!r}"
+        if problem is not None:
+            _bad_row(
+                problem, reader.line_num, case_id, activity,
+                on_error, quarantine,
+            )
+            continue
         stamp = row[timestamp_column] if timestamp_column else ""
-        cases.setdefault(case_id, []).append((stamp, row[activity_column]))
+        cases.setdefault(case_id, []).append((stamp, activity))
 
     traces = []
     for case_id, rows in cases.items():
@@ -56,6 +94,28 @@ def read_csv(
             rows = _sorted_by_timestamp(rows)
         traces.append(Trace((activity for _, activity in rows), case_id=case_id))
     return EventLog(traces, name=name)
+
+
+def _bad_row(problem, line_num, case_id, activity, on_error, quarantine):
+    location = f"line {line_num}"
+    if on_error == "raise":
+        suffix = f" (case {case_id!r})" if case_id else ""
+        raise LogReadError(
+            f"{location}: {problem}{suffix}",
+            location=location,
+            case_id=case_id or None,
+        )
+    from repro.resilience.quarantine import QuarantineRecord, sanitize_events
+
+    quarantine.add(
+        QuarantineRecord(
+            kind="row",
+            reason=f"{location}: {problem}",
+            case_id=case_id or None,
+            events=sanitize_events([activity] if activity else []),
+            source="csv",
+        )
+    )
 
 
 def _sorted_by_timestamp(

@@ -1,0 +1,28 @@
+"""Typed errors for the log I/O layer.
+
+Import errors always name the offending location — file line or row
+number, trace position, case id — because "invalid CSV" is useless when
+the file has a million rows.  Subclassing :class:`ValueError` keeps
+historical ``except ValueError`` call sites working.
+"""
+
+from __future__ import annotations
+
+
+class LogReadError(ValueError):
+    """A malformed row/trace encountered while reading an event log.
+
+    Attributes
+    ----------
+    location:
+        Human-readable locus — ``"line 42"`` for CSV (physical file
+        line, as counted by the csv reader), ``"trace 3"`` for XES.
+    case_id:
+        The case the offending record belongs to, when identifiable.
+    """
+
+    def __init__(self, message: str, location: str | None = None,
+                 case_id: str | None = None):
+        super().__init__(message)
+        self.location = location
+        self.case_id = case_id

@@ -7,7 +7,12 @@ optional ``concept:name`` string attribute (the case id) and ``<event>``
 elements carrying a ``concept:name`` string attribute (the activity).
 
 The reader is deliberately tolerant: unknown attributes and extensions are
-ignored, events without a ``concept:name`` are skipped.
+ignored, events without a ``concept:name`` are skipped.  Structural
+errors (wrong root, a ``concept:name`` attribute without a value) raise
+a :class:`~repro.log.errors.LogReadError` naming the trace position and
+case id; ``on_error="quarantine"`` downgrades them — and the silently
+skipped nameless events — to records in a
+:class:`~repro.resilience.quarantine.QuarantineStore`.
 """
 
 from __future__ import annotations
@@ -17,38 +22,100 @@ import xml.etree.ElementTree as ElementTree
 from pathlib import Path
 from xml.sax.saxutils import quoteattr
 
+from repro.log.errors import LogReadError
 from repro.log.events import Trace
 from repro.log.eventlog import EventLog
 
 _CONCEPT_NAME = "concept:name"
 
+_ON_ERROR_MODES = ("raise", "quarantine")
 
-def read_xes(source: str | Path | io.TextIOBase, name: str = "") -> EventLog:
-    """Parse an XES document into an :class:`EventLog`."""
+
+def read_xes(
+    source: str | Path | io.TextIOBase,
+    name: str = "",
+    on_error: str = "raise",
+    quarantine=None,
+) -> EventLog:
+    """Parse an XES document into an :class:`EventLog`.
+
+    With ``on_error="quarantine"``, malformed traces (a ``concept:name``
+    attribute without a value) are skipped into ``quarantine`` instead
+    of raising, and every nameless event the tolerant reader drops is
+    recorded there too.
+    """
+    if on_error not in _ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+        )
+    if quarantine is None and on_error == "quarantine":
+        from repro.resilience.quarantine import QuarantineStore
+
+        quarantine = QuarantineStore()
     if isinstance(source, (str, Path)):
         tree = ElementTree.parse(source)
         root = tree.getroot()
     else:
         root = ElementTree.fromstring(source.read())
     if _local_name(root.tag) != "log":
-        raise ValueError(f"expected <log> root element, got <{root.tag}>")
+        raise LogReadError(f"expected <log> root element, got <{root.tag}>")
 
     traces = []
+    position = -1
     for trace_element in root:
         if _local_name(trace_element.tag) != "trace":
             continue
+        position += 1
         case_id = None
         events = []
+        problem = None
+        event_index = -1
         for child in trace_element:
             local = _local_name(child.tag)
             if local == "string" and child.get("key") == _CONCEPT_NAME:
                 case_id = child.get("value")
+                if case_id is None:
+                    problem = "concept:name attribute without a value"
+                    break
             elif local == "event":
+                event_index += 1
                 activity = _event_name(child)
                 if activity is not None:
                     events.append(activity)
+                elif quarantine is not None:
+                    _record_skip(
+                        quarantine,
+                        f"trace {position}: event {event_index} has no "
+                        f"{_CONCEPT_NAME}",
+                        case_id,
+                    )
+        if problem is not None:
+            location = f"trace {position}"
+            detail = f" (case {case_id!r})" if case_id else ""
+            if on_error == "raise":
+                raise LogReadError(
+                    f"{location}: {problem}{detail}",
+                    location=location,
+                    case_id=case_id,
+                )
+            _record_skip(quarantine, f"{location}: {problem}", case_id)
+            continue
         traces.append(Trace(events, case_id=case_id))
     return EventLog(traces, name=name)
+
+
+def _record_skip(quarantine, reason: str, case_id: str | None) -> None:
+    from repro.resilience.quarantine import QuarantineRecord
+
+    quarantine.add(
+        QuarantineRecord(
+            kind="row",
+            reason=reason,
+            case_id=case_id,
+            events=(),
+            source="xes",
+        )
+    )
 
 
 def _local_name(tag: str) -> str:

@@ -1,0 +1,172 @@
+"""Bounded dead-letter store for rejected stream input.
+
+Real event feeds are dirty: rows with missing attributes, duplicated
+case ids, traces corrupted in flight.  Dropping such input silently
+hides data-quality problems; crashing on it takes the whole pipeline
+down.  The :class:`QuarantineStore` is the middle road — every reject is
+recorded *with its reason*, the store is bounded so a poisoned feed
+cannot exhaust memory (overflow keeps counting but drops payloads), and
+the whole store serializes into a checkpoint so reject history survives
+a restore.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+def sanitize_events(events) -> tuple[str, ...]:
+    """Render possibly-corrupt event payloads as strings for storage."""
+    return tuple(
+        event if isinstance(event, str) else repr(event) for event in events
+    )
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One rejected input, with enough context to triage it later.
+
+    ``kind`` classifies the failure surface: ``"trace"`` (a stream
+    commit rejected by validation), ``"row"`` (a malformed file row
+    skipped by a reader), or ``"listener-error"`` (a commit listener
+    raised and was isolated).
+    """
+
+    kind: str
+    reason: str
+    case_id: str | None = None
+    events: tuple[str, ...] = ()
+    source: str = "stream"
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": self.kind,
+            "reason": self.reason,
+            "case_id": self.case_id,
+            "events": list(self.events),
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QuarantineRecord":
+        return cls(
+            kind=payload["kind"],
+            reason=payload["reason"],
+            case_id=payload.get("case_id"),
+            events=tuple(payload.get("events", ())),
+            source=payload.get("source", "stream"),
+        )
+
+
+class QuarantineStore:
+    """A bounded store of :class:`QuarantineRecord` rejects.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of record payloads retained.  Rejects past the
+        bound still increment counters (``total_seen``, per-reason
+        counts) so reporting stays truthful, but their payloads are
+        dropped — the store can never grow without bound.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._records: list[QuarantineRecord] = []
+        self._total_seen = 0
+        self._dropped = 0
+        self._reasons: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def add(self, record: QuarantineRecord) -> bool:
+        """Quarantine a record; returns ``False`` if its payload was
+        dropped because the store is full (it is still counted)."""
+        self._total_seen += 1
+        self._reasons[record.reason] += 1
+        if len(self._records) >= self.capacity:
+            self._dropped += 1
+            return False
+        self._records.append(record)
+        return True
+
+    def clear(self) -> None:
+        """Forget all records and counters."""
+        self._records.clear()
+        self._total_seen = 0
+        self._dropped = 0
+        self._reasons.clear()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> tuple[QuarantineRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def total_seen(self) -> int:
+        """Rejects observed, including ones whose payload was dropped."""
+        return self._total_seen
+
+    @property
+    def dropped(self) -> int:
+        """Rejects whose payload was dropped by the capacity bound."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __bool__(self) -> bool:
+        return self._total_seen > 0
+
+    def counts_by_reason(self) -> dict[str, int]:
+        """Reject counts keyed by reason, most frequent first."""
+        return dict(self._reasons.most_common())
+
+    def summary(self) -> str:
+        """A one-paragraph triage summary of what was quarantined."""
+        if not self._total_seen:
+            return "quarantine: empty"
+        lines = [
+            f"quarantine: {self._total_seen} rejects "
+            f"({len(self._records)} retained, {self._dropped} dropped by "
+            f"capacity {self.capacity})"
+        ]
+        for reason, count in self._reasons.most_common():
+            lines.append(f"  {count:>6}  {reason}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuarantineStore({len(self._records)}/{self.capacity} retained, "
+            f"{self._total_seen} seen)"
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "total_seen": self._total_seen,
+            "dropped": self._dropped,
+            "reasons": dict(self._reasons),
+            "records": [record.to_payload() for record in self._records],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QuarantineStore":
+        store = cls(capacity=payload["capacity"])
+        store._records = [
+            QuarantineRecord.from_payload(entry)
+            for entry in payload.get("records", ())
+        ]
+        store._total_seen = payload.get("total_seen", len(store._records))
+        store._dropped = payload.get("dropped", 0)
+        store._reasons = Counter(payload.get("reasons", {}))
+        return store

@@ -26,6 +26,16 @@ Normalized frequencies are then count / current-trace-total at read time.
 against a from-scratch batch rebuild — the safety net behind the
 subsystem's core invariant (*incremental equals batch*), cheap enough to
 run in tests and periodically in production.
+
+Self-healing: constructed with ``check_every=N``, the state runs cheap
+O(alphabet) invariant spot-checks every ``N``-th commit.  A failed spot
+check escalates to a full :meth:`DeltaState.verify`; a confirmed
+divergence triggers :meth:`DeltaState.rebuild` — a from-scratch
+reconstruction of the index, kernel and pattern counts — under an
+exponential backoff so persistently hostile state (e.g. a corrupted
+live log) cannot turn every commit into a rebuild.  Every check,
+escalation, divergence and rebuild is counted in
+:class:`~repro.resilience.recovery.RecoveryStats`.
 """
 
 from __future__ import annotations
@@ -42,6 +52,7 @@ from repro.log.index import TraceIndex
 from repro.patterns.ast import Pattern
 from repro.patterns.index import PatternIndex
 from repro.patterns.matching import cached_allowed_orders, pattern_frequency
+from repro.resilience.recovery import RecoveryStats
 from repro.stream.ingest import StreamingLog
 
 
@@ -61,9 +72,20 @@ class DeltaState:
     patterns:
         Patterns to track from the start; more can be registered later
         with :meth:`track` (e.g. mapped patterns after a re-match).
+    check_every:
+        Run a cheap invariant spot-check every this-many commits,
+        escalating to :meth:`verify` + :meth:`rebuild` on failure.
+        ``None`` (the default) disables self-healing.
     """
 
-    def __init__(self, stream: StreamingLog, patterns: Iterable[Pattern] = ()):
+    def __init__(
+        self,
+        stream: StreamingLog,
+        patterns: Iterable[Pattern] = (),
+        check_every: int | None = None,
+    ):
+        if check_every is not None and check_every < 1:
+            raise ValueError("check_every must be positive or None")
         self._stream = stream
         self._log = stream.log
         self._log.ensure_statistics()
@@ -79,6 +101,11 @@ class DeltaState:
         # compiled multi-order automaton.
         self._deep: list[tuple[Pattern, frozenset[Event], OrderAutomaton]] = []
         self._counts: dict[Pattern, int] = {}
+        self.check_every = check_every
+        self.recovery = RecoveryStats()
+        self._commits_seen = 0
+        self._rebuild_backoff = 1
+        self._next_rebuild_at = 0
         self.track(patterns)
         stream.subscribe(self._on_commit)
 
@@ -87,14 +114,19 @@ class DeltaState:
     # ------------------------------------------------------------------
     def _on_commit(self, trace_id: int, trace: Trace) -> None:
         self._kernel.refresh()
-        if not self._deep:
-            return
-        alphabet = trace.alphabet()
-        events = trace.events
-        counts = self._counts
-        for pattern, event_set, automaton in self._deep:
-            if event_set <= alphabet and automaton.matches(events):
-                counts[pattern] += 1
+        self._commits_seen += 1
+        if self._deep:
+            alphabet = trace.alphabet()
+            events = trace.events
+            counts = self._counts
+            for pattern, event_set, automaton in self._deep:
+                if event_set <= alphabet and automaton.matches(events):
+                    counts[pattern] += 1
+        if (
+            self.check_every is not None
+            and self._commits_seen % self.check_every == 0
+        ):
+            self.heal()
 
     def track(self, patterns: Iterable[Pattern]) -> tuple[Pattern, ...]:
         """Start tracking additional patterns; returns the new ones.
@@ -189,6 +221,14 @@ class DeltaState:
         silent divergence is the one failure mode an online engine cannot
         tolerate.
         """
+        self.recovery.verifications += 1
+        try:
+            self._verify_against_batch()
+        except DeltaVerificationError:
+            self.recovery.divergences += 1
+            raise
+
+    def _verify_against_batch(self) -> None:
         live = self._log
         rebuilt = EventLog(live.traces, name=live.name)
 
@@ -244,3 +284,108 @@ class DeltaState:
                     f"frequency diverged for pattern {pattern!r}: "
                     f"incremental {incremental} != batch {batch}"
                 )
+
+    # ------------------------------------------------------------------
+    # Self-healing
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> list[str]:
+        """Cheap spot-checks; returns the problems found (empty = clean).
+
+        Costs O(alphabet + tracked patterns) — generation sync of index
+        and kernel, deep counts within ``[0, #traces]``, and one sampled
+        trace's membership bits cross-checked both ways against the
+        ``I_t`` postings (the sampled trace rotates with the commit
+        counter, so repeated checks sweep the backlog).  Designed to run
+        inline on the commit path; :meth:`verify` is the expensive full
+        cross-check these escalate to.
+        """
+        self.recovery.invariant_checks += 1
+        problems: list[str] = []
+        log = self._log
+        if self._trace_index.generation != log.generation:
+            problems.append(
+                f"trace index at generation {self._trace_index.generation}, "
+                f"log at {log.generation}"
+            )
+        if self._kernel.generation != log.generation:
+            problems.append(
+                f"kernel at generation {self._kernel.generation}, "
+                f"log at {log.generation}"
+            )
+        total = len(log)
+        for pattern, count in self._counts.items():
+            if not 0 <= count <= total:
+                problems.append(
+                    f"count {count} of pattern {pattern!r} outside "
+                    f"[0, {total}]"
+                )
+        if total and not problems:
+            postings = self._trace_index._postings
+            for event, bits in postings.items():
+                if bits.bit_length() > total:
+                    problems.append(
+                        f"posting bits of event {event!r} reference a "
+                        f"phantom trace beyond id {total - 1}"
+                    )
+                    break
+        if total and not problems:
+            trace_id = self._commits_seen % total
+            trace_alphabet = log.traces[trace_id].alphabet()
+            bit = 1 << trace_id
+            postings = self._trace_index._postings
+            for event in log.alphabet():
+                present = bool(postings.get(event, 0) & bit)
+                if present != (event in trace_alphabet):
+                    problems.append(
+                        f"posting bit of event {event!r} disagrees with "
+                        f"trace {trace_id}"
+                    )
+                    break
+        if problems:
+            self.recovery.cheap_check_failures += 1
+        return problems
+
+    def heal(self) -> bool:
+        """One spot-check → verify → rebuild escalation; True if clean.
+
+        Called automatically every ``check_every`` commits.  A clean
+        spot-check resets the rebuild backoff.  A confirmed divergence
+        rebuilds at most once per backoff window (1, 2, 4, … commits),
+        so hostile state cannot turn every commit into an O(backlog)
+        rebuild; suppressed rebuilds are counted.
+        """
+        if not self.check_invariants():
+            self._rebuild_backoff = 1
+            return True
+        try:
+            self.verify()
+        except DeltaVerificationError:
+            if self._commits_seen < self._next_rebuild_at:
+                self.recovery.rebuilds_suppressed += 1
+                return False
+            self.rebuild()
+            self._next_rebuild_at = self._commits_seen + self._rebuild_backoff
+            self._rebuild_backoff = min(self._rebuild_backoff * 2, 1024)
+            return False
+        # verify() passed: the spot-check tripped on a transient the full
+        # cross-check does not confirm (e.g. a generation race that
+        # resolved); nothing to heal.
+        return True
+
+    def rebuild(self) -> None:
+        """Reconstruct every derived structure from the committed traces.
+
+        The inverted index, frequency kernel and deep pattern counts are
+        rebuilt from scratch against the live log; tracked patterns and
+        their compiled automata are kept.  This is the recovery action
+        behind :meth:`heal`, and is also safe to call directly.
+        """
+        self._trace_index = TraceIndex(self._log)
+        self._kernel = FrequencyKernel(
+            self._log, trace_index=self._trace_index
+        )
+        for pattern, _, _ in self._deep:
+            self._counts[pattern] = self._kernel.count_matching(
+                self._orders[pattern]
+            )
+        self.recovery.rebuilds += 1

@@ -26,23 +26,32 @@ drift/re-match report.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
-from repro.core.astar import SearchBudgetExceeded
 from repro.core.distance import frequency_similarity
 from repro.core.mapping import Mapping
 from repro.core.matcher import EventMatcher
 from repro.core.scoring import build_pattern_set
+from repro.log.events import Trace
 from repro.log.eventlog import EventLog
 from repro.patterns.ast import Pattern
 from repro.patterns.matching import PatternFrequencyEvaluator
+from repro.patterns.parser import parse_pattern
+from repro.resilience.quarantine import QuarantineStore
+from repro.resilience.recovery import RecoveryStats
+from repro.resilience.validation import TraceValidator
 from repro.stream.deltas import DeltaState
 from repro.stream.ingest import StreamingLog
 
 
 @dataclass(frozen=True)
 class StreamUpdate:
-    """What one :meth:`OnlineMatcher.update` call observed and did."""
+    """What one :meth:`OnlineMatcher.update` call observed and did.
+
+    ``degraded``/``gap`` mirror the anytime flags of a re-match result:
+    a degraded re-match ran out of budget and adopted its best incumbent
+    mapping, whose score may trail the optimum by at most ``gap``.
+    """
 
     update_id: int
     num_traces: int
@@ -54,6 +63,8 @@ class StreamUpdate:
     method: str | None
     elapsed_seconds: float
     mapping_changed: bool
+    degraded: bool = False
+    gap: float = 0.0
 
 
 class OnlineMatcher:
@@ -78,12 +89,21 @@ class OnlineMatcher:
         Use exact A* (``pattern-tight``) when both vocabularies have at
         most this many events; the advanced heuristic otherwise.
     node_budget, time_budget:
-        Budgets for the exact search; on
-        :class:`~repro.core.astar.SearchBudgetExceeded` the engine falls
-        back to the warm-started heuristic instead of failing.
+        Budgets for the exact search.  A budget overrun degrades
+        gracefully: the anytime search returns its best incumbent, and
+        when the reported optimality gap exceeds
+        ``degraded_gap_threshold`` the facade falls back to the
+        warm-started advanced heuristic, keeping the better score.
+    degraded_gap_threshold:
+        The gap above which a degraded exact result triggers the
+        heuristic fallback (``None`` disables the fallback).
     min_traces:
         Hold (do nothing) until the stream has committed this many
         traces; matching a near-empty log produces noise mappings.
+    check_every:
+        Self-healing cadence of the attached
+        :class:`~repro.stream.deltas.DeltaState`: run cheap invariant
+        checks every this-many commits (``None`` disables).
     """
 
     def __init__(
@@ -96,6 +116,8 @@ class OnlineMatcher:
         node_budget: int | None = 200_000,
         time_budget: float | None = None,
         min_traces: int = 1,
+        degraded_gap_threshold: float | None = 0.1,
+        check_every: int | None = None,
     ):
         if drift_threshold < 0:
             raise ValueError("drift_threshold must be non-negative")
@@ -107,6 +129,8 @@ class OnlineMatcher:
         self.node_budget = node_budget
         self.time_budget = time_budget
         self.min_traces = min_traces
+        self.degraded_gap_threshold = degraded_gap_threshold
+        self.check_every = check_every
 
         self._pattern_set = tuple(
             build_pattern_set(reference, complex_patterns=patterns)
@@ -116,7 +140,7 @@ class OnlineMatcher:
             pattern: evaluator.frequency(pattern)
             for pattern in self._pattern_set
         }
-        self._deltas = DeltaState(stream)
+        self._deltas = DeltaState(stream, check_every=check_every)
         self._mapping: Mapping | None = None
         self._mapped: dict[Pattern, Pattern] = {}
         self._baseline = 0.0
@@ -218,17 +242,17 @@ class OnlineMatcher:
         previous = self._mapping
         drift_before = self._relative_drift(self.current_score())
         if exact:
-            try:
-                result = matcher.run(
-                    "pattern-tight",
-                    warm_start=previous,
-                    node_budget=self.node_budget,
-                    time_budget=self.time_budget,
-                )
-            except SearchBudgetExceeded:
-                result = matcher.run(
-                    "heuristic-advanced", warm_start=previous
-                )
+            # Anytime semantics: a budget overrun yields the search's
+            # best incumbent (degraded, with a gap bound); the facade
+            # falls back to the warm-started heuristic when the gap is
+            # wider than the configured threshold.
+            result = matcher.run(
+                "pattern-tight",
+                warm_start=previous,
+                node_budget=self.node_budget,
+                time_budget=self.time_budget,
+                degraded_fallback=self.degraded_gap_threshold,
+            )
         else:
             result = matcher.run("heuristic-advanced", warm_start=previous)
 
@@ -247,6 +271,8 @@ class OnlineMatcher:
             method=result.method,
             elapsed_seconds=result.elapsed_seconds,
             mapping_changed=result.mapping != previous,
+            degraded=result.degraded,
+            gap=result.gap,
         )
 
     def _refresh_mapped_patterns(self) -> None:
@@ -264,3 +290,126 @@ class OnlineMatcher:
             if pattern.event_set() <= mapped_events:
                 self._mapped[pattern] = pattern.rename(as_dict)
         self._deltas.track(self._mapped.values())
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """The engine's complete raw state as one JSON-safe dict.
+
+        Only *raw* state is captured — traces, open cases, quarantine,
+        mapping, baseline, history, configuration.  Derived structures
+        (``I_t``, bitsets, automata, tracked counts) are rebuilt
+        deterministically at :meth:`restore` time.  Use
+        :func:`repro.resilience.checkpoint.save_checkpoint` for the
+        versioned on-disk form.
+        """
+        stream = self.stream
+        validator = stream.validator
+        quarantine = stream.quarantine
+        return {
+            "reference": _log_payload(self.reference),
+            "patterns": [repr(pattern) for pattern in self.complex_patterns],
+            "config": {
+                "drift_threshold": self.drift_threshold,
+                "exact_cutoff": self.exact_cutoff,
+                "node_budget": self.node_budget,
+                "time_budget": self.time_budget,
+                "min_traces": self.min_traces,
+                "degraded_gap_threshold": self.degraded_gap_threshold,
+                "check_every": self.check_every,
+            },
+            "stream": {
+                "name": stream.name,
+                "traces": _log_payload(stream.log)["traces"],
+                "open_cases": {
+                    case: list(events)
+                    for case, events in stream.open_cases().items()
+                },
+                "validator": (
+                    validator.to_payload() if validator is not None else None
+                ),
+                "quarantine": (
+                    quarantine.to_payload() if quarantine is not None else None
+                ),
+                "recovery": stream.recovery.as_dict(),
+            },
+            "deltas": {"recovery": self._deltas.recovery.as_dict()},
+            "mapping": (
+                self._mapping.as_dict() if self._mapping is not None else None
+            ),
+            "baseline": self._baseline,
+            "known_targets": sorted(self._known_targets),
+            "history": [asdict(update) for update in self._history],
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "OnlineMatcher":
+        """Rebuild a live engine from a :meth:`checkpoint` payload.
+
+        The restored engine continues exactly where the checkpointed one
+        stopped: same committed backlog (re-indexed from scratch), same
+        open cases, quarantine, mapping, drift baseline and history —
+        feeding it the rest of the stream reaches the same mapping and
+        score as an uninterrupted run.
+        """
+        reference = EventLog(
+            _traces_from_payload(state["reference"]["traces"]),
+            name=state["reference"]["name"],
+        )
+        patterns = tuple(parse_pattern(text) for text in state["patterns"])
+        stream_state = state["stream"]
+        validator = (
+            TraceValidator.from_payload(stream_state["validator"])
+            if stream_state.get("validator") is not None
+            else None
+        )
+        quarantine = (
+            QuarantineStore.from_payload(stream_state["quarantine"])
+            if stream_state.get("quarantine") is not None
+            else None
+        )
+        stream = StreamingLog(
+            name=stream_state["name"],
+            traces=_traces_from_payload(stream_state["traces"]),
+            validator=validator,
+            quarantine=quarantine,
+        )
+        # Replaying the (already-validated) backlog re-counts nothing
+        # into quarantine; the reject history lives in the restored
+        # store and the counters below.
+        stream.recovery = RecoveryStats.from_dict(stream_state["recovery"])
+        for case_id, events in stream_state["open_cases"].items():
+            for event in events:
+                stream.append_event(case_id, event)
+
+        engine = cls(reference, stream, patterns=patterns, **state["config"])
+        engine._deltas.recovery = RecoveryStats.from_dict(
+            state["deltas"]["recovery"]
+        )
+        if state["mapping"] is not None:
+            engine._mapping = Mapping(state["mapping"])
+            engine._refresh_mapped_patterns()
+        engine._baseline = state["baseline"]
+        engine._known_targets = frozenset(state["known_targets"])
+        engine._history = [
+            StreamUpdate(**update) for update in state["history"]
+        ]
+        return engine
+
+
+def _log_payload(log: EventLog) -> dict:
+    return {
+        "name": log.name,
+        "traces": [
+            {"case_id": trace.case_id, "events": list(trace.events)}
+            for trace in log.traces
+        ],
+    }
+
+
+def _traces_from_payload(payload: Sequence[dict]) -> list[Trace]:
+    return [
+        Trace(entry["events"], case_id=entry.get("case_id"))
+        for entry in payload
+    ]

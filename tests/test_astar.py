@@ -123,14 +123,29 @@ class TestBudgets:
         log_2 = random_log(rng, "123456", 30)
         return ScoreModel(log_1, log_2, build_pattern_set(log_1))
 
-    def test_node_budget_raises(self):
+    def test_node_budget_raises_when_strict(self):
         with pytest.raises(SearchBudgetExceeded) as info:
-            AStarMatcher(self._model(), node_budget=3).match()
+            AStarMatcher(self._model(), node_budget=3, strict=True).match()
         assert info.value.stats.expanded_nodes >= 3
 
-    def test_time_budget_raises(self):
+    def test_time_budget_raises_when_strict(self):
         with pytest.raises(SearchBudgetExceeded):
-            AStarMatcher(self._model(), time_budget=0.0).match()
+            AStarMatcher(self._model(), time_budget=0.0, strict=True).match()
+
+    def test_node_budget_degrades_by_default(self):
+        outcome = AStarMatcher(self._model(), node_budget=3).match()
+        assert outcome.degraded
+        assert len(outcome.mapping) == 6
+        assert outcome.gap >= 0.0
+
+    def test_degraded_score_never_beats_optimum(self):
+        model = self._model()
+        optimum = AStarMatcher(model).match()
+        assert not optimum.degraded
+        degraded = AStarMatcher(self._model(), node_budget=3).match()
+        assert degraded.score <= optimum.score + 1e-9
+        # The gap bound must cover the true shortfall.
+        assert optimum.score - degraded.score <= degraded.gap + 1e-9
 
     def test_generous_budget_completes(self):
         outcome = AStarMatcher(

@@ -86,7 +86,15 @@ class TestVertexEdgeMatcher:
         log_1 = random_log(rng, "ABCDEF", 20)
         log_2 = random_log(rng, "123456", 20)
         with pytest.raises(SearchBudgetExceeded):
-            VertexEdgeMatcher(log_1, log_2, node_budget=2).match()
+            VertexEdgeMatcher(log_1, log_2, node_budget=2, strict=True).match()
+
+    def test_budget_degrades_by_default(self):
+        rng = random.Random(2)
+        log_1 = random_log(rng, "ABCDEF", 20)
+        log_2 = random_log(rng, "123456", 20)
+        outcome = VertexEdgeMatcher(log_1, log_2, node_budget=2).match()
+        assert outcome.degraded
+        assert len(outcome.mapping) == 6
 
 
 class TestIterativeMatcher:

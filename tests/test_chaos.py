@@ -1,0 +1,199 @@
+"""Chaos tests: the pipeline under manufactured faults.
+
+The acceptance bar from the issue: a run with ~10% of events
+dropped/corrupted/reordered completes, quarantined traces are reported
+with reasons, and the delta state still passes ``verify()`` afterwards.
+Plus: induced delta-state corruption is caught by the sampled cheap
+checks and healed by rebuild, and flaky listeners are isolated.
+"""
+
+import pytest
+
+from repro.datagen import generate_reallike
+from repro.resilience.chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    InducedListenerError,
+    corrupt_delta_state,
+)
+from repro.resilience.quarantine import QuarantineStore
+from repro.resilience.validation import TraceValidator
+from repro.stream.deltas import DeltaState, DeltaVerificationError
+from repro.stream.engine import OnlineMatcher
+from repro.stream.ingest import StreamingLog
+
+
+@pytest.fixture(scope="module")
+def dirty_feed():
+    task = generate_reallike(num_traces=200, seed=23)
+    injector = ChaosInjector(ChaosConfig(
+        drop_event_rate=0.03,
+        corrupt_event_rate=0.04,
+        reorder_event_rate=0.03,
+        duplicate_trace_rate=0.03,
+        seed=23,
+    ))
+    perturbed = list(injector.perturb(task.log_1.traces))
+    return task, injector, perturbed
+
+
+class TestChaosConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(drop_event_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(corrupt_event_rate=-0.1)
+
+    def test_injection_is_seeded_and_replayable(self):
+        traces = generate_reallike(num_traces=50, seed=1).log_1.traces
+        runs = []
+        for _ in range(2):
+            injector = ChaosInjector(ChaosConfig(
+                drop_event_rate=0.1, corrupt_event_rate=0.1, seed=99
+            ))
+            runs.append(list(injector.perturb(traces)))
+        assert runs[0] == runs[1]
+
+    def test_injector_actually_perturbs(self, dirty_feed):
+        _, injector, _ = dirty_feed
+        actions = injector.actions
+        assert actions.events_dropped > 0
+        assert actions.events_corrupted > 0
+        assert actions.events_reordered > 0
+        assert actions.traces_duplicated > 0
+
+
+class TestDirtyFeedPipeline:
+    def test_pipeline_survives_ten_percent_dirty_feed(self, dirty_feed):
+        task, injector, perturbed = dirty_feed
+        stream = StreamingLog(
+            name="chaos",
+            validator=TraceValidator(),
+            quarantine=QuarantineStore(),
+        )
+        deltas = DeltaState(stream, check_every=10)
+        deltas.track(task.patterns)
+
+        for case_id, events in perturbed:
+            for event in events:
+                stream.append_event(case_id, event)
+            stream.close_trace(case_id)
+
+        # The run completed; rejects are in quarantine, with reasons.
+        quarantine = stream.quarantine
+        assert quarantine.total_seen > 0
+        assert len(stream) + quarantine.total_seen == len(perturbed)
+        reasons = quarantine.counts_by_reason()
+        assert any("non-string" in r or "empty" in r for r in reasons)
+        assert any("duplicate case id" in r for r in reasons)
+        for record in quarantine.records:
+            assert record.reason
+
+        # Clean traces committed and the incremental state is intact.
+        assert len(stream) > 0
+        deltas.verify()  # raises DeltaVerificationError on divergence
+        assert deltas.recovery.invariant_checks > 0
+        assert deltas.recovery.cheap_check_failures == 0
+
+    def test_online_engine_survives_dirty_feed(self, dirty_feed):
+        task, _, perturbed = dirty_feed
+        stream = StreamingLog(name="chaos", validator=TraceValidator())
+        engine = OnlineMatcher(
+            task.log_1, stream, patterns=task.patterns,
+            min_traces=20, check_every=25,
+        )
+        for position, (case_id, events) in enumerate(perturbed):
+            for event in events:
+                stream.append_event(case_id, event)
+            stream.close_trace(case_id)
+            if position % 40 == 0:
+                engine.update()
+        record = engine.update()
+        assert engine.mapping is not None
+        assert record.num_traces == len(stream)
+        engine.deltas.verify()
+
+
+class TestSelfHealing:
+    def _state(self, check_every=None):
+        task = generate_reallike(num_traces=60, seed=31)
+        stream = StreamingLog(name="heal")
+        deltas = DeltaState(stream, check_every=check_every)
+        deltas.track(task.patterns)
+        for trace in task.log_1.traces:
+            stream.append_trace(trace)
+        return task, stream, deltas
+
+    def test_corruption_detected_by_cheap_checks(self):
+        for seed in range(5):
+            _, _, deltas = self._state()
+            description = corrupt_delta_state(deltas, seed=seed)
+            problems = deltas.check_invariants()
+            assert problems, f"corruption not detected: {description}"
+
+    def test_corruption_escalates_and_rebuilds(self):
+        task, stream, deltas = self._state()
+        corrupt_delta_state(deltas, seed=3)
+        assert deltas.heal() is False  # diverged, rebuilt
+        recovery = deltas.recovery
+        assert recovery.cheap_check_failures >= 1
+        assert recovery.divergences >= 1
+        assert recovery.rebuilds == 1
+        # After the rebuild the state is coherent again.
+        deltas.verify()
+        assert deltas.check_invariants() == []
+
+    def test_rebuild_backoff_suppresses_storms(self):
+        _, stream, deltas = self._state()
+        corrupt_delta_state(deltas, seed=3)
+        assert deltas.heal() is False  # rebuilt
+        # Immediately re-corrupt: the backoff window suppresses the next
+        # rebuild until more commits have flowed.
+        corrupt_delta_state(deltas, seed=3)
+        assert deltas.heal() is False
+        assert deltas.recovery.rebuilds == 1
+        assert deltas.recovery.rebuilds_suppressed >= 1
+
+    def test_sampled_checks_run_on_commit_cadence(self):
+        _, stream, deltas = self._state(check_every=10)
+        assert deltas.recovery.invariant_checks >= 6
+
+    def test_verify_counts_divergence(self):
+        _, _, deltas = self._state()
+        corrupt_delta_state(deltas, seed=0)
+        with pytest.raises(DeltaVerificationError):
+            deltas.verify()
+        assert deltas.recovery.divergences == 1
+
+
+class TestFlakyListeners:
+    def test_flaky_listener_isolated_on_validated_stream(self):
+        injector = ChaosInjector(ChaosConfig(listener_error_rate=1.0, seed=5))
+        stream = StreamingLog(validator=TraceValidator())
+        delivered = []
+        stream.subscribe(injector.flaky_listener())
+        stream.subscribe(lambda trace_id, trace: delivered.append(trace_id))
+        for index in range(10):
+            stream.append_trace([chr(ord("A") + index % 4)])
+        assert len(stream) == 10
+        assert delivered == list(range(10))
+        assert stream.recovery.listener_errors == 10
+        assert injector.actions.listener_errors_induced == 10
+
+    def test_flaky_listener_raises_on_trusting_stream(self):
+        injector = ChaosInjector(ChaosConfig(listener_error_rate=1.0, seed=5))
+        stream = StreamingLog()
+        stream.subscribe(injector.flaky_listener())
+        with pytest.raises(InducedListenerError):
+            stream.append_trace("AB")
+
+    def test_wrapped_listener_called_when_fault_does_not_fire(self):
+        injector = ChaosInjector(ChaosConfig(listener_error_rate=0.0, seed=5))
+        seen = []
+        listener = injector.flaky_listener(
+            lambda trace_id, trace: seen.append(trace_id)
+        )
+        stream = StreamingLog()
+        stream.subscribe(listener)
+        stream.append_trace("AB")
+        assert seen == [0]

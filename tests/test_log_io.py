@@ -5,9 +5,11 @@ import io
 import pytest
 
 from repro.log.csvio import read_csv, write_csv
+from repro.log.errors import LogReadError
 from repro.log.eventlog import EventLog
 from repro.log.events import Trace
 from repro.log.xes import read_xes, write_xes
+from repro.resilience.quarantine import QuarantineStore
 
 
 class TestCsv:
@@ -52,6 +54,50 @@ class TestCsv:
         buffer = io.StringIO()
         write_csv(log, buffer)
         assert "0,A" in buffer.getvalue()
+
+
+class TestCsvErrors:
+    DIRTY = "case_id,activity\nc1,A\nc1,\nc2,B\n,X\n"
+
+    def test_error_names_line_and_case(self):
+        with pytest.raises(LogReadError) as excinfo:
+            read_csv(io.StringIO(self.DIRTY))
+        error = excinfo.value
+        assert "line 3" in str(error)
+        assert "c1" in str(error)
+        assert error.location == "line 3"
+        assert error.case_id == "c1"
+
+    def test_missing_case_id_names_line(self):
+        text = "case_id,activity\n,A\n"
+        with pytest.raises(LogReadError, match="line 2.*missing case id"):
+            read_csv(io.StringIO(text))
+
+    def test_bad_on_error_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            read_csv(io.StringIO(self.DIRTY), on_error="ignore")
+
+    def test_quarantine_mode_skips_and_records(self):
+        store = QuarantineStore()
+        log = read_csv(
+            io.StringIO(self.DIRTY), on_error="quarantine", quarantine=store
+        )
+        assert log[0] == Trace("A")
+        assert log[1] == Trace("B")
+        assert store.total_seen == 2
+        reasons = sorted(record.reason for record in store.records)
+        assert reasons[0].startswith("line 3: missing activity")
+        assert reasons[1].startswith("line 5: missing case id")
+        assert store.records[0].kind == "row"
+        assert store.records[0].source == "csv"
+
+    def test_quarantine_mode_works_without_explicit_store(self):
+        log = read_csv(io.StringIO(self.DIRTY), on_error="quarantine")
+        assert len(log) == 2
+
+    def test_missing_column_is_a_log_read_error(self):
+        with pytest.raises(LogReadError, match="missing column"):
+            read_csv(io.StringIO("case,act\nc1,A\n"))
 
 
 class TestXes:
@@ -108,3 +154,57 @@ class TestXes:
         path = tmp_path / "dept1.xes"
         write_xes(task.log_1, path)
         assert read_xes(path) == task.log_1
+
+
+class TestXesErrors:
+    BROKEN_TRACE = (
+        "<log>"
+        "<trace>"
+        '<string key="concept:name" value="ok"/>'
+        '<event><string key="concept:name" value="A"/></event>'
+        "</trace>"
+        "<trace>"
+        '<string key="concept:name"/>'
+        "</trace></log>"
+    )
+
+    def test_error_names_trace_position(self):
+        with pytest.raises(LogReadError) as excinfo:
+            read_xes(io.StringIO(self.BROKEN_TRACE))
+        error = excinfo.value
+        assert "trace 1" in str(error)
+        assert error.location == "trace 1"
+
+    def test_quarantine_mode_skips_broken_trace(self):
+        store = QuarantineStore()
+        log = read_xes(
+            io.StringIO(self.BROKEN_TRACE),
+            on_error="quarantine",
+            quarantine=store,
+        )
+        assert len(log) == 1
+        assert log[0] == Trace("A")
+        assert store.total_seen == 1
+        assert "trace 1" in store.records[0].reason
+        assert store.records[0].source == "xes"
+
+    def test_quarantine_mode_records_nameless_events(self):
+        text = (
+            "<log>"
+            "<trace>"
+            '<string key="concept:name" value="c"/>'
+            '<event><string key="other" value="A"/></event>'
+            '<event><string key="concept:name" value="B"/></event>'
+            "</trace></log>"
+        )
+        store = QuarantineStore()
+        log = read_xes(io.StringIO(text), on_error="quarantine",
+                       quarantine=store)
+        assert log[0] == Trace("B")  # tolerant skip is unchanged
+        assert store.total_seen == 1
+        assert "event 0" in store.records[0].reason
+        assert store.records[0].case_id == "c"
+
+    def test_bad_on_error_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            read_xes(io.StringIO("<log/>"), on_error="ignore")

@@ -40,13 +40,23 @@ class TestMatchFacade:
         with pytest.raises(ValueError):
             match(log_1, log_2, patterns=patterns, method="psychic")
 
-    def test_budget_raises(self, example_pair):
+    def test_budget_raises_when_strict(self, example_pair):
         log_1, log_2, patterns = example_pair
         with pytest.raises(SearchBudgetExceeded):
             match(
                 log_1, log_2, patterns=patterns,
-                method="pattern-tight", node_budget=1,
+                method="pattern-tight", node_budget=1, strict=True,
             )
+
+    def test_budget_degrades_by_default(self, example_pair):
+        log_1, log_2, patterns = example_pair
+        result = match(
+            log_1, log_2, patterns=patterns,
+            method="pattern-tight", node_budget=1,
+        )
+        assert result.degraded
+        assert result.gap >= 0.0
+        assert len(result.mapping) == 6
 
     def test_matcher_reusable_across_methods(self, example_pair):
         log_1, log_2, patterns = example_pair

@@ -7,7 +7,7 @@ from repro.log.events import Trace
 from repro.log.index import TraceIndex
 from repro.patterns.matching import PatternFrequencyEvaluator
 from repro.patterns.parser import parse_pattern
-from repro.stream.ingest import StreamingLog
+from repro.stream.ingest import StreamingLog, UnknownCaseError
 from repro.stream.snapshots import LogSnapshot
 
 
@@ -51,6 +51,36 @@ class TestLifecycle:
         assert stream.open_cases() == {}
         with pytest.raises(ValueError):
             stream.abort_trace("c1")
+
+    def test_unknown_case_error_is_typed(self):
+        # The typed error keeps both historical except clauses working.
+        stream = StreamingLog()
+        with pytest.raises(UnknownCaseError):
+            stream.close_trace("ghost")
+        with pytest.raises(KeyError):
+            stream.close_trace("ghost")
+        assert issubclass(UnknownCaseError, ValueError)
+        assert issubclass(UnknownCaseError, KeyError)
+
+    def test_close_twice_raises_unknown_case(self):
+        stream = StreamingLog()
+        stream.append_event("c1", "A")
+        stream.close_trace("c1")
+        with pytest.raises(UnknownCaseError, match="not open"):
+            stream.close_trace("c1")
+
+    def test_abort_unknown_raises_unless_missing_ok(self):
+        stream = StreamingLog()
+        with pytest.raises(UnknownCaseError, match="not open"):
+            stream.abort_trace("ghost")
+        assert stream.abort_trace("ghost", missing_ok=True) is False
+
+    def test_abort_returns_whether_discarded(self):
+        stream = StreamingLog()
+        stream.append_event("c1", "A")
+        assert stream.abort_trace("c1") is True
+        # Idempotent under at-least-once cancellation signals.
+        assert stream.abort_trace("c1", missing_ok=True) is False
 
     def test_whole_trace_ingestion(self):
         stream = StreamingLog(traces=["AB", "BC"])
