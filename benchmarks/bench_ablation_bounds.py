@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report
 from repro.core.astar import AStarMatcher
 from repro.core.bounds import BoundKind
 from repro.core.scoring import ScoreModel, build_pattern_set
@@ -50,6 +50,18 @@ def bounds_ablation(scale):
             f"{elapsed:>8.3f} {score:>9.3f}"
         )
     save_report("ablation_bounds", "\n".join(lines))
+    record_bench(
+        "ablation_bounds",
+        {"scale": bench_scale(), "sizes": list(sizes), "num_traces": traces},
+        {
+            f"{kind}@{size}": {
+                "expanded": expanded,
+                "processed": processed,
+                "time_s": round(elapsed, 6),
+            }
+            for size, kind, expanded, processed, elapsed, _ in rows
+        },
+    )
     return rows
 
 

@@ -13,7 +13,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report
 from repro.core.scoring import ScoreModel, build_pattern_set
 from repro.datagen import generate_reallike
 from repro.patterns.matching import PatternFrequencyEvaluator
@@ -80,6 +80,19 @@ def indices_ablation(scale):
         f"  speedup           : {full / max(incremental, 1e-9):8.2f}x",
     ]
     save_report("ablation_indices", "\n".join(lines))
+    record_bench(
+        "ablation_indices",
+        {"scale": bench_scale(), "num_traces": len(task.log_1),
+         "num_patterns": len(patterns), "repetitions": repetitions},
+        {
+            "indexed_s": round(indexed, 6),
+            "unindexed_s": round(unindexed, 6),
+            "index_speedup": round(unindexed / max(indexed, 1e-9), 3),
+            "incremental_s": round(incremental, 6),
+            "full_recompute_s": round(full, 6),
+            "incremental_speedup": round(full / max(incremental, 1e-9), 3),
+        },
+    )
     return indexed, unindexed, incremental, full
 
 

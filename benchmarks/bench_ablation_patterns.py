@@ -10,7 +10,7 @@ heuristic matcher.
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report
 from repro.core.astar import AStarMatcher
 from repro.core.heuristic import AdvancedHeuristicMatcher
 from repro.core.scoring import ScoreModel, build_pattern_set
@@ -54,6 +54,17 @@ def patterns_ablation(scale):
             f"{seed:>5} {label:<16} {matcher_name:<20} {f_measure:>6.3f}"
         )
     save_report("ablation_patterns", "\n".join(lines))
+    by_config: dict[str, list[float]] = {}
+    for _, label, matcher_name, f_measure in rows:
+        by_config.setdefault(f"{matcher_name}/{label}", []).append(f_measure)
+    record_bench(
+        "ablation_patterns",
+        {"scale": bench_scale(), "num_traces": traces, "seeds": list(seeds)},
+        {
+            config: round(sum(values) / len(values), 4)
+            for config, values in by_config.items()
+        },
+    )
     return rows
 
 

@@ -6,7 +6,7 @@ number of traces grows) and benchmarks the simple heuristic.
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report, summarize_runs
 from repro.datagen import generate_reallike
 from repro.evaluation.experiments import figure10_heuristic_vs_traces
 from repro.evaluation.harness import run_method
@@ -34,6 +34,7 @@ def fig10_runs(scale):
         )
     )
     save_report("fig10", report)
+    record_bench("fig10", {"scale": bench_scale()}, summarize_runs(runs))
     return runs
 
 

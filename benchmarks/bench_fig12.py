@@ -9,7 +9,7 @@ heuristic at 40 events.
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report, summarize_runs
 from repro.datagen import generate_synthetic
 from repro.evaluation.experiments import figure12_large_synthetic
 from repro.evaluation.harness import run_method
@@ -36,6 +36,7 @@ def fig12_runs(scale):
         )
     )
     save_report("fig12", report)
+    record_bench("fig12", {"scale": bench_scale()}, summarize_runs(runs))
     return runs
 
 

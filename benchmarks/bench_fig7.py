@@ -10,7 +10,7 @@ import math
 
 import pytest
 
-from benchmarks.conftest import bench_scale, record_bench_json, save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report
 from repro.datagen import generate_reallike
 from repro.evaluation.experiments import figure7_exact_vs_events
 from repro.evaluation.harness import run_method
@@ -51,10 +51,10 @@ def fig7_runs(scale):
             report += "\n\n" + format_kernel_counters(
                 largest.stats, f"pattern-tight @ {largest.num_events} events"
             )
-        record_bench_json(
+        record_bench(
             "fig7",
+            {"scale": bench_scale()},
             {
-                "scale": bench_scale(),
                 "pattern_tight_total_s": round(total_seconds, 6),
                 "pattern_tight_largest_events": largest.num_events,
                 "pattern_tight_largest_s": round(largest.elapsed_seconds, 6),

@@ -7,7 +7,7 @@ stage whose cost grows with the trace count.
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report, summarize_runs
 from repro.datagen import generate_reallike
 from repro.evaluation.experiments import figure8_exact_vs_traces
 from repro.evaluation.harness import run_method
@@ -35,6 +35,7 @@ def fig8_runs(scale):
         )
     )
     save_report("fig8", report)
+    record_bench("fig8", {"scale": bench_scale()}, summarize_runs(runs))
     return runs
 
 

@@ -7,7 +7,7 @@ dataset, and benchmarks the advanced heuristic.
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report, summarize_runs
 from repro.datagen import generate_reallike
 from repro.evaluation.experiments import figure9_heuristic_vs_events
 from repro.evaluation.harness import run_method
@@ -35,6 +35,7 @@ def fig9_runs(scale):
         )
     )
     save_report("fig9", report)
+    record_bench("fig9", {"scale": bench_scale()}, summarize_runs(runs))
     return runs
 
 

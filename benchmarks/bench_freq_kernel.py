@@ -25,7 +25,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import record_bench_json, save_report
+from benchmarks.conftest import record_bench, save_report
 from repro.kernel.frequency import FrequencyKernel, KernelCounters
 from repro.log.eventlog import EventLog
 from repro.log.index import TraceIndex
@@ -113,7 +113,7 @@ def freq_kernel(scale):
         f"trace cells scanned {counters.trace_cells_scanned}",
     ]
     save_report("freq_kernel", "\n".join(lines))
-    record_bench_json(
+    record_bench(
         "freq_kernel",
         {
             "scale": scale,
@@ -121,6 +121,8 @@ def freq_kernel(scale):
             "num_patterns": len(patterns),
             "total_allowed_orders": omega,
             "rounds": rounds,
+        },
+        {
             "naive_s": round(naive_seconds, 6),
             "bitset_s": round(bitset_seconds, 6),
             "kernel_s": round(kernel_seconds, 6),

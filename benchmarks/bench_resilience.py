@@ -21,7 +21,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import bench_scale, record_bench_json, save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report
 from repro.core.scoring import build_pattern_set
 from repro.datagen import generate_reallike
 from repro.resilience.chaos import ChaosConfig, ChaosInjector
@@ -129,19 +129,21 @@ def resilience_overhead(scale):
         f"{injector.actions.traces_duplicated} duplicated traces)",
     ]
     save_report("resilience", "\n".join(lines))
-    record_bench_json(
+    record_bench(
         "resilience",
         {
             "scale": bench_scale(),
             "num_traces": len(feed),
             "batch": batch,
+            "overhead_target": OVERHEAD_TARGET,
+            "check_every": CHECK_EVERY,
+        },
+        {
             "trusting_s": round(trusting_s, 6),
             "validated_s": round(validated_s, 6),
             "hardened_s": round(hardened_s, 6),
             "overhead_validated": round(overhead_validated, 4),
             "overhead_hardened": round(overhead_hardened, 4),
-            "overhead_target": OVERHEAD_TARGET,
-            "check_every": CHECK_EVERY,
             "chaos_s": round(chaos_s, 6),
             "chaos_quarantined": quarantined,
         },

@@ -27,7 +27,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import bench_scale, record_bench_json, save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report
 from repro.core.scoring import build_pattern_set
 from repro.datagen import generate_reallike
 from repro.log.eventlog import EventLog
@@ -110,12 +110,14 @@ def stream_ingest(scale):
         f"{hold_time / max(holds, 1) * 1000:8.3f}ms mean over {holds} holds",
     ]
     save_report("stream_ingest", "\n".join(lines))
-    record_bench_json(
+    record_bench(
         "stream_ingest",
         {
             "scale": bench_scale(),
             "num_traces": len(feed),
             "batch": batch,
+        },
+        {
             "incremental_s": round(incremental, 6),
             "rebuild_s": round(rebuild, 6),
             "speedup": round(rebuild / max(incremental, 1e-9), 3),

@@ -7,7 +7,7 @@ and random logs, and benchmarks dataset generation itself.
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report
 from repro.datagen import generate_reallike
 from repro.evaluation.experiments import table3_characteristics
 
@@ -35,6 +35,19 @@ def table3_rows(scale):
             f"{row.num_edges:>8} {row.num_patterns:>11}"
         )
     save_report("table3", "\n".join(lines))
+    record_bench(
+        "table3",
+        {"scale": bench_scale()},
+        {
+            row.name: {
+                "traces": row.num_traces,
+                "events": row.num_events,
+                "edges": row.num_edges,
+                "patterns": row.num_patterns,
+            }
+            for row in rows
+        },
+    )
     return rows
 
 

@@ -10,7 +10,7 @@ import math
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import bench_scale, record_bench, save_report
 from repro.datagen import generate_random_pair
 from repro.evaluation.experiments import table4_random_mapping_counts
 from repro.evaluation.harness import run_method
@@ -39,6 +39,19 @@ def table4_counts(scale):
             f"{min(shares):>10.3f}"
         )
     save_report("table4", "\n".join(lines))
+    record_bench(
+        "table4",
+        {"scale": bench_scale(), "trials": trials, "num_traces": traces},
+        {
+            method: {
+                "distinct_mappings": len(counter),
+                "max_share": round(
+                    max(counter.values()) / trials, 4
+                ),
+            }
+            for method, counter in counts.items()
+        },
+    )
     return counts, trials
 
 

@@ -16,21 +16,31 @@ Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
 * ``paper`` — the paper's configurations (3,000 real traces, 10,000
   synthetic traces, 100 events, 1,000 random trials).  Expect a long run.
 
-Structured numbers additionally land in ``BENCH_freq_kernel.json`` at the
-repo root via :func:`record_bench_json`, one top-level key per benchmark,
-so the performance trajectory is machine-readable across PRs.
+Structured numbers land in ``BENCH_<name>.json`` files at the repo root
+via :func:`record_bench`: every run *appends* one record of the uniform
+shape ``{date, commit, params, results}``, so the performance trajectory
+is machine-readable across PRs and the latest record is always
+``data[-1]``.  (:func:`record_bench_json` is the legacy merged-dict
+writer, kept as a wrapper over :func:`record_bench`.)
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
-BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_freq_kernel.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON_PATH = REPO_ROOT / "BENCH_freq_kernel.json"
+
+#: Appended records per BENCH_<name>.json; old records beyond this roll off
+#: so the files never grow without bound.
+BENCH_HISTORY_LIMIT = 50
 
 
 def bench_scale() -> str:
@@ -56,20 +66,93 @@ def save_report(name: str, text: str) -> None:
     print(f"\n[{name}] (saved to {path})\n{text}")
 
 
-def record_bench_json(section: str, payload: dict) -> None:
-    """Merge one benchmark's numbers into ``BENCH_freq_kernel.json``.
+def _current_commit() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip() or None
+    except Exception:
+        return None  # not a checkout / git unavailable — record without it
 
-    Each benchmark owns one top-level key; re-runs overwrite only their
-    own section, so the file accumulates the latest number from every
-    benchmark that has run on this checkout.
+
+def record_bench(name: str, params: dict, results: dict) -> None:
+    """Append one benchmark record to the top-level ``BENCH_<name>.json``.
+
+    Every file is a JSON list of ``{date, commit, params, results}``
+    records, newest last — one uniform shape across all benchmarks, so
+    CI and the perf-trajectory tooling never special-case a file.
+    Records older than :data:`BENCH_HISTORY_LIMIT` roll off the front.
+    A pre-existing legacy dict-shaped file is folded in as the first
+    record (dateless, its dict under ``results``).
     """
-    data: dict = {}
-    if BENCH_JSON_PATH.exists():
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    records: list = []
+    if path.exists():
         try:
-            data = json.loads(BENCH_JSON_PATH.read_text())
+            existing = json.loads(path.read_text())
         except json.JSONDecodeError:
-            data = {}
-    data[section] = payload
-    BENCH_JSON_PATH.write_text(
-        json.dumps(data, indent=2, sort_keys=True) + "\n"
+            existing = []
+        if isinstance(existing, list):
+            records = existing
+        elif isinstance(existing, dict):
+            records = [
+                {"date": None, "commit": None, "params": {}, "results": existing}
+            ]
+    records.append(
+        {
+            "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "commit": _current_commit(),
+            "params": params,
+            "results": results,
+        }
     )
+    path.write_text(
+        json.dumps(records[-BENCH_HISTORY_LIMIT:], indent=2, sort_keys=True)
+        + "\n"
+    )
+
+
+def summarize_runs(runs) -> dict:
+    """Per-method aggregates of a ``MethodRun`` list for :func:`record_bench`.
+
+    One entry per method: completed/DNF run counts, total wall-clock and
+    processed mappings over the completed runs, and their mean F-measure
+    (``None`` when every run DNFed).
+    """
+    summary: dict = {}
+    for run in runs:
+        entry = summary.setdefault(
+            run.method,
+            {"runs": 0, "dnf": 0, "total_s": 0.0,
+             "processed_mappings": 0, "mean_f": 0.0},
+        )
+        entry["runs"] += 1
+        if run.dnf:
+            entry["dnf"] += 1
+            continue
+        entry["total_s"] += run.elapsed_seconds
+        entry["processed_mappings"] += run.processed_mappings
+        entry["mean_f"] += run.f_measure
+    for entry in summary.values():
+        completed = entry["runs"] - entry["dnf"]
+        entry["mean_f"] = (
+            round(entry["mean_f"] / completed, 4) if completed else None
+        )
+        entry["total_s"] = round(entry["total_s"], 6)
+    return summary
+
+
+def record_bench_json(section: str, payload: dict) -> None:
+    """Legacy writer: now delegates to :func:`record_bench`.
+
+    Old callers passed one flat payload; it lands under ``results`` of a
+    ``BENCH_<section>.json`` record with empty ``params``.  The merged
+    ``BENCH_freq_kernel.json`` is no longer written (section files
+    replaced it).
+    """
+    record_bench(section, {}, payload)

@@ -10,7 +10,13 @@ detected by extension):
   the frozen reference ``LOG1``: traces are ingested case by case, state
   is maintained incrementally, and re-matching only fires on drift;
 * ``repro discover LOG`` — mine discriminative SEQ/AND patterns;
-* ``repro graph LOG`` — export a log's dependency graph as DOT.
+* ``repro graph LOG`` — export a log's dependency graph as DOT;
+* ``repro info`` — version, kernel availability, probe hook points.
+
+``match`` and ``stream`` take observability flags: ``--trace FILE``
+(span trace; ``.jsonl`` or Perfetto-loadable Chrome JSON), ``--metrics
+FILE`` (``.json`` snapshot or Prometheus text) and ``--heartbeat S``
+(progress lines on stderr).
 
 Examples::
 
@@ -25,14 +31,24 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import platform
 import sys
 from pathlib import Path
 
+from repro import __version__
 from repro.core.matcher import METHODS, EventMatcher
 from repro.evaluation.explain import explain_mapping, format_explanation
 from repro.evaluation.reporting import (
-    format_recovery_stats,
+    format_observability_report,
     format_stream_report,
+)
+from repro.obs import (
+    NULL_PROBE,
+    MetricsRegistry,
+    ObservabilityProbe,
+    Probe,
+    ProgressReporter,
+    Tracer,
 )
 from repro.graph.dependency import dependency_graph
 from repro.graph.dot import to_dot
@@ -65,6 +81,62 @@ def load_log(path: str) -> EventLog:
     )
 
 
+def _add_observability_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", metavar="FILE",
+        help="write the span trace to FILE: .jsonl gets JSON Lines, any "
+        "other extension Chrome trace_event JSON (open in Perfetto / "
+        "chrome://tracing)",
+    )
+    group.add_argument(
+        "--metrics", metavar="FILE",
+        help="write run metrics to FILE: .json gets a JSON snapshot, any "
+        "other extension Prometheus text exposition",
+    )
+    group.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="print a progress line (expansions/sec, incumbent, gap) to "
+        "stderr every SECONDS during long searches",
+    )
+
+
+def _build_probe(args: argparse.Namespace):
+    """``(probe, finalize)`` from the observability flags.
+
+    Returns the shared null probe (and a no-op finalizer) when no flag
+    was given, so unobserved runs stay on the free path.  ``finalize``
+    writes the requested files, choosing the format by extension.
+    """
+    if not (args.trace or args.metrics or args.heartbeat):
+        return NULL_PROBE, lambda: None
+    tracer = Tracer() if args.trace else None
+    reporter = (
+        ProgressReporter(interval=args.heartbeat) if args.heartbeat else None
+    )
+    probe = ObservabilityProbe(
+        tracer=tracer, metrics=MetricsRegistry(), reporter=reporter
+    )
+
+    def finalize() -> None:
+        if args.trace:
+            path = Path(args.trace)
+            if path.suffix == ".jsonl":
+                tracer.write_jsonl(path)
+            else:
+                tracer.write_chrome(path)
+            print(f"# trace written to {path}", file=sys.stderr)
+        if args.metrics:
+            path = Path(args.metrics)
+            if path.suffix == ".json":
+                probe.metrics.write_json(path)
+            else:
+                probe.metrics.write_prometheus(path)
+            print(f"# metrics written to {path}", file=sys.stderr)
+
+    return probe, finalize
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
     header = (
         f"{'log':<24} {'# traces':>9} {'# events':>9} {'# edges':>8}"
@@ -85,6 +157,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
     log_1 = load_log(args.log1)
     log_2 = load_log(args.log2)
     patterns = [parse_pattern(text) for text in args.pattern]
+    probe, finalize_obs = _build_probe(args)
     matcher = EventMatcher(log_1, log_2, patterns=patterns)
     result = matcher.run(
         args.method,
@@ -92,6 +165,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         time_budget=args.time_budget,
         strict=args.strict,
         degraded_fallback=args.degraded_fallback,
+        probe=probe,
     )
     degraded_text = (
         f" DEGRADED gap<={result.gap:.4f}" if result.degraded else ""
@@ -112,6 +186,16 @@ def _cmd_match(args: argparse.Namespace) -> int:
         )
         print()
         print(format_explanation(explanation, limit=args.explain_limit))
+    if probe.enabled:
+        print(
+            format_observability_report(
+                stats=result.stats,
+                registry=probe.metrics,
+                label=f"match {result.method}",
+            ),
+            file=sys.stderr,
+        )
+    finalize_obs()
     return 0
 
 
@@ -120,6 +204,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         raise SystemExit("error: --batch-size must be at least 1")
     feed = load_log(args.feed)
     patterns = [parse_pattern(text) for text in args.pattern]
+    probe, finalize_obs = _build_probe(args)
 
     if args.resume:
         # Everything but the feed comes out of the checkpoint: reference
@@ -127,6 +212,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         # cases, quarantine and mapping.
         engine = load_checkpoint(args.resume)
         stream = engine.stream
+        if probe.enabled:
+            # Probes are runtime state, not checkpoint state.
+            engine.attach_probe(probe)
         print(
             f"# resumed from {args.resume}: {len(stream)} traces committed, "
             f"{len(stream.open_cases())} cases open",
@@ -155,6 +243,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             time_budget=args.time_budget,
             min_traces=args.min_traces,
             check_every=args.check_every,
+            probe=probe,
         )
 
     # Replay the feed as live traffic: every event goes through the
@@ -177,9 +266,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     print(format_stream_report(engine.history))
     recovery = stream.recovery.merged_with(engine.deltas.recovery)
-    if recovery.total() or stream.quarantine:
+    if recovery.total() or stream.quarantine or probe.enabled:
         print()
-        print(format_recovery_stats(recovery, quarantine=stream.quarantine))
+        print(
+            format_observability_report(
+                recovery=recovery,
+                quarantine=stream.quarantine,
+                registry=probe.metrics if probe.enabled else None,
+            )
+        )
     rematches = sum(1 for update in engine.history if update.rematched)
     print(
         f"\n# {len(stream)} traces ingested, {len(engine.history)} updates, "
@@ -188,12 +283,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     mapping = engine.mapping
     if mapping is None:
         print("# no mapping (feed shorter than --min-traces?)", file=sys.stderr)
+        finalize_obs()
         return 1
     for source, target in sorted(mapping.as_dict().items()):
         print(f"{source}\t{target}")
     if args.output:
         Path(args.output).write_text(mapping.to_json() + "\n")
         print(f"# mapping saved to {args.output}", file=sys.stderr)
+    finalize_obs()
     return 0
 
 
@@ -221,11 +318,42 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__}")
+    print(f"python {platform.python_version()} ({platform.platform()})")
+    try:
+        from repro.kernel.automaton import OrderAutomaton  # noqa: F401
+        from repro.kernel.frequency import FrequencyKernel  # noqa: F401
+
+        kernel = (
+            "available (interned ids, bitset postings, bigram tier, "
+            "multi-order Aho-Corasick automata)"
+        )
+    except Exception as error:  # pragma: no cover - import breakage only
+        kernel = f"unavailable ({error})"
+    print(f"frequency kernel: {kernel}")
+    print(f"methods: {', '.join(METHODS)}")
+    hooks = sorted(
+        name
+        for name in vars(Probe)
+        if name.startswith("on_") or name.startswith("record_")
+    )
+    print(f"probe hooks: {', '.join(hooks)}")
+    print(
+        "observability: --trace/--metrics/--heartbeat on `match` and "
+        "`stream` (disabled by default; NULL probe on the hot paths)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Matching heterogeneous events with patterns "
         "(ICDE 2014 / TKDE 2017 reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -267,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-pattern contribution breakdown",
     )
     match_parser.add_argument("--explain-limit", type=int, default=None)
+    _add_observability_options(match_parser)
     match_parser.set_defaults(handler=_cmd_match)
 
     stream_parser = commands.add_parser(
@@ -326,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument(
         "--output", metavar="FILE", help="save the final mapping as JSON"
     )
+    _add_observability_options(stream_parser)
     stream_parser.set_defaults(handler=_cmd_stream)
 
     discover_parser = commands.add_parser(
@@ -346,6 +476,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="hide edges below this frequency",
     )
     graph_parser.set_defaults(handler=_cmd_graph)
+
+    info_parser = commands.add_parser(
+        "info",
+        help="print version, kernel availability and probe hook points",
+    )
+    info_parser.set_defaults(handler=_cmd_info)
     return parser
 
 

@@ -93,6 +93,18 @@ class AStarMatcher:
 
     def match(self) -> MatchOutcome:
         """Run the search and return the optimal mapping."""
+        probe = self.model.probe
+        if not probe.enabled:
+            return self._search(probe)
+        with probe.span(
+            "astar.search",
+            sources=len(self.model.source_events),
+            targets=len(self.model.target_events),
+            bound=self.bound.name.lower(),
+        ):
+            return self._search(probe)
+
+    def _search(self, probe) -> MatchOutcome:
         model = self.model
         stats = SearchStats()
         order: list[Event] = model.index.expansion_order(model.source_events)
@@ -161,6 +173,10 @@ class AStarMatcher:
             negative_key, _, _, depth, g, mapping, h_exact = heapq.heappop(frontier)
             if depth == goal_depth:
                 stats.expanded_nodes += 1
+                if probe.enabled:
+                    probe.on_expansion(
+                        stats.expanded_nodes, len(frontier), g, 0.0
+                    )
                 model.collect_frequency_evaluations(stats)
                 return MatchOutcome(Mapping(mapping), g, stats)
             if not h_exact:
@@ -176,6 +192,22 @@ class AStarMatcher:
                     )
                     continue
             stats.expanded_nodes += 1
+            if probe.enabled:
+                # The popped key is this node's f = g + h (exact after a
+                # re-key); with an incumbent it bounds the optimality gap.
+                f_value = (-negative_key) if h_exact else refreshed
+                incumbent = best_complete[0] if best_complete else None
+                expansion_span = probe.begin_span(
+                    "astar.expand", depth=depth, f=round(f_value, 6)
+                )
+                probe.on_expansion(
+                    stats.expanded_nodes,
+                    len(frontier),
+                    incumbent,
+                    max(0.0, f_value - incumbent)
+                    if incumbent is not None
+                    else None,
+                )
 
             source = order[depth]
             used_targets = set(mapping.values())
@@ -193,6 +225,13 @@ class AStarMatcher:
                     if best_complete is None or child_g > best_complete[0]:
                         best_complete = (child_g, child)
                         stats.incumbent_updates += 1
+                        if probe.enabled:
+                            probe.on_incumbent(
+                                child_g,
+                                max(0.0, -frontier[0][0] - child_g)
+                                if frontier
+                                else 0.0,
+                            )
                         if prune_at is None or child_g > prune_at:
                             prune_at = child_g
                 else:
@@ -213,6 +252,8 @@ class AStarMatcher:
                         child_exact,
                     ),
                 )
+            if probe.enabled:
+                probe.end_span(expansion_span, children=len(targets) - depth)
 
         # The root is itself a goal when goal_depth == 0, and children are
         # always pushed otherwise — unless incumbent pruning dropped every
@@ -262,7 +303,7 @@ class AStarMatcher:
         score, mapping = max(candidates, key=lambda pair: pair[0])
         gap = max(0.0, upper - score) if upper is not None else 0.0
         self.model.collect_frequency_evaluations(stats)
-        stats.extra["degraded_runs"] = stats.extra.get("degraded_runs", 0.0) + 1.0
+        stats.extra["degraded_runs"] = stats.extra.get("degraded_runs", 0) + 1
         stats.extra["optimality_gap"] = gap
         return MatchOutcome(Mapping(mapping), score, stats, degraded=True, gap=gap)
 

@@ -82,7 +82,8 @@ class SimpleHeuristicMatcher:
     def match(self) -> MatchOutcome:
         model = self.model
         stats = SearchStats()
-        mapping = self._greedy_mapping(stats)
+        with model.probe.span("heuristic.greedy"):
+            mapping = self._greedy_mapping(stats)
         model.collect_frequency_evaluations(stats)
         return MatchOutcome(Mapping(mapping), model.g(mapping), stats)
 
@@ -168,22 +169,25 @@ class AdvancedHeuristicMatcher:
     # ------------------------------------------------------------------
     def _match_refine(self) -> MatchOutcome:
         model = self.model
+        probe = model.probe
         stats = SearchStats()
         sources = list(model.source_events)
         targets = list(model.target_events)
 
         # Phase A: Q-optimal assignment of the θ estimates (global view).
-        theta = estimated_scores(model)
-        weights = [[theta[s][t] for t in targets] for s in sources]
-        assignment, _ = max_weight_assignment(weights)
-        km_mapping = {sources[i]: targets[j] for i, j in assignment.items()}
-        stats.processed_mappings += len(sources) * len(targets)
+        with probe.span("heuristic.assignment", sources=len(sources)):
+            theta = estimated_scores(model)
+            weights = [[theta[s][t] for t in targets] for s in sources]
+            assignment, _ = max_weight_assignment(weights)
+            km_mapping = {sources[i]: targets[j] for i, j in assignment.items()}
+            stats.processed_mappings += len(sources) * len(targets)
 
         # Phase B: the greedy pass; start revision from the best seed —
         # θ-assignment, greedy, or (when given) the warm start — so the
         # advanced heuristic never scores below the simple one, and a
         # still-good previous mapping survives re-matching untouched.
-        greedy_mapping = SimpleHeuristicMatcher(model)._greedy_mapping(stats)
+        with probe.span("heuristic.greedy"):
+            greedy_mapping = SimpleHeuristicMatcher(model)._greedy_mapping(stats)
         seeds = [
             (model.g(km_mapping, stats), km_mapping),
             (model.g(greedy_mapping, stats), greedy_mapping),
@@ -195,7 +199,8 @@ class AdvancedHeuristicMatcher:
 
         # Phase C: revise earlier decisions — pairwise target swaps and
         # re-assignments onto unused targets, accepted on realized score.
-        mapping, score = self._hill_climb(mapping, score, targets, stats)
+        with probe.span("heuristic.refine"):
+            mapping, score = self._hill_climb(mapping, score, targets, stats)
 
         model.collect_frequency_evaluations(stats)
         return MatchOutcome(Mapping(mapping), score, stats)
@@ -240,7 +245,10 @@ class AdvancedHeuristicMatcher:
         stats: SearchStats,
     ) -> tuple[dict[Event, Event], float]:
         model = self.model
-        for _ in range(self.max_refinement_passes):
+        probe = model.probe
+        for sweep in range(self.max_refinement_passes):
+            if probe.enabled:
+                probe.on_heuristic_pass(sweep, score)
             improved = False
             sources = sorted(mapping)
             unused = [t for t in targets if t not in mapping.values()]
@@ -276,6 +284,10 @@ class AdvancedHeuristicMatcher:
     # Faithful strategy: Algorithm 3 literally
     # ------------------------------------------------------------------
     def _match_faithful(self) -> MatchOutcome:
+        with self.model.probe.span("heuristic.faithful"):
+            return self._match_faithful_inner()
+
+    def _match_faithful_inner(self) -> MatchOutcome:
         model = self.model
         stats = SearchStats()
         sources = list(model.source_events)

@@ -46,6 +46,7 @@ from repro.core.result import MatchOutcome
 from repro.core.scoring import ScoreModel, build_pattern_set
 from repro.core.stats import SearchStats
 from repro.log.eventlog import EventLog
+from repro.obs.probe import NULL_PROBE, Probe
 from repro.patterns.ast import Pattern
 
 METHODS = (
@@ -141,6 +142,7 @@ class EventMatcher:
         warm_start: MappingABC[Event, Event] | None = None,
         strict: bool = False,
         degraded_fallback: float | None = None,
+        probe: Probe | None = None,
     ) -> MatchResult:
         """Run ``method`` and return its annotated result.
 
@@ -163,7 +165,39 @@ class EventMatcher:
         incumbent score for pruning (the realized score of the warm
         mapping is a lower bound on the optimum, so pruning strictly
         below it preserves optimality).  Other methods ignore it.
+
+        ``probe`` — observability hooks threaded through the score
+        model into the search, heuristics and frequency kernel.  The
+        run is wrapped in a ``match.run`` span and the finished stats
+        are published to the probe's registry.  Defaults to the shared
+        null probe (no overhead).
         """
+        if probe is None:
+            probe = NULL_PROBE
+        if not probe.enabled:
+            return self._run(
+                method, node_budget, time_budget, heuristic_bound,
+                warm_start, strict, degraded_fallback, probe,
+            )
+        with probe.span("match.run", method=method):
+            result = self._run(
+                method, node_budget, time_budget, heuristic_bound,
+                warm_start, strict, degraded_fallback, probe,
+            )
+        probe.record_search_stats(result.stats)
+        return result
+
+    def _run(
+        self,
+        method: str,
+        node_budget: int | None,
+        time_budget: float | None,
+        heuristic_bound: BoundKind,
+        warm_start: MappingABC[Event, Event] | None,
+        strict: bool,
+        degraded_fallback: float | None,
+        probe: Probe,
+    ) -> MatchResult:
         started = time.perf_counter()
         if method in _PATTERN_METHODS:
             model = ScoreModel(
@@ -171,6 +205,7 @@ class EventMatcher:
                 self.log_2,
                 self.full_pattern_set(),
                 bound=_PATTERN_METHODS[method],
+                probe=probe,
             )
             incumbent = None
             warm = sanitize_warm_start(
@@ -195,7 +230,7 @@ class EventMatcher:
                 and outcome.gap > degraded_fallback
             ):
                 outcome, method = self._heuristic_rescue(
-                    outcome, heuristic_bound, method
+                    outcome, heuristic_bound, method, probe
                 )
         elif method in _HEURISTIC_METHODS:
             model = ScoreModel(
@@ -203,6 +238,7 @@ class EventMatcher:
                 self.log_2,
                 self.full_pattern_set(),
                 bound=heuristic_bound,
+                probe=probe,
             )
             matcher_class = _HEURISTIC_METHODS[method]
             if matcher_class is AdvancedHeuristicMatcher:
@@ -233,7 +269,11 @@ class EventMatcher:
         return MatchResult.from_outcome(method, outcome, elapsed)
 
     def _heuristic_rescue(
-        self, degraded: MatchOutcome, heuristic_bound: BoundKind, method: str
+        self,
+        degraded: MatchOutcome,
+        heuristic_bound: BoundKind,
+        method: str,
+        probe: Probe = NULL_PROBE,
     ) -> tuple[MatchOutcome, str]:
         """Try to beat a wide-gap degraded result with the heuristic.
 
@@ -249,6 +289,7 @@ class EventMatcher:
             self.log_2,
             self.full_pattern_set(),
             bound=heuristic_bound,
+            probe=probe,
         )
         rescue = AdvancedHeuristicMatcher(
             rescue_model, initial_mapping=degraded.mapping
@@ -277,6 +318,7 @@ def match(
     warm_start: MappingABC[Event, Event] | None = None,
     strict: bool = False,
     degraded_fallback: float | None = None,
+    probe: Probe | None = None,
 ) -> MatchResult:
     """One-call event matching between two logs (see module docstring)."""
     matcher = EventMatcher(log_1, log_2, patterns=patterns)
@@ -287,4 +329,5 @@ def match(
         warm_start=warm_start,
         strict=strict,
         degraded_fallback=degraded_fallback,
+        probe=probe,
     )

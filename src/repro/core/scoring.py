@@ -16,6 +16,7 @@ from collections.abc import Collection, Iterable, Mapping as MappingABC, Sequenc
 from repro.core.bounds import BoundKind
 from repro.core.distance import frequency_similarity
 from repro.core.stats import SearchStats
+from repro.obs.probe import NULL_PROBE, Probe
 from repro.graph.dependency import dependency_graph
 from repro.log.events import Event
 from repro.log.eventlog import EventLog
@@ -100,6 +101,11 @@ class ScoreModel:
     use_kernel:
         Disable the compiled frequency kernel, falling back to the naive
         per-order candidate scan (ablation only).
+    probe:
+        Observability hooks shared by every consumer of this model (the
+        exact search, the heuristics, both frequency evaluators and
+        their kernels).  Defaults to the no-op
+        :data:`~repro.obs.probe.NULL_PROBE`.
     """
 
     def __init__(
@@ -110,18 +116,22 @@ class ScoreModel:
         bound: BoundKind = BoundKind.TIGHT,
         use_index: bool = True,
         use_kernel: bool = True,
+        probe: Probe | None = None,
     ):
         validate_patterns(patterns, log_1.alphabet())
         self.log_1 = log_1
         self.log_2 = log_2
         self.bound = bound
+        self.probe = probe if probe is not None else NULL_PROBE
         self.graph_1 = dependency_graph(log_1)
         self.graph_2 = dependency_graph(log_2)
         self.evaluator_1 = PatternFrequencyEvaluator(
-            log_1, use_index=use_index, use_kernel=use_kernel
+            log_1, use_index=use_index, use_kernel=use_kernel,
+            probe=self.probe,
         )
         self.evaluator_2 = PatternFrequencyEvaluator(
-            log_2, use_index=use_index, use_kernel=use_kernel
+            log_2, use_index=use_index, use_kernel=use_kernel,
+            probe=self.probe,
         )
         self.index = PatternIndex(patterns)
         self.patterns: tuple[Pattern, ...] = self.index.patterns

@@ -8,7 +8,7 @@ these counters here so the evaluation harness can reproduce those series.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -39,7 +39,8 @@ class SearchStats:
     trace_cells_scanned: int = 0
     #: Times the anytime search improved its best complete incumbent.
     incumbent_updates: int = 0
-    extra: dict[str, float] = field(default_factory=dict)
+    #: Free-form named values; ints stay ints across :meth:`merge`.
+    extra: dict[str, int | float] = field(default_factory=dict)
 
     def merge(self, other: "SearchStats") -> None:
         """Accumulate another run's counters into this one."""
@@ -55,4 +56,22 @@ class SearchStats:
         self.trace_cells_scanned += other.trace_cells_scanned
         self.incumbent_updates += other.incumbent_updates
         for key, value in other.extra.items():
-            self.extra[key] = self.extra.get(key, 0.0) + value
+            # An int default (not 0.0) keeps int + int an int; a float on
+            # either side still promotes the sum to float as usual.
+            self.extra[key] = self.extra.get(key, 0) + value
+
+    def to_dict(self) -> dict:
+        """All counters as one flat dict (``extra`` nested under its key).
+
+        This is the compatibility view the metrics layer snapshots: the
+        dataclass fields stay the public API, and
+        :func:`repro.obs.metrics.record_counts` (or any JSON writer)
+        consumes this dict without knowing the field list.
+        """
+        payload: dict = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "extra"
+        }
+        payload["extra"] = dict(self.extra)
+        return payload

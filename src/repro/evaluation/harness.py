@@ -18,6 +18,7 @@ from repro.core.matcher import EventMatcher
 from repro.core.stats import SearchStats
 from repro.datagen.task import MatchingTask
 from repro.evaluation.metrics import MatchQuality, evaluate_mapping
+from repro.obs.probe import NULL_PROBE, Probe
 
 
 @dataclass(frozen=True)
@@ -48,19 +49,35 @@ def run_method(
     method: str,
     node_budget: int | None = None,
     time_budget: float | None = None,
+    probe: Probe | None = None,
 ) -> MethodRun:
-    """Run one method on one task; budget overruns become DNF rows."""
+    """Run one method on one task; budget overruns become DNF rows.
+
+    ``probe`` threads observability hooks (a ``harness.run`` span plus
+    everything the matcher reports) into the run; DNF rows still record
+    the partial stats gathered before the budget tripped.
+    """
+    if probe is None:
+        probe = NULL_PROBE
     matcher = EventMatcher(task.log_1, task.log_2, patterns=task.patterns)
     num_events = len(task.log_1.alphabet())
     num_traces = len(task.log_1)
     try:
         # Strict: the paper's figures report budget overruns as DNF rows,
         # not as anytime incumbents — keep those rows honest.
-        result = matcher.run(
-            method, node_budget=node_budget, time_budget=time_budget,
-            strict=True,
-        )
+        with probe.span(
+            "harness.run",
+            task=task.name,
+            method=method,
+            num_events=num_events,
+        ):
+            result = matcher.run(
+                method, node_budget=node_budget, time_budget=time_budget,
+                strict=True, probe=probe,
+            )
     except SearchBudgetExceeded as overrun:
+        if probe.enabled:
+            probe.record_search_stats(overrun.stats)
         return MethodRun(
             method=method,
             task_name=task.name,
@@ -100,6 +117,7 @@ def sweep_events(
     methods: Sequence[str],
     node_budget: int | None = None,
     time_budget: float | None = None,
+    probe: Probe | None = None,
 ) -> list[MethodRun]:
     """Vary the event-set size (the paper's Figures 7, 9, 12 x-axis).
 
@@ -116,6 +134,7 @@ def sweep_events(
                     method,
                     node_budget=node_budget,
                     time_budget=time_budget,
+                    probe=probe,
                 )
             )
     return runs
@@ -127,6 +146,7 @@ def sweep_traces(
     methods: Sequence[str],
     node_budget: int | None = None,
     time_budget: float | None = None,
+    probe: Probe | None = None,
 ) -> list[MethodRun]:
     """Vary the trace count (the paper's Figures 8 and 10 x-axis)."""
     runs = []
@@ -139,6 +159,7 @@ def sweep_traces(
                     method,
                     node_budget=node_budget,
                     time_budget=time_budget,
+                    probe=probe,
                 )
             )
     return runs

@@ -12,6 +12,16 @@ from collections.abc import Callable, Sequence
 
 from repro.core.stats import SearchStats
 from repro.evaluation.harness import MethodRun
+from repro.obs.report import format_observability_report
+
+__all__ = [
+    "format_kernel_counters",
+    "format_observability_report",
+    "format_recovery_stats",
+    "format_runs_table",
+    "format_series",
+    "format_stream_report",
+]
 
 
 def format_runs_table(runs: Sequence[MethodRun]) -> str:

@@ -40,6 +40,7 @@ from repro.kernel.interner import BIGRAM_SHIFT, EventInterner
 from repro.log.events import Event
 from repro.log.eventlog import EventLog, StaleIndexError
 from repro.log.index import TraceIndex
+from repro.obs.probe import NULL_PROBE, Probe
 
 
 @dataclass
@@ -88,6 +89,10 @@ class FrequencyKernel:
     use_bigrams:
         Tier 2 ablation switch: when ``False`` length-2 orders fall
         through to tier 3 like any other order.
+    probe:
+        Observability hooks; each query reports which tier answered it
+        (``popcount`` / ``bigram`` / ``automaton`` / ``naive``) behind a
+        single ``enabled`` check.  Defaults to the no-op null probe.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class FrequencyKernel:
         use_automaton: bool = True,
         use_bigrams: bool = True,
         counters: KernelCounters | None = None,
+        probe: Probe | None = None,
     ):
         if trace_index is not None and trace_index.log is not log:
             raise ValueError("trace_index was built for a different log")
@@ -110,6 +116,7 @@ class FrequencyKernel:
         self._generation = log.generation
         self._automata: dict[frozenset[tuple[int, ...]], OrderAutomaton] = {}
         self.counters = counters if counters is not None else KernelCounters()
+        self._probe = probe if probe is not None else NULL_PROBE
         self._sync_bigrams()
 
     @property
@@ -193,10 +200,13 @@ class FrequencyKernel:
             interned.append(ids)
 
         counters = self.counters
+        probe = self._probe
         size = len(interned[0])
 
         # Tier 1: a single event is its posting list's popcount.
         if size == 1:
+            if probe.enabled:
+                probe.on_kernel_tier("popcount")
             return self._index.posting_bits(needles[0][0]).bit_count()
 
         # Tier 2: length-2 orders straight from bigram posting bitsets.
@@ -207,6 +217,8 @@ class FrequencyKernel:
                 acc |= bigram_bits.get((first << BIGRAM_SHIFT) | second, 0)
             counters.bigram_queries += 1
             counters.bitset_intersections += len(interned)
+            if probe.enabled:
+                probe.on_kernel_tier("bigram")
             return acc.bit_count()
 
         # Tier 3: bitset candidates, one automaton pass per candidate.
@@ -219,6 +231,8 @@ class FrequencyKernel:
                 return 0
         traces = self._interner.interned_traces
         count = 0
+        if probe.enabled:
+            probe.on_kernel_tier("automaton" if self._use_automaton else "naive")
         if self._use_automaton:
             key = frozenset(interned)
             automaton = self._automata.get(key)

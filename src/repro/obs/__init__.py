@@ -1,0 +1,52 @@
+"""repro.obs — unified tracing, metrics and profiling.
+
+The observability substrate every other layer reports through:
+
+* :class:`~repro.obs.trace.Tracer` — nested spans on a monotonic clock,
+  exportable as JSONL or Chrome ``trace_event`` JSON (Perfetto);
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms with Prometheus text and JSON writers;
+* :class:`~repro.obs.probe.Probe` / :data:`~repro.obs.probe.NULL_PROBE`
+  — the hook seam threaded through the search, kernel and stream hot
+  paths (near-free when disabled);
+* :class:`~repro.obs.progress.ProgressReporter` — heartbeat lines
+  (expansions/sec, incumbent, gap) during long exact searches;
+* :func:`~repro.obs.report.format_observability_report` — the one
+  operator-facing text report.
+
+The package is deliberately dependency-free (stdlib only) and imports
+nothing from the rest of ``repro`` — every other layer may import it
+without cycles.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_counts,
+    sanitize_metric_name,
+)
+from repro.obs.probe import NULL_PROBE, NullProbe, ObservabilityProbe, Probe
+from repro.obs.progress import ProgressReporter
+from repro.obs.report import format_observability_report
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_PROBE",
+    "NullProbe",
+    "ObservabilityProbe",
+    "Probe",
+    "ProgressReporter",
+    "Span",
+    "Tracer",
+    "format_observability_report",
+    "record_counts",
+    "sanitize_metric_name",
+]

@@ -1,0 +1,272 @@
+"""Counters, gauges and fixed-bucket histograms with two writers.
+
+:class:`MetricsRegistry` is the process-local metrics substrate: hot
+paths increment pre-resolved :class:`Counter`/:class:`Gauge`/
+:class:`Histogram` instances (one attribute store per update, no dict
+lookup), and the registry renders everything either as a JSON snapshot
+(:meth:`MetricsRegistry.snapshot`) or in the Prometheus text exposition
+format (:meth:`MetricsRegistry.to_prometheus`), so a long-running
+service can expose the same numbers a benchmark writes to disk.
+
+Series are identified by a metric name plus an optional label set, the
+Prometheus model: ``registry.counter("repro_kernel_tier_total",
+labels={"tier": "bigram"})`` and the ``tier="automaton"`` series share
+one family (one ``# HELP``/``# TYPE`` header) but count independently.
+Everything is stdlib-only by design — the observability layer must not
+add dependencies to the matcher.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from bisect import bisect_left
+
+#: Default histogram upper bounds, in seconds — tuned for span-ish
+#: durations from sub-millisecond frequency evaluations to minute-long
+#: exact searches.  ``+Inf`` is implicit.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an arbitrary string into a legal Prometheus metric name."""
+    if _NAME_OK.match(name):
+        return name
+    fixed = _NAME_FIX.sub("_", name)
+    if not fixed or not re.match(r"[a-zA-Z_:]", fixed[0]):
+        fixed = "_" + fixed
+    return fixed
+
+
+def _format_value(value) -> str:
+    """Exposition-format number: integers bare, floats via ``repr``."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_le(bound: float) -> str:
+    """Histogram ``le`` label text (``0.005``, ``1``, ``+Inf``)."""
+    if bound == float("inf"):
+        return "+Inf"
+    return _format_value(bound)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go anywhere."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative buckets at export time)."""
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.bounds = bounds
+        # One slot per finite bound plus the +Inf overflow slot.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` rows, ending at ``(+Inf, count)``."""
+        rows = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            rows.append((bound, running))
+        rows.append((float("inf"), self.count))
+        return rows
+
+
+class MetricsRegistry:
+    """Named metric families with get-or-create semantics."""
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self):
+        # family name -> (kind, help); series (name, labels-key) -> metric
+        self._families: dict[str, tuple[str, str]] = {}
+        self._series: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create
+    # ------------------------------------------------------------------
+    def _get(self, kind, name, help_text, labels, **kwargs):
+        name = sanitize_metric_name(name)
+        family = self._families.get(name)
+        if family is None:
+            self._families[name] = (kind, help_text)
+        elif family[0] != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {family[0]}, "
+                f"cannot re-register as a {kind}"
+            )
+        labels_key = tuple(sorted((labels or {}).items()))
+        series = self._series.get((name, labels_key))
+        if series is None:
+            series = self._KINDS[kind](**kwargs)
+            self._series[(name, labels_key)] = series
+        return series
+
+    def counter(
+        self, name: str, help_text: str = "", labels: dict | None = None
+    ) -> Counter:
+        return self._get("counter", name, help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: dict | None = None
+    ) -> Gauge:
+        return self._get("gauge", name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: dict | None = None,
+        buckets=DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(
+            "histogram", name, help_text, labels, buckets=buckets
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _series_key(name: str, labels_key) -> str:
+        if not labels_key:
+            return name
+        rendered = ",".join(f'{k}="{v}"' for k, v in labels_key)
+        return f"{name}{{{rendered}}}"
+
+    def snapshot(self) -> dict:
+        """All series as one JSON-safe dict, grouped by metric kind."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (name, labels_key), metric in sorted(self._series.items()):
+            key = self._series_key(name, labels_key)
+            kind = self._families[name][0]
+            if kind == "counter":
+                out["counters"][key] = metric.value
+            elif kind == "gauge":
+                out["gauges"][key] = metric.value
+            else:
+                out["histograms"][key] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "buckets": {
+                        _format_le(le): cum for le, cum in metric.cumulative()
+                    },
+                }
+        return out
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def to_prometheus(self) -> str:
+        """The text exposition format (one ``# HELP``/``# TYPE`` per family)."""
+        by_family: dict[str, list] = {}
+        for (name, labels_key), metric in sorted(self._series.items()):
+            by_family.setdefault(name, []).append((labels_key, metric))
+        lines: list[str] = []
+        for name in sorted(by_family):
+            kind, help_text = self._families[name]
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels_key, metric in by_family[name]:
+                if kind in ("counter", "gauge"):
+                    series = self._series_key(name, labels_key)
+                    lines.append(f"{series} {_format_value(metric.value)}")
+                    continue
+                for le, cum in metric.cumulative():
+                    bucket_labels = labels_key + (("le", _format_le(le)),)
+                    series = self._series_key(f"{name}_bucket", bucket_labels)
+                    lines.append(f"{series} {cum}")
+                lines.append(
+                    f"{self._series_key(f'{name}_sum', labels_key)} "
+                    f"{_format_value(metric.sum)}"
+                )
+                lines.append(
+                    f"{self._series_key(f'{name}_count', labels_key)} "
+                    f"{metric.count}"
+                )
+        return "\n".join(lines) + "\n"
+
+    def write_prometheus(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_prometheus())
+
+
+def record_counts(
+    registry: MetricsRegistry,
+    counts: dict,
+    prefix: str = "repro_",
+    help_text: str = "",
+) -> None:
+    """Feed a flat ``{name: number}`` dict into registry counters.
+
+    This is how the legacy stats dataclasses (``SearchStats.to_dict``,
+    ``KernelCounters.as_dict``, ``RecoveryStats.as_dict``) publish into
+    the registry without growing a dependency on this package: callers
+    pass their counter dict, non-numeric values are skipped, and nested
+    dicts recurse with their key joined into the prefix.
+    """
+    for key, value in counts.items():
+        if isinstance(value, dict):
+            record_counts(registry, value, f"{prefix}{key}_", help_text)
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if value < 0:
+            continue  # counters are monotone; negatives have no series here
+        registry.counter(
+            sanitize_metric_name(f"{prefix}{key}"), help_text
+        ).inc(value)

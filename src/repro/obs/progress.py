@@ -1,0 +1,79 @@
+"""Heartbeat reporting for long searches.
+
+A :class:`ProgressReporter` turns the A* expansion stream into periodic
+one-line status reports — expansions/sec, frontier size, best incumbent
+and its optimality-gap bound — so an operator watching a minutes-long
+exact search can tell a converging run (gap shrinking) from a hopeless
+one (gap flat, rate falling) without waiting for the final answer.
+
+The reporter is driven from the probe's ``on_expansion`` hook and rate-
+limits itself on the monotonic clock: one emitted line per ``interval``
+seconds at most, whatever the expansion rate.  ``sink`` is any callable
+accepting one string; the default writes to ``sys.stderr`` so heartbeat
+lines never contaminate machine-read stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class ProgressReporter:
+    """Rate-limited expansions/incumbent/gap heartbeat."""
+
+    def __init__(
+        self,
+        interval: float = 5.0,
+        sink=None,
+        clock=time.monotonic,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._sink = sink
+        self._clock = clock
+        self._last_time: float | None = None
+        self._last_expansions = 0
+        self.reports_emitted = 0
+
+    def _emit(self, line: str) -> None:
+        if self._sink is not None:
+            self._sink(line)
+        else:
+            print(line, file=sys.stderr)
+        self.reports_emitted += 1
+
+    def heartbeat(
+        self,
+        expansions: int,
+        frontier_size: int | None = None,
+        incumbent: float | None = None,
+        gap: float | None = None,
+    ) -> bool:
+        """Report if ``interval`` elapsed since the last report.
+
+        Returns whether a line was emitted.  The first call only arms
+        the clock — a heartbeat measures a *rate*, which needs two
+        observations.
+        """
+        now = self._clock()
+        if self._last_time is None:
+            self._last_time = now
+            self._last_expansions = expansions
+            return False
+        elapsed = now - self._last_time
+        if elapsed < self.interval:
+            return False
+        rate = (expansions - self._last_expansions) / elapsed
+        parts = [f"{expansions} expansions ({rate:,.0f}/s)"]
+        if frontier_size is not None:
+            parts.append(f"frontier {frontier_size}")
+        if incumbent is not None:
+            parts.append(f"incumbent {incumbent:.4f}")
+        if gap is not None:
+            parts.append(f"gap<={gap:.4f}")
+        self._emit("[obs] " + ", ".join(parts))
+        self._last_time = now
+        self._last_expansions = expansions
+        return True

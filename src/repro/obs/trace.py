@@ -1,0 +1,206 @@
+"""Nested-span tracing on a monotonic clock.
+
+A :class:`Tracer` records *spans* — named, attributed time intervals —
+that nest through a stack: a span begun while another is open becomes its
+child.  The clock is :func:`time.monotonic` (injectable for tests), so
+spans are immune to wall-clock adjustments; timestamps are seconds since
+the tracer's construction.
+
+Two export formats cover the two consumers:
+
+* :meth:`Tracer.to_jsonl` — one JSON object per line per span, the
+  machine-readable form for diffing and scripted analysis;
+* :meth:`Tracer.chrome_trace` — the Chrome ``trace_event`` JSON format
+  (complete ``"ph": "X"`` events with microsecond timestamps), loadable
+  directly in ``chrome://tracing`` and https://ui.perfetto.dev.
+
+The tracer is deliberately dependency-free and single-threaded: the
+matchers run on one thread, and the span stack is just a list.  Spans
+closed by an exception are finished with ``status="error"`` and the
+exception's type name recorded, so a crashed search still yields a
+loadable trace whose open tail explains where it died.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One named interval with attributes; times are tracer-relative seconds."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    status: str = "ok"
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start_s": self.start,
+            "end_s": self.end,
+            "duration_s": self.duration,
+            "status": self.status,
+            "attributes": self.attributes,
+        }
+
+
+class Tracer:
+    """Collects nested spans; export as JSONL or Chrome ``trace_event``."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: list[Span] = []
+        self._finished: list[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """All finished spans, in completion order (children first)."""
+        return tuple(self._finished)
+
+    def begin(self, name: str, **attributes: object) -> Span:
+        """Open a span as a child of the innermost open span."""
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            start=self._clock() - self._epoch,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, **attributes: object) -> Span:
+        """Close ``span`` (and any dangling descendants still open).
+
+        Descendants left open — e.g. after an exception skipped their
+        explicit ``finish`` — are closed at the same instant with
+        ``status="abandoned"`` so the nesting invariant survives.
+        """
+        now = self._clock() - self._epoch
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                top.end = now
+                top.attributes.update(attributes)
+                self._finished.append(top)
+                return span
+            top.end = now
+            top.status = "abandoned"
+            self._finished.append(top)
+        raise ValueError(f"span {span.name!r} is not open on this tracer")
+
+    @contextmanager
+    def span(self, name: str, **attributes: object):
+        """Context-managed span; an escaping exception marks it ``error``."""
+        opened = self.begin(name, **attributes)
+        try:
+            yield opened
+        except BaseException as exc:
+            opened.status = "error"
+            opened.attributes.setdefault("exception", type(exc).__name__)
+            raise
+        finally:
+            self.finish(opened)
+
+    def _drained(self) -> list[Span]:
+        """Finished spans plus provisional copies of still-open ones."""
+        now = self._clock() - self._epoch
+        spans = list(self._finished)
+        for open_span in self._stack:
+            spans.append(
+                Span(
+                    name=open_span.name,
+                    span_id=open_span.span_id,
+                    parent_id=open_span.parent_id,
+                    start=open_span.start,
+                    end=now,
+                    status="open",
+                    attributes=dict(open_span.attributes),
+                )
+            )
+        return spans
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per span, one per line, in start order."""
+        spans = sorted(self._drained(), key=lambda s: (s.start, s.span_id))
+        return "\n".join(json.dumps(span.as_dict()) for span in spans)
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl() + "\n")
+
+    def chrome_trace(self) -> dict:
+        """The Chrome ``trace_event`` JSON object (Perfetto-loadable).
+
+        Spans become complete (``"ph": "X"``) events with microsecond
+        ``ts``/``dur``; nesting is positional (Perfetto stacks events of
+        one thread by time containment), so parent ids ride along in
+        ``args`` for scripted consumers.
+        """
+        events: list[dict] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": "repro"},
+            }
+        ]
+        for span in sorted(
+            self._drained(), key=lambda s: (s.start, s.span_id)
+        ):
+            args: dict[str, object] = {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "status": span.status,
+            }
+            args.update(span.attributes)
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": "repro",
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": round(span.start * 1e6, 3),
+                    "dur": round(span.duration * 1e6, 3),
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle, indent=1)
+            handle.write("\n")

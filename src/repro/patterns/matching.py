@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.log.events import Event, Trace
 from repro.log.eventlog import EventLog, StaleIndexError
 from repro.log.index import TraceIndex
+from repro.obs.probe import NULL_PROBE, Probe
 from repro.patterns.ast import Pattern
 from repro.patterns.orders import allowed_orders
 
@@ -90,6 +91,9 @@ class PatternFrequencyEvaluator:
         compiled :class:`~repro.kernel.frequency.FrequencyKernel`; when
         ``False`` the naive per-order candidate scan runs instead — the
         oracle configuration for ablations and equivalence tests.
+    probe:
+        Observability hooks (memo hit/miss counts, per-evaluation spans);
+        shared with the kernel.  Defaults to the no-op null probe.
     """
 
     def __init__(
@@ -98,6 +102,7 @@ class PatternFrequencyEvaluator:
         trace_index: TraceIndex | None = None,
         use_index: bool = True,
         use_kernel: bool = True,
+        probe: Probe | None = None,
     ):
         if trace_index is not None and trace_index.log is not log:
             raise ValueError("trace_index was built for a different log")
@@ -105,12 +110,15 @@ class PatternFrequencyEvaluator:
         self._index = trace_index if trace_index is not None else TraceIndex(log)
         self._use_index = use_index
         self._generation = log.generation
+        self._probe = probe if probe is not None else NULL_PROBE
         if use_index and use_kernel:
             # Local import: the kernel package builds on this module's
             # sibling layers.
             from repro.kernel.frequency import FrequencyKernel
 
-            self._kernel = FrequencyKernel(log, trace_index=self._index)
+            self._kernel = FrequencyKernel(
+                log, trace_index=self._index, probe=self._probe
+            )
         else:
             self._kernel = None
         # Frequencies memoized by the *instantiated* allowed-order set, so
@@ -180,13 +188,23 @@ class PatternFrequencyEvaluator:
                 f"{self._generation} but log {self._log.name!r} is at "
                 f"generation {self._log.generation}; call refresh()"
             )
+        probe = self._probe
         cached = self._frequency_memo.get(orders)
         if cached is not None:
+            if probe.enabled:
+                probe.on_frequency_eval(cache_hit=True)
             return cached
         if len(self._log) == 0:
             frequency = 0.0
         else:
             self.evaluations += 1
+            if probe.enabled:
+                probe.on_frequency_eval(cache_hit=False)
+                span = probe.begin_span(
+                    "frequency.eval",
+                    log=self._log.name,
+                    orders=len(orders),
+                )
             if self._kernel is not None:
                 matches = self._kernel.count_matching(orders)
             elif self._use_index:
@@ -197,6 +215,8 @@ class PatternFrequencyEvaluator:
                     for trace in self._log
                     if any(trace.contains_substring(order) for order in orders)
                 )
+            if probe.enabled:
+                probe.end_span(span, matches=matches)
             frequency = matches / len(self._log)
         self._frequency_memo[orders] = frequency
         return frequency

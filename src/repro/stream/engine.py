@@ -34,6 +34,7 @@ from repro.core.matcher import EventMatcher
 from repro.core.scoring import build_pattern_set
 from repro.log.events import Trace
 from repro.log.eventlog import EventLog
+from repro.obs.probe import NULL_PROBE, Probe
 from repro.patterns.ast import Pattern
 from repro.patterns.matching import PatternFrequencyEvaluator
 from repro.patterns.parser import parse_pattern
@@ -104,6 +105,11 @@ class OnlineMatcher:
         Self-healing cadence of the attached
         :class:`~repro.stream.deltas.DeltaState`: run cheap invariant
         checks every this-many commits (``None`` disables).
+    probe:
+        Observability hooks: commit/update counters, re-match spans and
+        timings, plus everything the inner matcher reports.  Runtime-only
+        state — it is *not* checkpointed; re-attach one with
+        :meth:`attach_probe` after :meth:`restore`.
     """
 
     def __init__(
@@ -118,6 +124,7 @@ class OnlineMatcher:
         min_traces: int = 1,
         degraded_gap_threshold: float | None = 0.1,
         check_every: int | None = None,
+        probe: Probe | None = None,
     ):
         if drift_threshold < 0:
             raise ValueError("drift_threshold must be non-negative")
@@ -146,6 +153,9 @@ class OnlineMatcher:
         self._baseline = 0.0
         self._known_targets: frozenset[str] = frozenset()
         self._history: list[StreamUpdate] = []
+        self._probe = NULL_PROBE
+        if probe is not None:
+            self.attach_probe(probe)
 
     # ------------------------------------------------------------------
     # Views
@@ -168,6 +178,25 @@ class OnlineMatcher:
         """``D^N(M)`` as realized right after the last re-match."""
         return self._baseline
 
+    @property
+    def probe(self) -> Probe:
+        return self._probe
+
+    def attach_probe(self, probe: Probe) -> None:
+        """Point the engine's hooks at ``probe`` (e.g. after a restore).
+
+        An enabled probe is also subscribed to the stream's commit
+        feed, so ``repro_stream_commits_total``/``_events_total`` track
+        every trace committed from now on.
+        """
+        self._probe = probe
+        if probe.enabled:
+            self.stream.subscribe(
+                lambda trace_id, trace: probe.on_stream_commit(
+                    trace_id, len(trace)
+                )
+            )
+
     def current_score(self) -> float:
         """``D^N(M)`` of the current mapping at the live frequencies.
 
@@ -189,7 +218,15 @@ class OnlineMatcher:
     # ------------------------------------------------------------------
     def update(self) -> StreamUpdate:
         """Re-evaluate drift after a batch; re-match only if warranted."""
+        probe = self._probe
         num_traces = len(self.stream)
+        with probe.span("stream.update", num_traces=num_traces):
+            record = self._update(num_traces)
+        if probe.enabled:
+            probe.on_stream_update(record)
+        return record
+
+    def _update(self, num_traces: int) -> StreamUpdate:
         reason = self._rematch_reason(num_traces)
         if reason is None:
             score = self.current_score()
@@ -241,20 +278,28 @@ class OnlineMatcher:
         )
         previous = self._mapping
         drift_before = self._relative_drift(self.current_score())
-        if exact:
-            # Anytime semantics: a budget overrun yields the search's
-            # best incumbent (degraded, with a gap bound); the facade
-            # falls back to the warm-started heuristic when the gap is
-            # wider than the configured threshold.
-            result = matcher.run(
-                "pattern-tight",
-                warm_start=previous,
-                node_budget=self.node_budget,
-                time_budget=self.time_budget,
-                degraded_fallback=self.degraded_gap_threshold,
-            )
-        else:
-            result = matcher.run("heuristic-advanced", warm_start=previous)
+        with self._probe.span(
+            "stream.rematch", reason=reason, num_traces=num_traces
+        ):
+            if exact:
+                # Anytime semantics: a budget overrun yields the search's
+                # best incumbent (degraded, with a gap bound); the facade
+                # falls back to the warm-started heuristic when the gap is
+                # wider than the configured threshold.
+                result = matcher.run(
+                    "pattern-tight",
+                    warm_start=previous,
+                    node_budget=self.node_budget,
+                    time_budget=self.time_budget,
+                    degraded_fallback=self.degraded_gap_threshold,
+                    probe=self._probe,
+                )
+            else:
+                result = matcher.run(
+                    "heuristic-advanced",
+                    warm_start=previous,
+                    probe=self._probe,
+                )
 
         self._mapping = result.mapping
         self._known_targets = self.stream.log.alphabet()

@@ -97,6 +97,100 @@ class TestCliCommands:
         assert '"A" -> "B"' in output
 
 
+class TestCliObservability:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_info_subcommand(self, capsys):
+        import repro
+
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert repro.__version__ in output
+        assert "pattern-tight" in output  # methods listed
+        assert "on_expansion" in output  # probe hooks listed
+        assert "--trace" in output  # flag summary
+
+    def test_match_writes_chrome_trace_and_prometheus(
+        self, log_files, tmp_path, capsys
+    ):
+        path_1, path_2, *_ = log_files
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "match", str(path_1), str(path_2),
+                "--pattern", "SEQ(A, AND(B, C), D)",
+                "--method", "pattern-tight",
+                "--trace", str(trace_path),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        names = {
+            event["name"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert {"match.run", "astar.search", "astar.expand"} <= names
+        prom = metrics_path.read_text()
+        assert "# TYPE repro_search_expansions_total counter" in prom
+        assert "repro_search_expansions_total" in prom
+        # The mapping still prints on stdout, untouched by obs output.
+        assert "A\t1" in capsys.readouterr().out
+
+    def test_match_jsonl_trace_and_json_metrics(self, log_files, tmp_path):
+        path_1, path_2, *_ = log_files
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "match", str(path_1), str(path_2),
+                "--method", "heuristic-simple",
+                "--trace", str(trace_path),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        rows = [
+            json.loads(line)
+            for line in trace_path.read_text().strip().splitlines()
+        ]
+        assert any(row["name"] == "heuristic.greedy" for row in rows)
+        snapshot = json.loads(metrics_path.read_text())
+        assert "counters" in snapshot
+
+    def test_stream_writes_obs_files(self, tmp_path):
+        ref = tmp_path / "ref.csv"
+        feed = tmp_path / "feed.csv"
+        write_csv(EventLog(["ABCD"] * 8 + ["ACBD"] * 4, name="ref"), ref)
+        write_csv(EventLog(["wxyz"] * 8 + ["wyxz"] * 4, name="feed"), feed)
+        trace_path = tmp_path / "stream.jsonl"
+        metrics_path = tmp_path / "stream.prom"
+        code = main(
+            [
+                "stream", str(ref), str(feed),
+                "--pattern", "SEQ(A, B, C)",
+                "--batch", "4",
+                "--trace", str(trace_path),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        rows = [
+            json.loads(line)
+            for line in trace_path.read_text().strip().splitlines()
+        ]
+        assert any(row["name"] == "stream.update" for row in rows)
+        assert "repro_stream_commits_total" in metrics_path.read_text()
+
+
 class TestExplain:
     def test_breakdown_sums_to_score(self):
         task = generate_reallike(num_traces=200, seed=7)

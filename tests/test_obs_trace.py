@@ -1,0 +1,187 @@
+"""Unit tests for the span tracer and its two export formats."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import Span, Tracer
+
+
+def fake_clock(times):
+    """A monotonic clock popping pre-scripted instants (last one sticks)."""
+    ticks = iter(times)
+    last = [times[-1]]
+
+    def clock():
+        try:
+            last[0] = next(ticks)
+        except StopIteration:
+            pass
+        return last[0]
+
+    return clock
+
+
+class TestNesting:
+    def test_child_nests_under_open_parent(self):
+        tracer = Tracer(clock=fake_clock([0.0, 1.0, 2.0, 3.0, 4.0]))
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                pass
+        assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+        # Children finish first.
+        assert [s.name for s in tracer.spans] == ["child", "parent"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer(clock=fake_clock([float(i) for i in range(10)]))
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+        assert a.span_id != b.span_id
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer(clock=fake_clock([float(i) for i in range(10)]))
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+    def test_durations_from_injected_clock(self):
+        tracer = Tracer(clock=fake_clock([10.0, 10.5, 13.5]))
+        span = tracer.begin("work")
+        tracer.finish(span)
+        assert span.start == pytest.approx(0.5)
+        assert span.end == pytest.approx(3.5)
+        assert span.duration == pytest.approx(3.0)
+
+    def test_attributes_on_begin_and_finish(self):
+        tracer = Tracer(clock=fake_clock([0.0, 1.0, 2.0]))
+        span = tracer.begin("eval", log="L1", orders=2)
+        tracer.finish(span, matches=7)
+        assert span.attributes == {"log": "L1", "orders": 2, "matches": 7}
+
+
+class TestExceptions:
+    def test_escaping_exception_marks_span_error(self):
+        tracer = Tracer(clock=fake_clock([float(i) for i in range(10)]))
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert span.attributes["exception"] == "RuntimeError"
+        assert span.end is not None
+
+    def test_nesting_survives_exception_in_child(self):
+        tracer = Tracer(clock=fake_clock([float(i) for i in range(10)]))
+        with pytest.raises(ValueError):
+            with tracer.span("parent"):
+                with tracer.span("child"):
+                    raise ValueError
+        child, parent = tracer.spans
+        assert child.status == "error"
+        # The parent also saw the exception escape through it.
+        assert parent.status == "error"
+        assert child.parent_id == parent.span_id
+        assert tracer.current is None
+
+    def test_finish_closes_abandoned_descendants(self):
+        # An exception that skips explicit end_span calls: finishing the
+        # ancestor closes the dangling children as "abandoned".
+        tracer = Tracer(clock=fake_clock([float(i) for i in range(10)]))
+        outer = tracer.begin("outer")
+        tracer.begin("dangling_1")
+        tracer.begin("dangling_2")
+        tracer.finish(outer)
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].status == "ok"
+        assert by_name["dangling_1"].status == "abandoned"
+        assert by_name["dangling_2"].status == "abandoned"
+        # All closed at the same instant as the ancestor.
+        assert by_name["dangling_1"].end == by_name["outer"].end
+        assert tracer.current is None
+
+    def test_finish_unknown_span_raises(self):
+        tracer = Tracer(clock=fake_clock([float(i) for i in range(10)]))
+        stray = Span(name="stray", span_id=99, parent_id=None, start=0.0)
+        with pytest.raises(ValueError, match="not open"):
+            tracer.finish(stray)
+
+
+class TestJsonlExport:
+    def test_every_line_parses(self, tmp_path):
+        tracer = Tracer(clock=fake_clock([float(i) for i in range(10)]))
+        with tracer.span("a", size=3):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert [row["name"] for row in rows] == ["a", "b"]  # start order
+        assert rows[1]["parent"] == rows[0]["id"]
+        assert rows[0]["attributes"] == {"size": 3}
+
+    def test_open_spans_exported_provisionally(self):
+        tracer = Tracer(clock=fake_clock([float(i) for i in range(10)]))
+        tracer.begin("still_running")
+        rows = [json.loads(line) for line in tracer.to_jsonl().splitlines()]
+        assert rows[0]["status"] == "open"
+        assert rows[0]["end_s"] is not None  # provisional end at drain time
+
+
+class TestChromeExport:
+    def test_round_trips_through_json(self, tmp_path):
+        tracer = Tracer(clock=fake_clock([0.0, 0.0, 0.001, 0.002, 0.004]))
+        with tracer.span("search", bound="tight"):
+            with tracer.span("expand", depth=1):
+                pass
+        path = tmp_path / "trace.json"
+        tracer.write_chrome(path)
+        doc = json.loads(path.read_text())
+        assert doc == tracer.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_event_shape_and_nesting_args(self):
+        tracer = Tracer(clock=fake_clock([0.0, 0.0, 0.001, 0.002, 0.004]))
+        with tracer.span("search", bound="tight") as search:
+            with tracer.span("expand", depth=1):
+                pass
+        events = tracer.chrome_trace()["traceEvents"]
+        # Metadata event first, then complete events in start order.
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "repro"
+        search_ev, expand_ev = events[1], events[2]
+        assert search_ev["ph"] == "X" and expand_ev["ph"] == "X"
+        assert search_ev["name"] == "search"
+        assert search_ev["args"]["bound"] == "tight"
+        assert expand_ev["args"]["parent_id"] == search.span_id
+        # Microsecond timestamps: 1ms start -> 1000us.
+        assert expand_ev["ts"] == pytest.approx(1000.0)
+        assert expand_ev["dur"] == pytest.approx(1000.0)
+        # Containment: the child interval lies inside the parent's, which
+        # is what makes Perfetto stack them.
+        assert search_ev["ts"] <= expand_ev["ts"]
+        assert (
+            expand_ev["ts"] + expand_ev["dur"]
+            <= search_ev["ts"] + search_ev["dur"]
+        )
+
+    def test_error_status_exported(self):
+        tracer = Tracer(clock=fake_clock([float(i) for i in range(10)]))
+        with pytest.raises(KeyError):
+            with tracer.span("doomed"):
+                raise KeyError("x")
+        (event,) = [
+            e for e in tracer.chrome_trace()["traceEvents"] if e["ph"] == "X"
+        ]
+        assert event["args"]["status"] == "error"
+        assert event["args"]["exception"] == "KeyError"
