@@ -166,6 +166,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         strict=args.strict,
         degraded_fallback=args.degraded_fallback,
         probe=probe,
+        workers=args.workers,
     )
     degraded_text = (
         f" DEGRADED gap<={result.gap:.4f}" if result.degraded else ""
@@ -377,6 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     match_parser.add_argument("--node-budget", type=int, default=None)
     match_parser.add_argument("--time-budget", type=float, default=None)
+    match_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="root-split the exact pattern-* search over N worker "
+        "processes (1 = serial; budgets apply per shard)",
+    )
     match_parser.add_argument(
         "--strict", action="store_true",
         help="fail on budget exhaustion instead of returning the "

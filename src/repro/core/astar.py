@@ -69,6 +69,29 @@ class AStarMatcher:
         :class:`SearchBudgetExceeded` (the pre-anytime behaviour).  The
         default returns the best incumbent complete mapping, flagged
         ``degraded`` with an optimality-gap bound.
+    root_targets:
+        Restrict the *root* expansion (``order[0] → b``) to these
+        targets — the root-split sharding substrate of
+        :mod:`repro.parallel.search`.  Deeper levels still consider every
+        unused target.  A shard search may exhaust its frontier without
+        reaching a goal (every branch pruned by a foreign incumbent);
+        it then returns an outcome with an empty mapping, score
+        ``-inf`` and ``stats.extra["frontier_exhausted"] = 1`` instead
+        of raising.  ``None`` (the default) keeps the historical
+        behaviour exactly.
+    incumbent_sync:
+        Duck-typed cross-process incumbent channel with ``peek() ->
+        float`` and ``offer(score) -> float`` (see
+        :class:`repro.parallel.search.SharedIncumbent`).  Every
+        ``sync_interval`` expansions the search reads the shared best
+        score and, when it exceeds the local pruning threshold, adopts
+        it; local incumbent improvements are offered back.  Pruning
+        stays admissible because any shared score is the realized score
+        of a *complete* mapping somewhere, hence a lower bound on the
+        global optimum — strictly-below pruning against it never
+        discards an optimal branch.
+    sync_interval:
+        Expansions between ``incumbent_sync`` polls.
     """
 
     def __init__(
@@ -79,6 +102,9 @@ class AStarMatcher:
         incumbent_score: float | None = None,
         incumbent_mapping: dict[Event, Event] | None = None,
         strict: bool = False,
+        root_targets: list[Event] | None = None,
+        incumbent_sync=None,
+        sync_interval: int = 128,
     ):
         self.model = model
         self.node_budget = node_budget
@@ -86,6 +112,9 @@ class AStarMatcher:
         self.incumbent_score = incumbent_score
         self.incumbent_mapping = incumbent_mapping
         self.strict = strict
+        self.root_targets = root_targets
+        self.incumbent_sync = incumbent_sync
+        self.sync_interval = max(1, sync_interval)
 
     @property
     def bound(self) -> BoundKind:
@@ -147,7 +176,24 @@ class AStarMatcher:
         # tightened whenever the incumbent improves.
         prune_at = self.incumbent_score
 
+        sync = self.incumbent_sync
+        sync_interval = self.sync_interval
+        next_sync = sync_interval
+
         while frontier:
+            if sync is not None and stats.expanded_nodes >= next_sync:
+                next_sync = stats.expanded_nodes + sync_interval
+                shared_best = sync.peek()
+                if shared_best > float("-inf") and (
+                    prune_at is None or shared_best > prune_at
+                ):
+                    # A shared score is realized by a complete mapping in
+                    # some shard — an achievable lower bound on the
+                    # optimum, so adopting it keeps pruning admissible.
+                    prune_at = shared_best
+                    stats.extra["incumbent_syncs"] = (
+                        stats.extra.get("incumbent_syncs", 0) + 1
+                    )
             if self.node_budget is not None and stats.expanded_nodes >= self.node_budget:
                 if self.strict:
                     model.collect_frequency_evaluations(stats)
@@ -213,7 +259,12 @@ class AStarMatcher:
             used_targets = set(mapping.values())
             child_depth = depth + 1
             parent_h = -negative_key - g if h_exact else refreshed - g
-            for target in targets:
+            candidates = (
+                self.root_targets
+                if depth == 0 and self.root_targets is not None
+                else targets
+            )
+            for target in candidates:
                 if target in used_targets:
                     continue
                 child = dict(mapping)
@@ -225,6 +276,8 @@ class AStarMatcher:
                     if best_complete is None or child_g > best_complete[0]:
                         best_complete = (child_g, child)
                         stats.incumbent_updates += 1
+                        if sync is not None:
+                            sync.offer(child_g)
                         if probe.enabled:
                             probe.on_incumbent(
                                 child_g,
@@ -259,6 +312,17 @@ class AStarMatcher:
         # always pushed otherwise — unless incumbent pruning dropped every
         # branch, which can only happen with an unachievable incumbent.
         model.collect_frequency_evaluations(stats)
+        if self.root_targets is not None:
+            # Shard mode: a foreign (shared or warm-start) incumbent can
+            # legitimately prune this shard's every branch — every pruned
+            # key was strictly below an achieved score elsewhere, so the
+            # shard simply holds nothing better.  Report that instead of
+            # failing the whole parallel run.
+            if best_complete is not None:
+                score, mapping = best_complete
+                return MatchOutcome(Mapping(mapping), score, stats)
+            stats.extra["frontier_exhausted"] = 1
+            return MatchOutcome(Mapping({}), float("-inf"), stats)
         raise RuntimeError(
             "search frontier exhausted without reaching a goal; "
             "incumbent_score exceeds the optimal score"

@@ -25,7 +25,7 @@ consecutive pair; summing over the ``ω(p)`` orders).  ``d(p)`` increases in
 
 from __future__ import annotations
 
-from collections.abc import Collection
+from collections.abc import Collection, Iterable
 from enum import Enum
 
 from repro.core.distance import frequency_similarity
@@ -43,6 +43,136 @@ class BoundKind(Enum):
     TIGHT_FAST = "tight-fast"
 
 
+class TargetCaps:
+    """Sorted-by-weight views of ``G2`` for incremental bound caps.
+
+    The TIGHT bound needs, at every search node, the maximum vertex and
+    edge frequency over "all targets minus the ``d`` already-mapped
+    ones".  Rescanning the induced subgraph costs ``O(|U| + |E(U)|)``
+    per call; with the target events pre-sorted by vertex weight and the
+    edges pre-sorted by weight, the same maxima fall out of a scan from
+    the top of each list that stops at the first entry not excluded —
+    at most ``d + 1`` vertex entries, and for edges at most one past the
+    excluded-incident prefix.  The answers are *identical* to the full
+    rescan whenever the excluded set really is "mapped targets" (the
+    complement of the availability set); admissibility does not depend
+    on that, exactness does.
+
+    Per-vertex adjacency lists sorted by weight serve the placed-edge
+    caps the same way, and ``incident_max`` precomputes each vertex's
+    maximum incident edge weight over the *whole* graph (the value the
+    TIGHT bound needs when every target is still a candidate).
+    """
+
+    __slots__ = (
+        "global_max_vertex",
+        "global_max_edge",
+        "vertex_order",
+        "edge_order",
+        "_outgoing",
+        "_incoming",
+        "_incident_max",
+    )
+
+    def __init__(self, graph: DiGraph, targets: Iterable[Event]):
+        target_list = list(targets)
+        target_set = set(target_list)
+        self.vertex_order: tuple[tuple[float, Event], ...] = tuple(
+            sorted(
+                (
+                    (graph.vertex_weight(vertex), vertex)
+                    for vertex in target_list
+                    if vertex in graph
+                ),
+                key=lambda pair: (-pair[0], pair[1]),
+            )
+        )
+        edges = [
+            (weight, source, target)
+            for source in target_list
+            if source in graph
+            for target, weight in (
+                (t, graph.edge_weight(source, t))
+                for t in graph.successors(source)
+            )
+            if target in target_set
+        ]
+        edges.sort(key=lambda item: (-item[0], item[1], item[2]))
+        self.edge_order: tuple[tuple[float, Event, Event], ...] = tuple(edges)
+        self.global_max_vertex = (
+            self.vertex_order[0][0] if self.vertex_order else 0.0
+        )
+        self.global_max_edge = self.edge_order[0][0] if self.edge_order else 0.0
+        self._outgoing: dict[Event, tuple[tuple[float, Event], ...]] = {}
+        self._incoming: dict[Event, tuple[tuple[float, Event], ...]] = {}
+        self._incident_max: dict[Event, float] = {}
+        for vertex in target_list:
+            if vertex not in graph:
+                self._outgoing[vertex] = ()
+                self._incoming[vertex] = ()
+                self._incident_max[vertex] = 0.0
+                continue
+            outgoing = sorted(
+                (
+                    (graph.edge_weight(vertex, t), t)
+                    for t in graph.successors(vertex)
+                    if t in target_set
+                ),
+                key=lambda pair: (-pair[0], pair[1]),
+            )
+            incoming = sorted(
+                (
+                    (graph.edge_weight(s, vertex), s)
+                    for s in graph.predecessors(vertex)
+                    if s in target_set
+                ),
+                key=lambda pair: (-pair[0], pair[1]),
+            )
+            self._outgoing[vertex] = tuple(outgoing)
+            self._incoming[vertex] = tuple(incoming)
+            self._incident_max[vertex] = max(
+                outgoing[0][0] if outgoing else 0.0,
+                incoming[0][0] if incoming else 0.0,
+            )
+
+    # -- incremental maxima --------------------------------------------
+    def max_vertex_excluding(self, excluded: Collection[Event]) -> float:
+        """Max target vertex weight outside ``excluded`` (0.0 if none)."""
+        for weight, vertex in self.vertex_order:
+            if vertex not in excluded:
+                return weight
+        return 0.0
+
+    def max_edge_excluding(self, excluded: Collection[Event]) -> float:
+        """Max edge weight with *both* endpoints outside ``excluded``."""
+        for weight, source, target in self.edge_order:
+            if source not in excluded and target not in excluded:
+                return weight
+        return 0.0
+
+    def max_outgoing_excluding(
+        self, vertex: Event, excluded: Collection[Event]
+    ) -> float:
+        """Max weight of ``vertex``'s out-edges into non-excluded targets."""
+        for weight, target in self._outgoing.get(vertex, ()):
+            if target not in excluded:
+                return weight
+        return 0.0
+
+    def max_incoming_excluding(
+        self, vertex: Event, excluded: Collection[Event]
+    ) -> float:
+        """Max weight of ``vertex``'s in-edges from non-excluded targets."""
+        for weight, source in self._incoming.get(vertex, ()):
+            if source not in excluded:
+                return weight
+        return 0.0
+
+    def incident_max(self, vertex: Event) -> float:
+        """Max incident edge weight of ``vertex`` over all targets."""
+        return self._incident_max.get(vertex, 0.0)
+
+
 def upper_bound(
     pattern: Pattern,
     frequency_1: float,
@@ -50,6 +180,7 @@ def upper_bound(
     graph_2: DiGraph,
     kind: BoundKind = BoundKind.TIGHT,
     global_max_edge: float | None = None,
+    caps: TargetCaps | None = None,
 ) -> float:
     """``Δ(p, U)`` — upper bound of ``d(p)`` over mappings into ``U``.
 
@@ -67,8 +198,13 @@ def upper_bound(
     kind:
         Which bound to compute.
     global_max_edge:
-        Maximum edge frequency of ``graph_2``; required by ``TIGHT_FAST``
-        (precompute once per search rather than per call).
+        Maximum edge frequency of ``graph_2``; used by ``TIGHT_FAST``.
+        Falls back to ``caps.global_max_edge`` or the graph's memoized
+        global maximum, so omitting it no longer triggers a per-call
+        edge rescan.
+    caps:
+        Precomputed :class:`TargetCaps` over the full target set; when
+        given, supplies ``global_max_edge`` for ``TIGHT_FAST``.
     """
     if kind is BoundKind.SIMPLE:
         return 1.0
@@ -84,7 +220,13 @@ def upper_bound(
     if len(pattern) >= 2:
         if kind is BoundKind.TIGHT_FAST:
             if global_max_edge is None:
-                global_max_edge = graph_2.max_edge_weight()
+                # Memoized on both carriers, so this is O(1) after the
+                # first call instead of a per-call full-edge rescan.
+                global_max_edge = (
+                    caps.global_max_edge
+                    if caps is not None
+                    else graph_2.max_edge_weight()
+                )
             edge_max = global_max_edge
         else:
             edge_max = graph_2.max_edge_weight(available_targets)

@@ -143,8 +143,17 @@ class EventMatcher:
         strict: bool = False,
         degraded_fallback: float | None = None,
         probe: Probe | None = None,
+        workers: int = 1,
     ) -> MatchResult:
         """Run ``method`` and return its annotated result.
+
+        ``workers`` — run the exact ``pattern-*`` searches root-split
+        over this many worker processes
+        (:func:`repro.parallel.search.parallel_match`): same mapping and
+        score, budgets applied per shard.  ``workers=1`` (the default)
+        keeps the serial path byte-identical; other methods, and runs
+        with a ``warm_start`` (whose incumbent seeding needs the parent's
+        score model), ignore the setting and run serially.
 
         ``node_budget``/``time_budget`` apply to the exact searches
         (``pattern-*`` and ``vertex-edge``).  Exceeding a budget returns
@@ -177,12 +186,12 @@ class EventMatcher:
         if not probe.enabled:
             return self._run(
                 method, node_budget, time_budget, heuristic_bound,
-                warm_start, strict, degraded_fallback, probe,
+                warm_start, strict, degraded_fallback, probe, workers,
             )
         with probe.span("match.run", method=method):
             result = self._run(
                 method, node_budget, time_budget, heuristic_bound,
-                warm_start, strict, degraded_fallback, probe,
+                warm_start, strict, degraded_fallback, probe, workers,
             )
         probe.record_search_stats(result.stats)
         return result
@@ -197,9 +206,38 @@ class EventMatcher:
         strict: bool,
         degraded_fallback: float | None,
         probe: Probe,
+        workers: int = 1,
     ) -> MatchResult:
         started = time.perf_counter()
         if method in _PATTERN_METHODS:
+            if workers > 1 and warm_start is None:
+                # Deferred import: the parallel layer is only pulled in
+                # when a run actually asks for it.
+                from repro.parallel.search import parallel_match
+
+                outcome = parallel_match(
+                    self.log_1,
+                    self.log_2,
+                    self.complex_patterns,
+                    bound=_PATTERN_METHODS[method],
+                    workers=workers,
+                    node_budget=node_budget,
+                    time_budget=time_budget,
+                    strict=strict,
+                    include_vertices=self.include_vertices,
+                    include_edges=self.include_edges,
+                    probe=probe,
+                )
+                if (
+                    outcome.degraded
+                    and degraded_fallback is not None
+                    and outcome.gap > degraded_fallback
+                ):
+                    outcome, method = self._heuristic_rescue(
+                        outcome, heuristic_bound, method, probe
+                    )
+                elapsed = time.perf_counter() - started
+                return MatchResult.from_outcome(method, outcome, elapsed)
             model = ScoreModel(
                 self.log_1,
                 self.log_2,
@@ -319,6 +357,7 @@ def match(
     strict: bool = False,
     degraded_fallback: float | None = None,
     probe: Probe | None = None,
+    workers: int = 1,
 ) -> MatchResult:
     """One-call event matching between two logs (see module docstring)."""
     matcher = EventMatcher(log_1, log_2, patterns=patterns)
@@ -330,4 +369,5 @@ def match(
         strict=strict,
         degraded_fallback=degraded_fallback,
         probe=probe,
+        workers=workers,
     )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Collection, Iterable, Mapping as MappingABC, Sequence
 
-from repro.core.bounds import BoundKind
+from repro.core.bounds import BoundKind, TargetCaps
 from repro.core.distance import frequency_similarity
 from repro.core.stats import SearchStats
 from repro.obs.probe import NULL_PROBE, Probe
@@ -137,7 +137,17 @@ class ScoreModel:
         self.patterns: tuple[Pattern, ...] = self.index.patterns
         self.source_events: list[Event] = sorted(log_1.alphabet())
         self.target_events: list[Event] = sorted(log_2.alphabet())
-        self._global_max_edge_2 = self.graph_2.max_edge_weight()
+        #: Sorted-cap views of ``G2`` answering the per-node TIGHT maxima
+        #: by scanning ≤ d+1 entries instead of rescanning the induced
+        #: subgraph (d = mapped targets).
+        self.caps = TargetCaps(self.graph_2, self.target_events)
+        self._target_set: frozenset[Event] = frozenset(self.target_events)
+        self._num_targets = len(self.target_events)
+        self._global_max_edge_2 = self.caps.global_max_edge
+        #: How often :meth:`h` answered its maxima from the sorted caps
+        #: (fast) versus a full induced-subgraph rescan (slow).
+        self.caps_fast_path = 0
+        self.caps_slow_path = 0
         self._f1: dict[Pattern, float] = {
             pattern: self.evaluator_1.frequency(pattern) for pattern in patterns
         }
@@ -240,6 +250,15 @@ class ScoreModel:
         (max vertex weight over the unmapped targets, their count) are
         computed once and the per-pattern parts inline
         :func:`~repro.core.bounds.upper_bound` rather than calling it.
+
+        When the unmapped set is exactly "all targets minus the mapped
+        images" — which is what every matcher passes — the per-call
+        maxima come from the sorted :class:`~repro.core.bounds.TargetCaps`
+        lists by scanning at most ``d + 1`` entries past the ``d`` mapped
+        exclusions, instead of rescanning the induced subgraph.  The
+        values are identical to the rescan on that call pattern; an
+        arbitrary subset (possible through the public API) falls back to
+        the exact induced scan.
         """
         mapped = mapping.keys()
         if self.bound is BoundKind.SIMPLE:
@@ -248,19 +267,40 @@ class ScoreModel:
             )
 
         graph_2 = self.graph_2
+        caps = self.caps
         unmapped_set = (
             unmapped_targets
             if isinstance(unmapped_targets, (set, frozenset))
             else set(unmapped_targets)
         )
         num_unmapped = len(unmapped_set)
-        base_vertex_cap = graph_2.max_vertex_weight(unmapped_set)
+        mapped_values = set(mapping.values())
+        # Fast path precondition: unmapped ∪ images partitions the target
+        # set.  The O(d) checks below certify it for every internal call
+        # site (all pass subsets of the target vocabulary).
+        fast = (
+            num_unmapped + len(mapped_values) == self._num_targets
+            and unmapped_set.isdisjoint(mapped_values)
+            and mapped_values <= self._target_set
+        )
+        if fast:
+            self.caps_fast_path += 1
+            base_vertex_cap = caps.max_vertex_excluding(mapped_values)
+        else:
+            self.caps_slow_path += 1
+            base_vertex_cap = graph_2.max_vertex_weight(unmapped_set)
+        probe = self.probe
+        if probe.enabled:
+            probe.on_bound_caps(fast)
         exact_edges = self.bound is BoundKind.TIGHT
         if exact_edges:
             # Induced max edge weight over the unmapped targets, computed
             # once per call; per pattern only the edges incident to that
             # pattern's images can push it higher.
-            unmapped_edge_max = graph_2.max_edge_weight(unmapped_set)
+            if fast:
+                unmapped_edge_max = caps.max_edge_excluding(mapped_values)
+            else:
+                unmapped_edge_max = graph_2.max_edge_weight(unmapped_set)
 
         # Patterns with no mapped event share one cap per (ω, size) within
         # a call — cache it instead of recomputing per pattern.
@@ -269,8 +309,10 @@ class ScoreModel:
         # cache them per call.  The generic incident max is taken against
         # unmapped ∪ *all* images (a superset of any one pattern's
         # availability — weaker but admissible, and cacheable per image).
-        if self.bound is BoundKind.TIGHT:
-            all_candidates = unmapped_set | set(mapping.values())
+        # On the fast path that union is the whole target set, so the
+        # value is the precomputed per-vertex incident maximum.
+        if exact_edges and not fast:
+            all_candidates = unmapped_set | mapped_values
         incident_cache: dict[Event, float] = {}
         placed_out_cache: dict[Event, float] = {}
         placed_in_cache: dict[Event, float] = {}
@@ -323,14 +365,17 @@ class ScoreModel:
                     for image in images:
                         incident = incident_cache.get(image)
                         if incident is None:
-                            incident = max(
-                                graph_2.max_outgoing_weight(
-                                    image, all_candidates
-                                ),
-                                graph_2.max_incoming_weight(
-                                    image, all_candidates
-                                ),
-                            )
+                            if fast:
+                                incident = caps.incident_max(image)
+                            else:
+                                incident = max(
+                                    graph_2.max_outgoing_weight(
+                                        image, all_candidates
+                                    ),
+                                    graph_2.max_incoming_weight(
+                                        image, all_candidates
+                                    ),
+                                )
                             incident_cache[image] = incident
                         if incident > edge_component:
                             edge_component = incident
@@ -346,16 +391,26 @@ class ScoreModel:
                     elif source_image is not None:
                         placed = placed_out_cache.get(source_image)
                         if placed is None:
-                            placed = graph_2.max_outgoing_weight(
-                                source_image, unmapped_set
-                            )
+                            if fast:
+                                placed = caps.max_outgoing_excluding(
+                                    source_image, mapped_values
+                                )
+                            else:
+                                placed = graph_2.max_outgoing_weight(
+                                    source_image, unmapped_set
+                                )
                             placed_out_cache[source_image] = placed
                     elif target_image is not None:
                         placed = placed_in_cache.get(target_image)
                         if placed is None:
-                            placed = graph_2.max_incoming_weight(
-                                target_image, unmapped_set
-                            )
+                            if fast:
+                                placed = caps.max_incoming_excluding(
+                                    target_image, mapped_values
+                                )
+                            else:
+                                placed = graph_2.max_incoming_weight(
+                                    target_image, unmapped_set
+                                )
                             placed_in_cache[target_image] = placed
                     else:
                         continue
@@ -440,6 +495,9 @@ class ScoreModel:
         stats.frequency_evaluations = (
             self.evaluator_1.evaluations + self.evaluator_2.evaluations
         )
+        if self.caps_fast_path or self.caps_slow_path:
+            stats.extra["caps_fast_path"] = self.caps_fast_path
+            stats.extra["caps_slow_path"] = self.caps_slow_path
         stats.automaton_builds = 0
         stats.automaton_hits = 0
         stats.bitset_intersections = 0

@@ -19,6 +19,10 @@ class DiGraph:
         self._vertex_weights: dict[Vertex, float] = {}
         self._successors: dict[Vertex, dict[Vertex, float]] = {}
         self._predecessors: dict[Vertex, dict[Vertex, float]] = {}
+        # Memoized unrestricted maxima; any mutation invalidates them, so
+        # repeated global max_*_weight() calls cost O(1) between changes.
+        self._max_vertex_cache: float | None = None
+        self._max_edge_cache: float | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -29,6 +33,7 @@ class DiGraph:
             self._successors[vertex] = {}
             self._predecessors[vertex] = {}
         self._vertex_weights[vertex] = weight
+        self._max_vertex_cache = None
 
     def add_edge(self, source: Vertex, target: Vertex, weight: float = 0.0) -> None:
         """Add the edge ``source -> target``; endpoints are auto-created."""
@@ -38,12 +43,14 @@ class DiGraph:
             self.add_vertex(target)
         self._successors[source][target] = weight
         self._predecessors[target][source] = weight
+        self._max_edge_cache = None
 
     def remove_edge(self, source: Vertex, target: Vertex) -> None:
         if not self.has_edge(source, target):
             raise KeyError(f"no edge {source!r} -> {target!r}")
         del self._successors[source][target]
         del self._predecessors[target][source]
+        self._max_edge_cache = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -139,22 +146,29 @@ class DiGraph:
         value for the frequency bounds that consume this.
         """
         if among is None:
-            weights = self._vertex_weights.values()
-        else:
-            weights = [
-                self._vertex_weights[v] for v in among if v in self._vertex_weights
-            ]
+            if self._max_vertex_cache is None:
+                self._max_vertex_cache = max(
+                    self._vertex_weights.values(), default=0.0
+                )
+            return self._max_vertex_cache
+        weights = [
+            self._vertex_weights[v] for v in among if v in self._vertex_weights
+        ]
         return max(weights, default=0.0)
 
     def max_edge_weight(self, among: Iterable[Vertex] | None = None) -> float:
         """Maximum edge weight within the subgraph induced by ``among``."""
         if among is None:
-            candidates = (
-                weight
-                for targets in self._successors.values()
-                for weight in targets.values()
-            )
-            return max(candidates, default=0.0)
+            if self._max_edge_cache is None:
+                self._max_edge_cache = max(
+                    (
+                        weight
+                        for targets in self._successors.values()
+                        for weight in targets.values()
+                    ),
+                    default=0.0,
+                )
+            return self._max_edge_cache
         among_set = set(among)
         best = 0.0
         for source in among_set:

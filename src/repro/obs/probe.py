@@ -94,6 +94,19 @@ class Probe:
     def on_kernel_tier(self, tier: str) -> None:
         pass
 
+    # -- bounds ----------------------------------------------------------
+    def on_bound_caps(self, fast: bool) -> None:
+        pass
+
+    # -- parallel execution ---------------------------------------------
+    def on_parallel_run(self, workers: int, shards: int) -> None:
+        pass
+
+    def on_shard_done(
+        self, shard: int, elapsed_seconds: float, expanded_nodes: int
+    ) -> None:
+        pass
+
     # -- streaming ------------------------------------------------------
     def on_stream_commit(self, trace_id: int, num_events: int) -> None:
         pass
@@ -197,6 +210,28 @@ class ObservabilityProbe(Probe):
             "repro_stream_rematch_seconds",
             "Wall-clock seconds per re-match",
         )
+        self._caps_fast = m.counter(
+            "repro_bounds_caps_total",
+            "ScoreModel.h calls whose TIGHT maxima came from sorted caps",
+            labels={"path": "fast"},
+        )
+        self._caps_slow = m.counter(
+            "repro_bounds_caps_total",
+            "ScoreModel.h calls whose TIGHT maxima came from sorted caps",
+            labels={"path": "slow"},
+        )
+        self._parallel_workers = m.gauge(
+            "repro_parallel_workers",
+            "Worker processes of the most recent parallel run",
+        )
+        self._parallel_shards = m.counter(
+            "repro_parallel_shards_total",
+            "Root-split shards completed by parallel searches",
+        )
+        self._shard_seconds = m.histogram(
+            "repro_parallel_shard_seconds",
+            "Wall-clock seconds per parallel search shard",
+        )
         self._tier_counters: dict[str, object] = {}
 
     # -- spans ----------------------------------------------------------
@@ -247,6 +282,18 @@ class ObservabilityProbe(Probe):
             self._freq_hits.inc()
         else:
             self._freq_evals.inc()
+
+    # -- bounds ----------------------------------------------------------
+    def on_bound_caps(self, fast):
+        (self._caps_fast if fast else self._caps_slow).inc()
+
+    # -- parallel execution ---------------------------------------------
+    def on_parallel_run(self, workers, shards):
+        self._parallel_workers.set(workers)
+
+    def on_shard_done(self, shard, elapsed_seconds, expanded_nodes):
+        self._parallel_shards.inc()
+        self._shard_seconds.observe(elapsed_seconds)
 
     def on_kernel_tier(self, tier):
         counter = self._tier_counters.get(tier)

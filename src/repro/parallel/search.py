@@ -1,0 +1,326 @@
+"""Root-split parallel exact search (HDA*-style work distribution).
+
+The A* search tree of Algorithm 1 branches at the root into one subtree
+per assignment of the first expansion-order event (``order[0] → b`` for
+each target ``b ∈ U2``).  Those subtrees are disjoint — no mapping lives
+in two of them — so partitioning the root targets into K shards and
+running an independent anytime :class:`~repro.core.astar.AStarMatcher`
+per shard in worker processes covers exactly the serial search space.
+
+What makes this faster than K cold searches is the *shared incumbent*:
+a ``multiprocessing.Value`` holding the best complete-mapping score any
+shard has realized.  Workers poll it every ``sync_interval`` expansions
+and adopt it as their strictly-below pruning threshold; they offer their
+own incumbent improvements back.  Polling a value instead of locking per
+node keeps the hot loop free of cross-process synchronization, and
+pruning stays admissible because every shared score is *realized* by a
+complete injective mapping somewhere — a lower bound on the global
+optimum — so discarding children strictly below it can never discard an
+optimal branch (see DESIGN.md, "Shared-incumbent protocol").
+
+The merge is exact: the winning shard never prunes its own optimal
+branch (pruning is strictly-below achieved scores, which are ≤ the
+optimum), so the best shard outcome carries the globally optimal score.
+Ties between equally-scored shard winners break on the lexicographically
+smallest assignment tuple in expansion order, making the result
+deterministic regardless of worker scheduling.  When budgets trip, the
+combined optimality gap is sound: every unexplored mapping lies either
+under some degraded shard's frontier (bounded by that shard's best open
+``g + h``) or in a subtree pruned strictly below an achieved score
+(bounded by the global incumbent), so
+``gap = max(0, max_shard_upper − best_score)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Mapping as MappingABC, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.astar import AStarMatcher, SearchBudgetExceeded
+from repro.core.bounds import BoundKind
+from repro.core.mapping import Mapping
+from repro.core.result import MatchOutcome
+from repro.core.scoring import ScoreModel, build_pattern_set
+from repro.core.stats import SearchStats
+from repro.log.events import Event
+from repro.log.eventlog import EventLog
+from repro.obs.probe import NULL_PROBE, Probe
+from repro.patterns.ast import Pattern
+from repro.patterns.index import PatternIndex
+
+
+class SharedIncumbent:
+    """A cross-process max-score cell with ``peek``/``offer`` semantics.
+
+    Wraps a double ``multiprocessing.Value``.  ``peek`` is a plain read
+    (workers poll it between expansions); ``offer`` takes the value's
+    lock only to apply a compare-and-max.  Scores only ever increase, so
+    a stale ``peek`` merely delays pruning by one poll interval — it can
+    never make pruning unsound.
+    """
+
+    def __init__(self, initial: float = float("-inf"), context=None):
+        ctx = context if context is not None else multiprocessing
+        self._value = ctx.Value("d", initial)
+
+    def peek(self) -> float:
+        return self._value.value
+
+    def offer(self, score: float) -> float:
+        with self._value.get_lock():
+            if score > self._value.value:
+                self._value.value = score
+            return self._value.value
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's result, shipped back from a worker process."""
+
+    shard: int
+    score: float
+    mapping: dict[Event, Event]
+    degraded: bool
+    gap: float
+    exhausted: bool
+    stats: SearchStats
+    elapsed_seconds: float
+
+    @property
+    def upper(self) -> float:
+        """Upper bound on any mapping rooted in this shard's subtree.
+
+        A completed shard proved its subtree's optimum; a degraded one
+        is bounded by its best open ``g + h`` (``score + gap``); an
+        exhausted shard's unexplored mappings all fell strictly below
+        an achieved incumbent, so they cannot raise the global bound.
+        """
+        if self.exhausted:
+            return float("-inf")
+        return self.score + self.gap
+
+
+# Per-worker-process search state, installed by the pool initializer so
+# the interned logs, kernels and f1 table are built once per process
+# rather than once per shard task.
+_SEARCH_STATE: dict = {}
+
+
+def _init_search_worker(
+    log_1: EventLog,
+    log_2: EventLog,
+    patterns: tuple[Pattern, ...],
+    bound: BoundKind,
+    shared: SharedIncumbent,
+) -> None:
+    model = ScoreModel(log_1, log_2, list(patterns), bound=bound)
+    _SEARCH_STATE["model"] = model
+    _SEARCH_STATE["shared"] = shared
+
+
+def _run_shard(
+    shard: int,
+    shard_targets: list[Event],
+    node_budget: int | None,
+    time_budget: float | None,
+    sync_interval: int,
+) -> ShardOutcome:
+    model: ScoreModel = _SEARCH_STATE["model"]
+    shared: SharedIncumbent = _SEARCH_STATE["shared"]
+    started = time.perf_counter()
+    seed = shared.peek()
+    matcher = AStarMatcher(
+        model,
+        node_budget=node_budget,
+        time_budget=time_budget,
+        incumbent_score=seed if seed > float("-inf") else None,
+        strict=False,
+        root_targets=shard_targets,
+        incumbent_sync=shared,
+        sync_interval=sync_interval,
+    )
+    outcome = matcher.match()
+    if outcome.score > float("-inf"):
+        shared.offer(outcome.score)
+    return ShardOutcome(
+        shard=shard,
+        score=outcome.score,
+        mapping=outcome.mapping.as_dict(),
+        degraded=outcome.degraded,
+        gap=outcome.gap,
+        exhausted=bool(outcome.stats.extra.get("frontier_exhausted")),
+        stats=outcome.stats,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def partition_root_targets(
+    targets: Sequence[Event], shards: int
+) -> list[list[Event]]:
+    """Deterministic round-robin split of the sorted root targets.
+
+    Round-robin (rather than contiguous blocks) spreads the low-index
+    targets — which the serial search explores first and which tend to
+    carry the promising assignments under the sorted tie-break — across
+    shards, so no single worker hoards all the likely-incumbent work.
+    """
+    ordered = sorted(targets)
+    shards = max(1, min(shards, len(ordered)))
+    return [list(ordered[i::shards]) for i in range(shards)]
+
+
+def _canonical_key(
+    mapping: MappingABC[Event, Event], order: Sequence[Event]
+) -> tuple:
+    """Tie-break key: the assignment tuple in expansion order."""
+    return tuple(mapping[event] for event in order if event in mapping)
+
+
+def parallel_match(
+    log_1: EventLog,
+    log_2: EventLog,
+    patterns: Sequence[Pattern] = (),
+    bound: BoundKind = BoundKind.TIGHT,
+    workers: int = 2,
+    node_budget: int | None = None,
+    time_budget: float | None = None,
+    sync_interval: int = 128,
+    strict: bool = False,
+    include_vertices: bool = True,
+    include_edges: bool = True,
+    probe: Probe | None = None,
+) -> MatchOutcome:
+    """Exact A* matching, root-split over ``workers`` processes.
+
+    Returns the same mapping and score as the serial
+    :class:`~repro.core.astar.AStarMatcher` (ties broken by the seeded
+    lexicographic rule above).  ``workers <= 1`` runs the serial matcher
+    in-process — byte-identical to today's behaviour.  Budgets apply
+    *per shard*; when any shard degrades, the merged outcome is flagged
+    ``degraded`` with the sound combined gap (``strict=True`` raises
+    :class:`~repro.core.astar.SearchBudgetExceeded` instead, mirroring
+    the serial matcher).
+
+    Worker processes run with the null probe; the parent emits
+    ``parallel.match`` / ``parallel.shard`` spans and per-shard metrics
+    through ``probe``.
+    """
+    if probe is None:
+        probe = NULL_PROBE
+    full_patterns = build_pattern_set(
+        log_1,
+        complex_patterns=patterns,
+        include_vertices=include_vertices,
+        include_edges=include_edges,
+    )
+    targets = sorted(log_2.alphabet())
+    sources = sorted(log_1.alphabet())
+    effective = max(1, min(workers, len(targets)))
+    if effective <= 1 or not sources:
+        model = ScoreModel(log_1, log_2, full_patterns, bound=bound, probe=probe)
+        return AStarMatcher(
+            model,
+            node_budget=node_budget,
+            time_budget=time_budget,
+            strict=strict,
+        ).match()
+
+    # The expansion order only needs the pattern index, not the full
+    # score model — the parent stays cheap while workers pay for the
+    # evaluators exactly once each.
+    order = PatternIndex(full_patterns).expansion_order(sources)
+    shards = partition_root_targets(targets, effective)
+
+    shared = SharedIncumbent()
+    outcomes: list[ShardOutcome] = []
+    with probe.span(
+        "parallel.match", workers=effective, shards=len(shards)
+    ):
+        if probe.enabled:
+            probe.on_parallel_run(effective, len(shards))
+        with ProcessPoolExecutor(
+            max_workers=effective,
+            initializer=_init_search_worker,
+            initargs=(log_1, log_2, tuple(full_patterns), bound, shared),
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_shard,
+                    index,
+                    shard,
+                    node_budget,
+                    time_budget,
+                    sync_interval,
+                )
+                for index, shard in enumerate(shards)
+            ]
+            for future in futures:
+                outcome = future.result()
+                outcomes.append(outcome)
+                if probe.enabled:
+                    probe.on_shard_done(
+                        outcome.shard,
+                        outcome.elapsed_seconds,
+                        outcome.stats.expanded_nodes,
+                    )
+                    with probe.span(
+                        "parallel.shard",
+                        shard=outcome.shard,
+                        elapsed_s=round(outcome.elapsed_seconds, 6),
+                        score=outcome.score,
+                        degraded=outcome.degraded,
+                    ):
+                        pass
+    return _merge_shards(outcomes, order, effective, strict)
+
+
+def _merge_shards(
+    outcomes: list[ShardOutcome],
+    order: Sequence[Event],
+    workers: int,
+    strict: bool,
+) -> MatchOutcome:
+    stats = SearchStats()
+    for outcome in outcomes:
+        stats.merge(outcome.stats)
+    stats.extra["parallel_workers"] = workers
+    stats.extra["parallel_shards"] = len(outcomes)
+
+    withscore = [o for o in outcomes if o.score > float("-inf")]
+    if not withscore:
+        # Every shard exhausted without a complete mapping: only possible
+        # when the root split itself was empty (no targets), which the
+        # caller already routed to the serial matcher.
+        return MatchOutcome(Mapping({}), 0.0, stats)
+    best_score = max(o.score for o in withscore)
+    winners = [o for o in withscore if o.score == best_score]
+    winner = min(winners, key=lambda o: _canonical_key(o.mapping, order))
+
+    degraded = any(o.degraded for o in outcomes)
+    upper = max(o.upper for o in outcomes)
+    gap = max(0.0, upper - best_score)
+    if degraded and strict:
+        raise SearchBudgetExceeded(
+            "parallel shard budget exhausted "
+            f"({sum(1 for o in outcomes if o.degraded)}/{len(outcomes)} "
+            "shards degraded)",
+            stats,
+        )
+    if not degraded:
+        gap = 0.0
+    stats.extra.pop("frontier_exhausted", None)
+    exhausted = sum(1 for o in outcomes if o.exhausted)
+    if exhausted:
+        stats.extra["shards_exhausted"] = exhausted
+    if degraded:
+        stats.extra["optimality_gap"] = gap
+    return MatchOutcome(
+        Mapping(dict(winner.mapping)),
+        best_score,
+        stats,
+        degraded=degraded,
+        gap=gap,
+    )

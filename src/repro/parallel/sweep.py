@@ -1,0 +1,213 @@
+"""Process-parallel evaluation sweeps.
+
+The harness's sweep grids (``sweep_events``/``sweep_traces`` in
+:mod:`repro.evaluation.harness`) run every (task, matcher, budget) cell
+one after another; the cells are independent, so a pool turns the grid's
+wall clock into roughly its longest cell.  Two pieces make that safe and
+cheap:
+
+* :class:`TaskSpec` — a picklable *recipe* for the matching task (log
+  file paths, a datagen generator + seed, or an inline pickled task).
+  Workers rebuild the task from the recipe instead of receiving one
+  pickled log pair per cell.
+* a pool *initializer* that materializes the base task once per worker
+  process — the interned logs, posting bitsets and frequency kernels
+  hang off the ``EventLog`` objects, so every cell that worker runs
+  reuses them; per-cell projections are memoized per process too.
+
+Cells are returned in submission order, so a parallel sweep's result
+list is ordered exactly like the serial harness's.  Worker processes run
+with the null probe (live probes hold tracers and reporters that must
+not cross process boundaries); the parent emits one ``sweep.parallel``
+span around the whole fan-out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datagen.task import MatchingTask
+from repro.obs.probe import NULL_PROBE, Probe
+
+#: A cell transform: ``None`` runs the base task, ``("events", n)``
+#: projects onto the first ``n`` events, ``("traces", n)`` onto the
+#: first ``n`` traces (matching the harness's sweep axes).
+Transform = "tuple[str, int] | None"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Picklable recipe from which workers rebuild a matching task.
+
+    ``kind`` selects the recipe: ``"synthetic"``, ``"reallike"`` and
+    ``"random"`` call the corresponding :mod:`repro.datagen` generator
+    with ``params`` (seed included, so rebuilds are deterministic);
+    ``"files"`` reads a CSV/XES log pair and parses ``pattern_texts``;
+    ``"inline"`` carries an already-built task verbatim (the fallback
+    for tasks with no cheaper recipe — costs one task pickle per
+    worker, amortized over all its cells).
+    """
+
+    kind: str
+    params: tuple[tuple[str, Any], ...] = ()
+    paths: tuple[str, str] | None = None
+    pattern_texts: tuple[str, ...] = ()
+    inline_task: MatchingTask | None = field(default=None, compare=False)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def synthetic(cls, **kwargs) -> "TaskSpec":
+        return cls(kind="synthetic", params=tuple(sorted(kwargs.items())))
+
+    @classmethod
+    def reallike(cls, **kwargs) -> "TaskSpec":
+        return cls(kind="reallike", params=tuple(sorted(kwargs.items())))
+
+    @classmethod
+    def random_pair(cls, **kwargs) -> "TaskSpec":
+        return cls(kind="random", params=tuple(sorted(kwargs.items())))
+
+    @classmethod
+    def from_files(
+        cls,
+        path_1: str,
+        path_2: str,
+        patterns: Sequence[str] = (),
+        name: str | None = None,
+    ) -> "TaskSpec":
+        params = (("name", name),) if name else ()
+        return cls(
+            kind="files",
+            params=params,
+            paths=(str(path_1), str(path_2)),
+            pattern_texts=tuple(patterns),
+        )
+
+    @classmethod
+    def from_task(cls, task: MatchingTask) -> "TaskSpec":
+        return cls(kind="inline", params=(("name", task.name),), inline_task=task)
+
+    # -- materialization ------------------------------------------------
+    def build(self) -> MatchingTask:
+        kwargs = dict(self.params)
+        if self.kind == "synthetic":
+            from repro.datagen.synthetic import generate_synthetic
+
+            return generate_synthetic(**kwargs)
+        if self.kind == "reallike":
+            from repro.datagen.reallike import generate_reallike
+
+            return generate_reallike(**kwargs)
+        if self.kind == "random":
+            from repro.datagen.random_logs import generate_random_pair
+
+            return generate_random_pair(**kwargs)
+        if self.kind == "files":
+            from repro.cli import load_log
+            from repro.patterns.parser import parse_pattern
+
+            assert self.paths is not None
+            log_1 = load_log(self.paths[0])
+            log_2 = load_log(self.paths[1])
+            return MatchingTask(
+                name=kwargs.get("name") or f"{log_1.name}->{log_2.name}",
+                log_1=log_1,
+                log_2=log_2,
+                patterns=tuple(
+                    parse_pattern(text) for text in self.pattern_texts
+                ),
+            )
+        if self.kind == "inline":
+            assert self.inline_task is not None
+            return self.inline_task
+        raise ValueError(f"unknown TaskSpec kind {self.kind!r}")
+
+
+# Per-worker-process sweep state: the materialized base task plus a memo
+# of its projections, built by the pool initializer.
+_SWEEP_STATE: dict = {}
+
+
+def _init_sweep_worker(spec: TaskSpec) -> None:
+    _SWEEP_STATE["base"] = spec.build()
+    _SWEEP_STATE["projections"] = {}
+
+
+def _transformed_task(transform) -> MatchingTask:
+    base: MatchingTask = _SWEEP_STATE["base"]
+    if transform is None:
+        return base
+    projections: dict = _SWEEP_STATE["projections"]
+    task = projections.get(transform)
+    if task is None:
+        axis, value = transform
+        if axis == "events":
+            task = base.project_events(value)
+        elif axis == "traces":
+            task = base.take_traces(value)
+        else:
+            raise ValueError(f"unknown sweep axis {axis!r}")
+        projections[transform] = task
+    return task
+
+
+def _run_cell(
+    index: int,
+    transform,
+    method: str,
+    node_budget: int | None,
+    time_budget: float | None,
+):
+    # Imported here (not module top) to keep the worker import graph
+    # small; harness imports this module, so a top-level import back
+    # into the harness would be circular.
+    from repro.evaluation.harness import run_method
+
+    task = _transformed_task(transform)
+    run = run_method(
+        task, method, node_budget=node_budget, time_budget=time_budget
+    )
+    return index, run
+
+
+def parallel_sweep(
+    spec: TaskSpec,
+    cells: Sequence[tuple],
+    workers: int,
+    node_budget: int | None = None,
+    time_budget: float | None = None,
+    probe: Probe | None = None,
+) -> list:
+    """Fan ``cells`` — ``(transform, method)`` pairs — over a pool.
+
+    Returns the cells' :class:`~repro.evaluation.harness.MethodRun`
+    results in input order.  ``workers`` is clamped to the cell count;
+    callers route ``workers <= 1`` through the serial harness before
+    getting here.
+    """
+    if probe is None:
+        probe = NULL_PROBE
+    workers = max(1, min(workers, len(cells) or 1))
+    results: list = [None] * len(cells)
+    with probe.span("sweep.parallel", workers=workers, cells=len(cells)):
+        if probe.enabled:
+            probe.on_parallel_run(workers, len(cells))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_sweep_worker,
+            initargs=(spec,),
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_cell, index, transform, method,
+                    node_budget, time_budget,
+                )
+                for index, (transform, method) in enumerate(cells)
+            ]
+            for future in futures:
+                index, run = future.result()
+                results[index] = run
+    return results

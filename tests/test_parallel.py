@@ -1,0 +1,288 @@
+"""Tests for repro.parallel — root-split search and sweep fan-out.
+
+The load-bearing property is determinism-equivalence: the root-split
+parallel matcher must return exactly the serial matcher's mapping,
+score, and gap (the shards cover the serial search space and ties break
+on the canonical assignment tuple, so worker scheduling cannot leak into
+the result).
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.astar import AStarMatcher, SearchBudgetExceeded
+from repro.core.bounds import BoundKind
+from repro.core.matcher import EventMatcher
+from repro.core.scoring import ScoreModel, build_pattern_set
+from repro.datagen import generate_reallike, generate_synthetic
+from repro.datagen.random_logs import generate_random_pair
+from repro.evaluation.harness import sweep_events, sweep_traces
+from repro.log.eventlog import EventLog
+from repro.parallel import (
+    SharedIncumbent,
+    TaskSpec,
+    parallel_match,
+    parallel_sweep,
+    partition_root_targets,
+)
+
+
+def serial_outcome(task, bound=BoundKind.TIGHT, **kwargs):
+    model = ScoreModel(
+        task.log_1,
+        task.log_2,
+        build_pattern_set(task.log_1, complex_patterns=task.patterns),
+        bound=bound,
+    )
+    return AStarMatcher(model, **kwargs).match()
+
+
+@pytest.fixture(scope="module")
+def seed_tasks():
+    # Exact-search-sized slices: 8 events keeps the serial reference
+    # under a second while still splitting into 4 non-trivial shards.
+    return [
+        generate_reallike(num_traces=30, seed=11).project_events(8),
+        generate_synthetic(num_blocks=1, num_traces=40, seed=5),
+        generate_random_pair(num_events=5, num_traces=60, seed=3),
+    ]
+
+
+@pytest.fixture(scope="module")
+def chaos_task():
+    """A datagen task whose left log went through the chaos injector."""
+    from repro.resilience.chaos import ChaosConfig, ChaosInjector
+
+    task = generate_reallike(num_traces=40, seed=23).project_events(8)
+    injector = ChaosInjector(ChaosConfig(
+        drop_event_rate=0.05,
+        corrupt_event_rate=0.05,
+        reorder_event_rate=0.05,
+        seed=23,
+    ))
+    # Corruption may emit non-string sentinels; keep the well-formed
+    # remainder (the validated-ingest tests own the reject path).
+    traces = [
+        [e for e in events if isinstance(e, str) and e]
+        for _case_id, events in injector.perturb(task.log_1.traces)
+    ]
+    dirty = EventLog([t for t in traces if t], name="chaos")
+    return task, dirty
+
+
+class TestSharedIncumbent:
+    def test_offer_is_compare_and_max(self):
+        cell = SharedIncumbent()
+        assert cell.peek() == float("-inf")
+        assert cell.offer(3.0) == 3.0
+        assert cell.offer(1.0) == 3.0  # lower offers never regress
+        assert cell.offer(7.5) == 7.5
+        assert cell.peek() == 7.5
+
+
+class TestPartition:
+    def test_disjoint_cover_and_determinism(self):
+        targets = ["3", "1", "4", "2", "5"]
+        shards = partition_root_targets(targets, 3)
+        assert shards == partition_root_targets(list(reversed(targets)), 3)
+        flat = [t for shard in shards for t in shard]
+        assert sorted(flat) == sorted(targets)
+        assert len(set(flat)) == len(targets)
+
+    def test_clamped_to_target_count(self):
+        shards = partition_root_targets(["a", "b"], 8)
+        assert len(shards) == 2
+        assert all(shard for shard in shards)
+
+
+class TestParallelMatchEqualsSerial:
+    @pytest.mark.parametrize("bound", [BoundKind.TIGHT, BoundKind.SIMPLE])
+    def test_seed_fixtures(self, seed_tasks, bound):
+        for task in seed_tasks:
+            serial = serial_outcome(task, bound=bound)
+            par = parallel_match(
+                task.log_1, task.log_2, task.patterns,
+                bound=bound, workers=4,
+            )
+            assert par.score == pytest.approx(serial.score, abs=1e-12)
+            assert par.mapping.as_dict() == serial.mapping.as_dict()
+            assert par.gap == serial.gap == 0.0
+            assert not par.degraded
+            assert par.stats.extra["parallel_workers"] == 4
+
+    def test_chaos_seeded_task(self, chaos_task):
+        task, dirty = chaos_task
+        model = ScoreModel(
+            dirty,
+            task.log_2,
+            build_pattern_set(dirty, complex_patterns=task.patterns),
+            bound=BoundKind.TIGHT,
+        )
+        serial = AStarMatcher(model).match()
+        par = parallel_match(
+            dirty, task.log_2, task.patterns, workers=4
+        )
+        assert par.score == pytest.approx(serial.score, abs=1e-12)
+        assert par.mapping.as_dict() == serial.mapping.as_dict()
+        assert par.gap == serial.gap == 0.0
+
+    def test_workers_one_routes_serial(self, seed_tasks):
+        task = seed_tasks[0]
+        serial = serial_outcome(task)
+        par = parallel_match(task.log_1, task.log_2, task.patterns, workers=1)
+        assert par.score == serial.score
+        assert par.mapping.as_dict() == serial.mapping.as_dict()
+        assert "parallel_workers" not in par.stats.extra
+
+    def test_scheduling_independence(self, seed_tasks):
+        # Shard-count changes reshuffle which worker finds the optimum
+        # first; the merged result must not care.
+        task = seed_tasks[2]
+        results = [
+            parallel_match(
+                task.log_1, task.log_2, task.patterns,
+                workers=workers, sync_interval=interval,
+            )
+            for workers, interval in [(2, 1), (3, 64), (4, 1024)]
+        ]
+        scores = {round(r.score, 9) for r in results}
+        mappings = {tuple(sorted(r.mapping.as_dict().items())) for r in results}
+        assert len(scores) == 1
+        assert len(mappings) == 1
+
+
+class TestParallelBudgets:
+    def test_degraded_outcome_is_complete_with_gap(self, seed_tasks):
+        task = seed_tasks[0]
+        par = parallel_match(
+            task.log_1, task.log_2, task.patterns,
+            workers=3, node_budget=5,
+        )
+        assert par.degraded
+        assert par.gap >= 0.0
+        assert len(par.mapping) == len(task.log_1.alphabet())
+        serial = serial_outcome(task)
+        # The sound gap really bounds the distance to the optimum.
+        assert serial.score <= par.score + par.gap + 1e-9
+
+    def test_strict_raises(self, seed_tasks):
+        task = seed_tasks[0]
+        with pytest.raises(SearchBudgetExceeded):
+            parallel_match(
+                task.log_1, task.log_2, task.patterns,
+                workers=3, node_budget=5, strict=True,
+            )
+
+
+class TestMatcherFacadeWorkers:
+    def test_run_with_workers_matches_serial(self, seed_tasks):
+        task = seed_tasks[0]
+        matcher = EventMatcher(task.log_1, task.log_2, patterns=task.patterns)
+        serial = matcher.run("pattern-tight")
+        par = matcher.run("pattern-tight", workers=3)
+        assert par.score == pytest.approx(serial.score, abs=1e-12)
+        assert par.mapping.as_dict() == serial.mapping.as_dict()
+
+    def test_warm_start_ignores_workers(self, seed_tasks):
+        task = seed_tasks[0]
+        matcher = EventMatcher(task.log_1, task.log_2, patterns=task.patterns)
+        serial = matcher.run("pattern-tight")
+        warm = matcher.run(
+            "pattern-tight", workers=3, warm_start=serial.mapping.as_dict()
+        )
+        assert warm.score == pytest.approx(serial.score, abs=1e-12)
+        assert "parallel_workers" not in warm.stats.extra
+
+
+class TestTaskSpec:
+    def test_specs_pickle_and_rebuild_deterministically(self):
+        spec = TaskSpec.reallike(num_traces=20, seed=4)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        task_a, task_b = spec.build(), clone.build()
+        assert task_a.log_1.traces == task_b.log_1.traces
+        assert task_a.log_2.traces == task_b.log_2.traces
+
+    def test_from_files_roundtrip(self, tmp_path):
+        from repro.log.csvio import write_csv
+
+        task = generate_random_pair(num_events=4, num_traces=20, seed=9)
+        path_1 = tmp_path / "one.csv"
+        path_2 = tmp_path / "two.csv"
+        write_csv(task.log_1, path_1)
+        write_csv(task.log_2, path_2)
+        spec = TaskSpec.from_files(str(path_1), str(path_2), name="pair")
+        rebuilt = spec.build()
+        assert rebuilt.name == "pair"
+        assert rebuilt.log_1.alphabet() == task.log_1.alphabet()
+
+    def test_inline_fallback(self):
+        task = generate_random_pair(num_events=4, num_traces=20, seed=9)
+        assert TaskSpec.from_task(task).build() is task
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec(kind="nonsense").build()
+
+
+class TestParallelSweep:
+    def test_grid_matches_serial_harness_in_order(self):
+        task = generate_reallike(num_traces=25, seed=11)
+        sizes, methods = [4, 6], ["pattern-tight", "heuristic-advanced"]
+        serial = sweep_events(task, sizes, methods)
+        par = sweep_events(task, sizes, methods, workers=3)
+        assert [
+            (r.method, r.num_events, round(r.score, 9)) for r in serial
+        ] == [(r.method, r.num_events, round(r.score, 9)) for r in par]
+
+    def test_trace_sweep_with_spec_recipe(self):
+        task = generate_random_pair(num_events=4, num_traces=25, seed=11)
+        spec = TaskSpec.random_pair(num_events=4, num_traces=25, seed=11)
+        serial = sweep_traces(task, [10, 25], ["pattern-tight"])
+        par = sweep_traces(
+            task, [10, 25], ["pattern-tight"], workers=2, task_spec=spec
+        )
+        assert [(r.num_traces, round(r.score, 9)) for r in serial] == [
+            (r.num_traces, round(r.score, 9)) for r in par
+        ]
+
+    def test_direct_cells_api(self):
+        spec = TaskSpec.random_pair(num_events=4, num_traces=30, seed=2)
+        cells = [(None, "heuristic-simple"), (("events", 3), "pattern-tight")]
+        runs = parallel_sweep(spec, cells, workers=2)
+        assert [r.method for r in runs] == [
+            "heuristic-simple", "pattern-tight"
+        ]
+        assert runs[1].num_events == 3
+
+
+class TestCliWorkers:
+    def test_match_accepts_workers_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.log.csvio import write_csv
+
+        task = generate_random_pair(num_events=4, num_traces=30, seed=2)
+        path_1 = tmp_path / "one.csv"
+        path_2 = tmp_path / "two.csv"
+        write_csv(task.log_1, path_1)
+        write_csv(task.log_2, path_2)
+        assert main([
+            "match", str(path_1), str(path_2), "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "score" in out.lower()
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="observed-parallelism smoke needs >= 2 cores",
+)
+class TestActualParallelism:
+    def test_shards_run_in_distinct_processes(self, seed_tasks):
+        # On multi-core runners the pool genuinely fans out; the merged
+        # stats still account for every shard exactly once.
+        task = seed_tasks[1]
+        par = parallel_match(task.log_1, task.log_2, task.patterns, workers=2)
+        assert par.stats.extra["parallel_shards"] == 2
