@@ -11,6 +11,9 @@ detected by extension):
   is maintained incrementally, and re-matching only fires on drift;
 * ``repro discover LOG`` — mine discriminative SEQ/AND patterns;
 * ``repro graph LOG`` — export a log's dependency graph as DOT;
+* ``repro serve STATE_DIR`` — run the matching daemon: watched drop
+  directory, job queue over worker processes, HTTP API (see
+  :mod:`repro.service`);
 * ``repro info`` — version, kernel availability, probe hook points.
 
 ``match`` and ``stream`` take observability flags: ``--trace FILE``
@@ -319,6 +322,43 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import ServiceAPI
+    from repro.service.daemon import MatchingService
+
+    service = MatchingService(
+        args.state_dir,
+        processes=args.workers,
+        settle_polls=args.settle_polls,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if args.resume:
+        summary = service.resume()
+        sessions = ", ".join(summary["sessions"]) or "none"
+        print(
+            f"# resumed {summary['logs']} logs, re-queued "
+            f"{summary['jobs_requeued']} jobs, sessions: {sessions}",
+            file=sys.stderr,
+        )
+    api = ServiceAPI(service, host=args.host, port=args.port).start()
+    print(
+        f"# serving on {api.address} (state: {service.state_dir}, "
+        f"workers: {args.workers or 'inline'})",
+        file=sys.stderr,
+    )
+    try:
+        while not api.stopping.is_set():
+            service.tick()
+            api.stopping.wait(args.poll_interval)
+    except KeyboardInterrupt:
+        print("# interrupted; saving state", file=sys.stderr)
+    finally:
+        api.stop()
+        service.shutdown()
+        print(f"# state saved to {service.manifest_path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__}")
     print(f"python {platform.python_version()} ({platform.platform()})")
@@ -482,6 +522,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="hide edges below this frequency",
     )
     graph_parser.set_defaults(handler=_cmd_graph)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the matching daemon: watched drop directory, job "
+        "queue, stdlib HTTP API",
+    )
+    serve_parser.add_argument(
+        "state_dir", metavar="STATE_DIR",
+        help="service state root (drop/, spool/, sessions/, manifest)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8181,
+        help="HTTP port (0 binds an ephemeral port and prints it)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes for match jobs (0 runs jobs inline in "
+        "the daemon loop)",
+    )
+    serve_parser.add_argument(
+        "--settle-polls", type=int, default=1, metavar="N",
+        help="polls a dropped file's size+mtime must hold still before "
+        "it is ingested (0 ingests on first sight)",
+    )
+    serve_parser.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="seconds between daemon scheduling ticks",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every", type=float, default=30.0, metavar="SECONDS",
+        help="seconds between periodic manifest + session checkpoints",
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true",
+        help="restore registry, jobs and sessions from STATE_DIR before "
+        "serving (interrupted jobs re-queue)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     info_parser = commands.add_parser(
         "info",

@@ -114,6 +114,22 @@ class Probe:
     def on_stream_update(self, record) -> None:
         pass
 
+    # -- service (daemon) -----------------------------------------------
+    def on_job_submitted(self, kind: str) -> None:
+        pass
+
+    def on_job_finished(self, kind: str, state: str, seconds: float) -> None:
+        pass
+
+    def on_queue_depth(self, depth: int) -> None:
+        pass
+
+    def on_file_ingested(self, outcome: str) -> None:
+        pass
+
+    def on_http_request(self, route: str, status: int) -> None:
+        pass
+
     # -- bulk stats ------------------------------------------------------
     def record_search_stats(self, stats) -> None:
         pass
@@ -232,7 +248,15 @@ class ObservabilityProbe(Probe):
             "repro_parallel_shard_seconds",
             "Wall-clock seconds per parallel search shard",
         )
+        self._queue_depth = m.gauge(
+            "repro_service_queue_depth", "Match jobs waiting for a worker"
+        )
+        self._job_seconds = m.histogram(
+            "repro_service_job_seconds",
+            "Wall-clock seconds per finished service job",
+        )
         self._tier_counters: dict[str, object] = {}
+        self._labeled_counters: dict[tuple, object] = {}
 
     # -- spans ----------------------------------------------------------
     def span(self, name: str, **attributes):
@@ -305,6 +329,49 @@ class ObservabilityProbe(Probe):
             )
             self._tier_counters[tier] = counter
         counter.inc()
+
+    # -- service (daemon) -----------------------------------------------
+    def _labeled(self, name: str, help_text: str, **labels):
+        key = (name, tuple(sorted(labels.items())))
+        counter = self._labeled_counters.get(key)
+        if counter is None:
+            counter = self.metrics.counter(name, help_text, labels=labels)
+            self._labeled_counters[key] = counter
+        return counter
+
+    def on_job_submitted(self, kind):
+        self._labeled(
+            "repro_service_jobs_submitted_total",
+            "Jobs accepted by the service queue, by kind",
+            kind=kind,
+        ).inc()
+
+    def on_job_finished(self, kind, state, seconds):
+        self._labeled(
+            "repro_service_jobs_finished_total",
+            "Jobs leaving the queue, by kind and terminal state",
+            kind=kind,
+            state=state,
+        ).inc()
+        self._job_seconds.observe(seconds)
+
+    def on_queue_depth(self, depth):
+        self._queue_depth.set(depth)
+
+    def on_file_ingested(self, outcome):
+        self._labeled(
+            "repro_service_files_total",
+            "Watched-directory files processed, by outcome",
+            outcome=outcome,
+        ).inc()
+
+    def on_http_request(self, route, status):
+        self._labeled(
+            "repro_service_http_requests_total",
+            "HTTP API requests served, by route and status",
+            route=route,
+            status=str(status),
+        ).inc()
 
     # -- streaming ------------------------------------------------------
     def on_stream_commit(self, trace_id, num_events):

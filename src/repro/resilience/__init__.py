@@ -40,6 +40,8 @@ from repro.resilience.checkpoint import (
 from repro.resilience.quarantine import (
     QuarantineRecord,
     QuarantineStore,
+    load_spilled,
+    replay_spilled,
     sanitize_events,
 )
 from repro.resilience.recovery import RecoveryStats
@@ -58,6 +60,8 @@ __all__ = [
     "TraceValidator",
     "corrupt_delta_state",
     "load_checkpoint",
+    "load_spilled",
+    "replay_spilled",
     "save_checkpoint",
     "sanitize_events",
 ]

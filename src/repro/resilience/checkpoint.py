@@ -33,16 +33,25 @@ class CheckpointError(RuntimeError):
 
 
 def save_checkpoint(engine, path: str | Path) -> Path:
-    """Atomically serialize ``engine`` to ``path``; returns the path."""
+    """Atomically serialize ``engine`` to ``path``; returns the path.
+
+    Every save stamps a monotonically increasing ``sequence`` number
+    (kept on the engine, restored with it), so a fleet of checkpoint
+    files for one session can always be ordered — and a stale file can
+    never masquerade as the latest one.
+    """
     path = Path(path)
+    sequence = getattr(engine, "checkpoint_sequence", 0) + 1
     document = {
         "format": _FORMAT,
         "version": CHECKPOINT_VERSION,
+        "sequence": sequence,
         "state": engine.checkpoint(),
     }
     scratch = path.with_name(path.name + ".tmp")
     scratch.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     os.replace(scratch, path)
+    engine.checkpoint_sequence = sequence
     return path
 
 
@@ -67,9 +76,17 @@ def load_checkpoint(path: str | Path):
             f"{path} is not a {_FORMAT!r} document"
         )
     version = document.get("version")
+    if isinstance(version, int) and version > CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {version}, which is newer than "
+            f"the latest this build supports ({CHECKPOINT_VERSION}); it was "
+            "written by a newer version of repro — upgrade before resuming"
+        )
     if version != CHECKPOINT_VERSION:
         raise CheckpointError(
             f"checkpoint version {version!r} is not supported "
             f"(this build reads version {CHECKPOINT_VERSION})"
         )
-    return OnlineMatcher.restore(document["state"])
+    engine = OnlineMatcher.restore(document["state"])
+    engine.checkpoint_sequence = document.get("sequence", 0)
+    return engine

@@ -8,12 +8,21 @@ recorded *with its reason*, the store is bounded so a poisoned feed
 cannot exhaust memory (overflow keeps counting but drops payloads), and
 the whole store serializes into a checkpoint so reject history survives
 a restore.
+
+A store constructed with ``spill_path`` additionally appends every
+reject — including the ones the capacity bound drops from memory — to a
+JSON-Lines file, one record per line.  That is the daemon-grade mode:
+dead letters survive a process restart regardless of checkpoint cadence,
+can be inspected with standard line tools, and can be replayed through
+:func:`load_spilled`.  The in-memory bounded store stays the default.
 """
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass
+from pathlib import Path
 
 
 def sanitize_events(events) -> tuple[str, ...]:
@@ -69,15 +78,26 @@ class QuarantineStore:
         bound still increment counters (``total_seen``, per-reason
         counts) so reporting stays truthful, but their payloads are
         dropped — the store can never grow without bound.
+    spill_path:
+        Optional JSONL file every reject is appended to, capacity bound
+        or not.  The file is opened per append (daemon restarts and
+        checkpoint restores just keep appending), and a failing disk
+        never takes the ingestion path down: spill errors are counted in
+        ``spill_errors`` and otherwise ignored.
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(
+        self, capacity: int = 1024, spill_path: str | Path | None = None
+    ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
+        self.spill_path = Path(spill_path) if spill_path is not None else None
         self._records: list[QuarantineRecord] = []
         self._total_seen = 0
         self._dropped = 0
+        self._spilled = 0
+        self.spill_errors = 0
         self._reasons: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
@@ -88,11 +108,22 @@ class QuarantineStore:
         dropped because the store is full (it is still counted)."""
         self._total_seen += 1
         self._reasons[record.reason] += 1
+        if self.spill_path is not None:
+            self._spill(record)
         if len(self._records) >= self.capacity:
             self._dropped += 1
             return False
         self._records.append(record)
         return True
+
+    def _spill(self, record: QuarantineRecord) -> None:
+        line = json.dumps(record.to_payload(), sort_keys=True)
+        try:
+            with open(self.spill_path, "a") as handle:
+                handle.write(line + "\n")
+            self._spilled += 1
+        except OSError:
+            self.spill_errors += 1
 
     def clear(self) -> None:
         """Forget all records and counters."""
@@ -118,6 +149,11 @@ class QuarantineStore:
         """Rejects whose payload was dropped by the capacity bound."""
         return self._dropped
 
+    @property
+    def spilled(self) -> int:
+        """Records appended to the spill file by this store instance."""
+        return self._spilled
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -132,10 +168,15 @@ class QuarantineStore:
         """A one-paragraph triage summary of what was quarantined."""
         if not self._total_seen:
             return "quarantine: empty"
+        spill = (
+            f", {self._spilled} spilled to {self.spill_path}"
+            if self.spill_path is not None
+            else ""
+        )
         lines = [
             f"quarantine: {self._total_seen} rejects "
             f"({len(self._records)} retained, {self._dropped} dropped by "
-            f"capacity {self.capacity})"
+            f"capacity {self.capacity}{spill})"
         ]
         for reason, count in self._reasons.most_common():
             lines.append(f"  {count:>6}  {reason}")
@@ -151,17 +192,23 @@ class QuarantineStore:
     # Checkpointing
     # ------------------------------------------------------------------
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "capacity": self.capacity,
             "total_seen": self._total_seen,
             "dropped": self._dropped,
             "reasons": dict(self._reasons),
             "records": [record.to_payload() for record in self._records],
         }
+        if self.spill_path is not None:
+            payload["spill_path"] = str(self.spill_path)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "QuarantineStore":
-        store = cls(capacity=payload["capacity"])
+        store = cls(
+            capacity=payload["capacity"],
+            spill_path=payload.get("spill_path"),
+        )
         store._records = [
             QuarantineRecord.from_payload(entry)
             for entry in payload.get("records", ())
@@ -170,3 +217,43 @@ class QuarantineStore:
         store._dropped = payload.get("dropped", 0)
         store._reasons = Counter(payload.get("reasons", {}))
         return store
+
+
+def load_spilled(path: str | Path) -> list[QuarantineRecord]:
+    """Read back every dead letter a store spilled to ``path``.
+
+    Tolerates a torn final line (the crash the spill file exists for):
+    a trailing line that fails to parse is skipped, a malformed line in
+    the middle raises ``ValueError`` naming the line number.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = path.read_text().splitlines()
+    records: list[QuarantineRecord] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(QuarantineRecord.from_payload(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            if number == len(lines):
+                break  # torn tail write from a crash mid-append
+            raise ValueError(
+                f"{path}:{number}: malformed spill record: {error}"
+            ) from None
+    return records
+
+
+def replay_spilled(path: str | Path, handler) -> int:
+    """Feed every spilled record through ``handler(record)``.
+
+    Returns how many records were replayed.  This is the triage loop for
+    dead letters that turned out to be salvageable — e.g. re-submitting
+    quarantined traces after a validator bug fix.
+    """
+    count = 0
+    for record in load_spilled(path):
+        handler(record)
+        count += 1
+    return count

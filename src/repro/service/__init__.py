@@ -1,0 +1,51 @@
+"""Matching-as-a-service: a long-running daemon around the matchers.
+
+The batch pipeline (``repro match``) answers one question and exits;
+real deployments instead keep logs arriving and questions recurring.
+This package turns the existing engines into a small service:
+
+* :mod:`~repro.service.registry` — named logs, spooled as canonical CSVs;
+* :mod:`~repro.service.watcher` — watched drop directory with settling
+  and file-level quarantine;
+* :mod:`~repro.service.jobs` / :mod:`~repro.service.workers` — a
+  thread-safe job queue over a process pool (or inline executor) running
+  picklable job recipes;
+* :mod:`~repro.service.sessions` — in-daemon online matching sessions
+  with checkpoint persistence;
+* :mod:`~repro.service.api` — a stdlib HTTP surface (JSON + Prometheus);
+* :mod:`~repro.service.daemon` — :class:`MatchingService`, the object
+  wiring it all together, with ``save_state``/``resume`` kill-safety.
+
+Start one with ``repro serve STATE_DIR`` (see ``--help``), or embed
+:class:`MatchingService` directly — every test drives it in-process.
+"""
+
+from repro.service.api import ServiceAPI
+from repro.service.daemon import MatchingService
+from repro.service.jobs import JobQueue, MatchJob, UnknownJobError
+from repro.service.registry import (
+    LogRegistry,
+    RegisteredLog,
+    UnknownLogError,
+    validate_log_name,
+)
+from repro.service.sessions import SessionManager, UnknownSessionError
+from repro.service.watcher import DirectoryWatcher
+from repro.service.workers import WorkerPool, execute_match_job
+
+__all__ = [
+    "DirectoryWatcher",
+    "JobQueue",
+    "LogRegistry",
+    "MatchJob",
+    "MatchingService",
+    "RegisteredLog",
+    "ServiceAPI",
+    "SessionManager",
+    "UnknownJobError",
+    "UnknownLogError",
+    "UnknownSessionError",
+    "WorkerPool",
+    "execute_match_job",
+    "validate_log_name",
+]

@@ -1,0 +1,270 @@
+"""The matching daemon: one object wiring watcher, queue, pool, sessions.
+
+:class:`MatchingService` owns a state directory::
+
+    <state>/
+      drop/             watched; operators drop .csv/.xes files here
+      drop/quarantine/  unreadable dropped files, moved aside
+      spool/            canonical CSVs of every registered log
+      sessions/         one versioned checkpoint per online session
+      quarantine.jsonl  spill-to-disk dead letters (rows, traces, files)
+      manifest.json     registry + job queue + service metadata
+
+and exposes exactly three verbs the rest of the package builds on:
+
+* :meth:`tick` — one scheduling round: poll the drop directory,
+  dispatch queued jobs to the worker pool, harvest finished ones.
+  Everything the daemon does between HTTP requests is some number of
+  ticks; tests and the CI smoke drive ticks directly for determinism.
+* :meth:`save_state` — manifest + session checkpoints, atomically.
+* :meth:`resume` — rebuild the whole service from a state directory:
+  spooled logs re-register, DONE/FAILED jobs return as history, killed
+  RUNNING jobs re-queue, sessions restore from their checkpoints.
+
+The kill-and-resume contract: ``save_state`` followed by process death
+followed by ``resume`` on a fresh instance reaches the same mappings
+and scores as never having died.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import ObservabilityProbe, Probe
+from repro.resilience.quarantine import QuarantineStore
+from repro.service.jobs import JobQueue, MatchJob
+from repro.service.registry import LogRegistry, UnknownLogError
+from repro.service.sessions import SessionManager
+from repro.service.watcher import DirectoryWatcher
+from repro.service.workers import WorkerPool, job_payload
+
+MANIFEST_FORMAT = "repro-service-manifest"
+MANIFEST_VERSION = 1
+
+
+class MatchingService:
+    """Matching-as-a-service over one state directory.
+
+    Parameters
+    ----------
+    state_dir:
+        Root of all service state (created if missing).
+    processes:
+        Worker processes for match jobs; ``0`` executes jobs inline in
+        the daemon thread (deterministic, the test/CI mode).
+    settle_polls:
+        Stability polls the watcher requires before ingesting a dropped
+        file (``0`` = ingest on sight).
+    checkpoint_every:
+        Seconds between periodic :meth:`save_state` calls from
+        :meth:`tick`; ``None`` saves only on shutdown/demand.
+    probe:
+        Pass an existing probe to share a registry; by default the
+        service builds its own :class:`ObservabilityProbe` so
+        ``/metrics`` always has content.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        processes: int = 0,
+        settle_polls: int = 0,
+        checkpoint_every: float | None = 30.0,
+        probe: Probe | None = None,
+    ):
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        if probe is None:
+            probe = ObservabilityProbe(metrics=MetricsRegistry())
+        self.probe = probe
+        self.quarantine = QuarantineStore(
+            spill_path=self.state_dir / "quarantine.jsonl"
+        )
+        self.registry = LogRegistry(self.state_dir / "spool")
+        self.watcher = DirectoryWatcher(
+            self.state_dir / "drop",
+            self.registry,
+            self.quarantine,
+            settle_polls=settle_polls,
+            probe=probe,
+        )
+        self.jobs = JobQueue(probe=probe)
+        self.pool = WorkerPool(processes=processes)
+        self.sessions = SessionManager(
+            self.registry,
+            self.state_dir / "sessions",
+            quarantine=self.quarantine,
+            probe=probe,
+        )
+        self.checkpoint_every = checkpoint_every
+        self._last_save = time.monotonic()
+        self._manifest_lock = threading.Lock()
+        self.started_at = time.time()
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+    # The scheduling loop
+    # ------------------------------------------------------------------
+    def tick(self) -> dict:
+        """One scheduling round; returns what it did (for tests/logs)."""
+        self.ticks += 1
+        registered = self.watcher.poll()
+        dispatched = self._dispatch()
+        finished = self._harvest()
+        if (
+            self.checkpoint_every is not None
+            and time.monotonic() - self._last_save >= self.checkpoint_every
+        ):
+            self.save_state()
+        return {
+            "registered": registered,
+            "dispatched": dispatched,
+            "finished": finished,
+        }
+
+    def run_until_idle(self, max_ticks: int = 10_000) -> int:
+        """Tick until no queued/running jobs remain; returns tick count.
+
+        With worker processes this busy-waits between harvests with a
+        short sleep; inline pools complete within the dispatching tick.
+        """
+        spent = 0
+        while self.jobs.depth > 0 or self.pool.active > 0:
+            spent += 1
+            if spent > max_ticks:
+                raise RuntimeError(
+                    f"service did not go idle within {max_ticks} ticks"
+                )
+            outcome = self.tick()
+            if self.pool.processes and not outcome["finished"]:
+                time.sleep(0.02)
+        return spent
+
+    def _dispatch(self) -> list[str]:
+        dispatched = []
+        while True:
+            job = self.jobs.claim_next()
+            if job is None:
+                break
+            try:
+                payload = job_payload(
+                    job,
+                    self.registry.path(job.log_1),
+                    self.registry.path(job.log_2),
+                )
+            except UnknownLogError as error:
+                self.jobs.fail(job.job_id, f"UnknownLogError: {error}")
+                continue
+            self.pool.submit(job.job_id, payload)
+            dispatched.append(job.job_id)
+        return dispatched
+
+    def _harvest(self) -> list[str]:
+        finished = []
+        for job_id, result, error, elapsed in self.pool.completed():
+            if error is None:
+                self.jobs.finish(job_id, result, elapsed)
+            else:
+                self.jobs.fail(job_id, error, elapsed)
+            finished.append(job_id)
+        return finished
+
+    # ------------------------------------------------------------------
+    # Submission facade (used by the API layer and tests)
+    # ------------------------------------------------------------------
+    def submit_job(self, log_1: str, log_2: str, **options) -> MatchJob:
+        """Validate log names exist now, then queue the job."""
+        for name in (log_1, log_2):
+            self.registry.info(name)  # raises UnknownLogError
+        return self.jobs.submit(log_1, log_2, **options)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.state_dir / "manifest.json"
+
+    def save_state(self) -> Path:
+        """Write the manifest and checkpoint every session, atomically."""
+        with self._manifest_lock:
+            self.sessions.checkpoint_all()
+            document = {
+                "format": MANIFEST_FORMAT,
+                "version": MANIFEST_VERSION,
+                "registry": self.registry.to_payload(),
+                "jobs": self.jobs.to_payload(),
+                "quarantine": self.quarantine.to_payload(),
+            }
+            temp = self.manifest_path.with_suffix(".json.tmp")
+            temp.write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n"
+            )
+            os.replace(temp, self.manifest_path)
+        self._last_save = time.monotonic()
+        return self.manifest_path
+
+    def resume(self) -> dict:
+        """Restore registry, jobs, quarantine and sessions from disk.
+
+        Safe on a fresh directory (restores nothing).  Returns a summary
+        of what came back.
+        """
+        summary = {"logs": 0, "jobs_requeued": 0, "sessions": []}
+        if self.manifest_path.exists():
+            document = json.loads(self.manifest_path.read_text())
+            if document.get("format") != MANIFEST_FORMAT:
+                raise ValueError(
+                    f"{self.manifest_path} is not a service manifest"
+                )
+            version = document.get("version")
+            if isinstance(version, int) and version > MANIFEST_VERSION:
+                raise ValueError(
+                    f"manifest version {version} is newer than this build "
+                    f"supports ({MANIFEST_VERSION}); upgrade before resuming"
+                )
+            summary["logs"] = self.registry.restore_payload(
+                document.get("registry", {})
+            )
+            summary["jobs_requeued"] = self.jobs.restore_payload(
+                document.get("jobs", {})
+            )
+            quarantine_payload = document.get("quarantine")
+            if quarantine_payload:
+                restored = QuarantineStore.from_payload(quarantine_payload)
+                restored.spill_path = self.quarantine.spill_path
+                self.quarantine = restored
+                self.watcher.quarantine = restored
+                self.sessions.quarantine = restored
+        # Safety net under manifest loss (e.g. SIGKILL before the first
+        # periodic save): spool files exist before the manifest mentions
+        # them, so anything on disk but not in the manifest re-registers.
+        summary["logs"] += self.registry.scan_spool()
+        summary["sessions"] = self.sessions.resume()
+        return summary
+
+    def shutdown(self) -> None:
+        """Save everything and stop the worker pool."""
+        self.save_state()
+        self.pool.shutdown()
+
+    # ------------------------------------------------------------------
+    # Introspection (what /healthz serves)
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "ticks": self.ticks,
+            "logs": len(self.registry),
+            "jobs": len(self.jobs),
+            "queue_depth": self.jobs.depth,
+            "sessions": len(self.sessions),
+            "quarantined": self.quarantine.total_seen,
+            "workers": self.pool.processes,
+        }

@@ -1,0 +1,267 @@
+"""Match jobs: the unit of work the daemon schedules.
+
+A :class:`MatchJob` is a *recipe*, not a computation — two registered
+log names, pattern texts, and matcher options.  Log names resolve to
+spool paths at dispatch time, so a job survives the daemon restarting
+(it lives in the manifest as plain JSON) and always matches the current
+registration of its logs.
+
+The :class:`JobQueue` owns the lifecycle::
+
+    QUEUED --claim--> RUNNING --finish--> DONE
+                         |
+                         +-----fail-----> FAILED
+
+All transitions are lock-protected (HTTP handler threads submit while
+the daemon loop claims) and every transition is visible to the probe:
+``repro_service_jobs_submitted_total``, ``repro_service_jobs_finished``
+``_total{state=...}`` and the ``repro_service_queue_depth`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+
+from repro.obs.probe import NULL_PROBE, Probe
+
+class UnknownJobError(KeyError):
+    """An API call referenced a job id that does not exist."""
+
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: States a job can be observed in; terminal ones keep their payload.
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+
+@dataclass
+class MatchJob:
+    """One scheduled matching run between two registered logs."""
+
+    job_id: str
+    log_1: str
+    log_2: str
+    patterns: tuple[str, ...] = ()
+    method: str = "pattern-tight"
+    node_budget: int | None = None
+    time_budget: float | None = None
+    strict: bool = False
+    degraded_fallback: float | None = None
+    workers: int = 1
+    state: str = QUEUED
+    result: dict | None = None
+    error: str | None = None
+    elapsed_seconds: float = 0.0
+
+    def to_payload(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "log_1": self.log_1,
+            "log_2": self.log_2,
+            "patterns": list(self.patterns),
+            "method": self.method,
+            "node_budget": self.node_budget,
+            "time_budget": self.time_budget,
+            "strict": self.strict,
+            "degraded_fallback": self.degraded_fallback,
+            "workers": self.workers,
+            "state": self.state,
+            "result": self.result,
+            "error": self.error,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MatchJob":
+        return cls(
+            job_id=payload["job_id"],
+            log_1=payload["log_1"],
+            log_2=payload["log_2"],
+            patterns=tuple(payload.get("patterns", ())),
+            method=payload.get("method", "pattern-tight"),
+            node_budget=payload.get("node_budget"),
+            time_budget=payload.get("time_budget"),
+            strict=payload.get("strict", False),
+            degraded_fallback=payload.get("degraded_fallback"),
+            workers=payload.get("workers", 1),
+            state=payload.get("state", QUEUED),
+            result=payload.get("result"),
+            error=payload.get("error"),
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+        )
+
+
+class JobQueue:
+    """Thread-safe FIFO of :class:`MatchJob` with terminal-state history."""
+
+    def __init__(self, probe: Probe | None = None):
+        self._jobs: dict[str, MatchJob] = {}
+        self._order: list[str] = []
+        self._counter = 0
+        self._lock = threading.Lock()
+        self._probe = probe if probe is not None else NULL_PROBE
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        log_1: str,
+        log_2: str,
+        patterns=(),
+        method: str = "pattern-tight",
+        node_budget: int | None = None,
+        time_budget: float | None = None,
+        strict: bool = False,
+        degraded_fallback: float | None = None,
+        workers: int = 1,
+    ) -> MatchJob:
+        with self._lock:
+            self._counter += 1
+            job = MatchJob(
+                job_id=f"job-{self._counter:06d}",
+                log_1=log_1,
+                log_2=log_2,
+                patterns=tuple(patterns),
+                method=method,
+                node_budget=node_budget,
+                time_budget=time_budget,
+                strict=strict,
+                degraded_fallback=degraded_fallback,
+                workers=workers,
+            )
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            depth = self._depth_locked()
+        if self._probe.enabled:
+            self._probe.on_job_submitted(method)
+            self._probe.on_queue_depth(depth)
+        return job
+
+    def rematch(self, job_id: str) -> MatchJob:
+        """Queue a fresh job with the same recipe as ``job_id``."""
+        original = self.get(job_id)
+        return self.submit(
+            original.log_1,
+            original.log_2,
+            patterns=original.patterns,
+            method=original.method,
+            node_budget=original.node_budget,
+            time_budget=original.time_budget,
+            strict=original.strict,
+            degraded_fallback=original.degraded_fallback,
+            workers=original.workers,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def claim_next(self) -> MatchJob | None:
+        """Oldest queued job, flipped to RUNNING; ``None`` if idle."""
+        with self._lock:
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                if job.state == QUEUED:
+                    job.state = RUNNING
+                    return replace(job)
+        return None
+
+    def finish(self, job_id: str, result: dict, elapsed_seconds: float) -> None:
+        self._finalize(job_id, DONE, result=result, elapsed=elapsed_seconds)
+
+    def fail(self, job_id: str, error: str, elapsed_seconds: float = 0.0) -> None:
+        self._finalize(job_id, FAILED, error=error, elapsed=elapsed_seconds)
+
+    def _finalize(
+        self,
+        job_id: str,
+        state: str,
+        result: dict | None = None,
+        error: str | None = None,
+        elapsed: float = 0.0,
+    ) -> None:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = state
+            job.result = result
+            job.error = error
+            job.elapsed_seconds = elapsed
+            method = job.method
+            depth = self._depth_locked()
+        if self._probe.enabled:
+            self._probe.on_job_finished(method, state, elapsed)
+            self._probe.on_queue_depth(depth)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> MatchJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(f"no job named {job_id!r}")
+            return replace(job)
+
+    def jobs(self) -> list[MatchJob]:
+        with self._lock:
+            return [replace(self._jobs[job_id]) for job_id in self._order]
+
+    def _depth_locked(self) -> int:
+        return sum(
+            1
+            for job in self._jobs.values()
+            if job.state in (QUEUED, RUNNING)
+        )
+
+    @property
+    def depth(self) -> int:
+        """Jobs not yet in a terminal state."""
+        with self._lock:
+            return self._depth_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    # ------------------------------------------------------------------
+    # Manifest round-trip
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        with self._lock:
+            return {
+                "counter": self._counter,
+                "jobs": [
+                    self._jobs[job_id].to_payload() for job_id in self._order
+                ],
+            }
+
+    def restore_payload(self, payload: dict) -> int:
+        """Reload jobs from a manifest; interrupted jobs re-queue.
+
+        DONE and FAILED jobs come back verbatim (their results are part
+        of the service's history); QUEUED jobs stay queued; RUNNING jobs
+        were killed mid-flight, so they restart from QUEUED — match jobs
+        are pure functions of their recipe, rerunning is always safe.
+        Returns how many jobs were re-queued for execution.
+        """
+        requeued = 0
+        with self._lock:
+            for job_payload in payload.get("jobs", ()):
+                job = MatchJob.from_payload(job_payload)
+                if job.state == RUNNING:
+                    job.state = QUEUED
+                    job.result = None
+                    job.error = None
+                if job.state == QUEUED:
+                    requeued += 1
+                if job.job_id not in self._jobs:
+                    self._order.append(job.job_id)
+                self._jobs[job.job_id] = job
+            self._counter = max(
+                self._counter, payload.get("counter", len(self._jobs))
+            )
+        return requeued

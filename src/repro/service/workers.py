@@ -1,0 +1,153 @@
+"""Job execution: the picklable recipe boundary and the worker pool.
+
+A match job crosses the process boundary as a plain dict (spool paths,
+pattern texts, matcher options) and comes back as a plain dict (mapping,
+score, gap, search counters).  :func:`execute_match_job` is the
+module-level function both sides agree on — it rebuilds the task with
+:meth:`repro.parallel.sweep.TaskSpec.from_files` exactly as the sweep
+workers do, so the daemon inherits the same determinism guarantee: a
+job's result is a pure function of its recipe.
+
+:class:`WorkerPool` runs those recipes either **inline** (``processes=0``
+— synchronous, in-process; the deterministic mode used by tests, the CI
+smoke job, and ``repro serve --workers 0``) or on a
+``ProcessPoolExecutor``.  Inline mode is not a toy: because results are
+produced by the same function either way, switching modes cannot change
+any job's output, only its latency.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+from repro.core.matcher import EventMatcher, MatchResult
+from repro.parallel.sweep import TaskSpec
+
+
+def job_payload(job, path_1: str, path_2: str) -> dict:
+    """The picklable recipe for ``job`` with log names resolved to paths."""
+    return {
+        "paths": (str(path_1), str(path_2)),
+        "patterns": list(job.patterns),
+        "method": job.method,
+        "node_budget": job.node_budget,
+        "time_budget": job.time_budget,
+        "strict": job.strict,
+        "degraded_fallback": job.degraded_fallback,
+        "workers": job.workers,
+    }
+
+
+def execute_match_job(payload: dict) -> dict:
+    """Rebuild a task from its recipe, run the matcher, serialize the result.
+
+    Runs in a worker process (or inline); must stay importable at module
+    level and touch only picklable state.
+    """
+    path_1, path_2 = payload["paths"]
+    spec = TaskSpec.from_files(path_1, path_2, patterns=payload["patterns"])
+    task = spec.build()
+    matcher = EventMatcher(task.log_1, task.log_2, patterns=task.patterns)
+    result = matcher.run(
+        method=payload.get("method", "pattern-tight"),
+        node_budget=payload.get("node_budget"),
+        time_budget=payload.get("time_budget"),
+        strict=payload.get("strict", False),
+        degraded_fallback=payload.get("degraded_fallback"),
+        workers=payload.get("workers", 1),
+    )
+    return serialize_result(result)
+
+
+def serialize_result(result: MatchResult) -> dict:
+    """A :class:`MatchResult` as the JSON document the API serves."""
+    return {
+        "method": result.method,
+        "mapping": {
+            str(source): str(target)
+            for source, target in sorted(result.mapping.as_dict().items())
+        },
+        "score": result.score,
+        "degraded": result.degraded,
+        "gap": result.gap,
+        "elapsed_seconds": result.elapsed_seconds,
+        "stats": {
+            "processed_mappings": result.stats.processed_mappings,
+            "expanded_nodes": result.stats.expanded_nodes,
+        },
+    }
+
+
+class WorkerPool:
+    """Run job recipes inline or across worker processes.
+
+    The daemon loop drives it with two calls: :meth:`submit` hands over
+    a claimed job's recipe, :meth:`completed` harvests finished ones as
+    ``(job_id, result, error, elapsed_seconds)`` tuples without
+    blocking.  Inline mode executes during :meth:`submit` and queues the
+    outcome for the next harvest, so the loop's control flow is
+    identical in both modes.
+    """
+
+    def __init__(self, processes: int = 0):
+        if processes < 0:
+            raise ValueError("processes must be non-negative")
+        self.processes = processes
+        self._executor = (
+            ProcessPoolExecutor(max_workers=processes) if processes else None
+        )
+        self._futures: dict = {}  # future -> (job_id, submitted_at)
+        self._done: list[tuple[str, dict | None, str | None, float]] = []
+
+    @property
+    def active(self) -> int:
+        """Jobs submitted but not yet harvested."""
+        return len(self._futures) + len(self._done)
+
+    def submit(self, job_id: str, payload: dict) -> None:
+        if self._executor is None:
+            started = time.perf_counter()
+            try:
+                result = execute_match_job(payload)
+                outcome = (job_id, result, None)
+            # SystemExit included: file loaders exit on missing paths,
+            # and an inline job must never take the daemon down with it.
+            except (Exception, SystemExit) as error:  # noqa: BLE001
+                outcome = (job_id, None, _describe(error))
+            self._done.append((*outcome, time.perf_counter() - started))
+            return
+        future = self._executor.submit(execute_match_job, payload)
+        self._futures[future] = (job_id, time.perf_counter())
+
+    def completed(
+        self, block: bool = False
+    ) -> list[tuple[str, dict | None, str | None, float]]:
+        """Harvest finished jobs; with ``block`` wait for at least one."""
+        harvested = list(self._done)
+        self._done.clear()
+        if self._futures:
+            timeout = None if (block and not harvested) else 0
+            finished, _ = wait(
+                self._futures, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            for future in finished:
+                job_id, started = self._futures.pop(future)
+                elapsed = time.perf_counter() - started
+                try:
+                    harvested.append((job_id, future.result(), None, elapsed))
+                except (Exception, SystemExit) as error:  # noqa: BLE001
+                    harvested.append((job_id, None, _describe(error), elapsed))
+        return harvested
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _describe(error: BaseException) -> str:
+    """One-line error description plus the innermost frame for triage."""
+    tail = traceback.extract_tb(error.__traceback__)
+    where = f" at {tail[-1].filename}:{tail[-1].lineno}" if tail else ""
+    return f"{type(error).__name__}: {error}{where}"

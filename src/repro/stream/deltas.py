@@ -27,6 +27,19 @@ against a from-scratch batch rebuild — the safety net behind the
 subsystem's core invariant (*incremental equals batch*), cheap enough to
 run in tests and periodically in production.
 
+Commits are absorbed *lazily*: the commit hook itself only counts the
+trace as pending (the wrapped log's own O(|trace|) statistics update is
+the only per-commit work), and the pending backlog is absorbed in one
+pass at the next read — so a burst of N commits between two drift checks
+pays one index/kernel refresh instead of N.  Absorption is *adaptive*:
+the state keeps measured per-trace costs of its two ways of catching up,
+incremental replay (O(pending)) and a from-scratch rebuild (O(backlog)),
+and falls back to the rebuild when ``pending × incremental-cost`` is
+projected to exceed the rebuild cost — the regime after a restore
+back-fill or a very large batch, where replaying commit-by-commit loses
+to one tight batch pass.  Both paths reconstruct pure functions of the
+committed traces, so the choice can never change any answer.
+
 Self-healing: constructed with ``check_every=N``, the state runs cheap
 O(alphabet) invariant spot-checks every ``N``-th commit.  A failed spot
 check escalates to a full :meth:`DeltaState.verify`; a confirmed
@@ -40,6 +53,7 @@ escalation, divergence and rebuild is counted in
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 
 from repro.graph.dependency import dependency_graph
@@ -106,6 +120,15 @@ class DeltaState:
         self._commits_seen = 0
         self._rebuild_backoff = 1
         self._next_rebuild_at = 0
+        #: Commits counted but not yet absorbed into index/kernel/counts.
+        self._pending = 0
+        #: Absorption passes run (each covers the whole pending backlog).
+        self.absorbs = 0
+        #: Absorptions that chose a from-scratch rebuild over incremental
+        #: replay because the measured cost model favored it.
+        self.adaptive_rebuilds = 0
+        #: Measured per-trace seconds of each catch-up path, EMA-smoothed.
+        self._cost_per_trace: dict[str, float] = {}
         self.track(patterns)
         stream.subscribe(self._on_commit)
 
@@ -113,20 +136,67 @@ class DeltaState:
     # Maintenance
     # ------------------------------------------------------------------
     def _on_commit(self, trace_id: int, trace: Trace) -> None:
-        self._kernel.refresh()
+        # The commit hook is deliberately O(1): the trace is only counted
+        # as pending and absorbed at the next read, so a batch of commits
+        # between two drift checks pays one refresh, not one per trace.
         self._commits_seen += 1
-        if self._deep:
-            alphabet = trace.alphabet()
-            events = trace.events
-            counts = self._counts
-            for pattern, event_set, automaton in self._deep:
-                if event_set <= alphabet and automaton.matches(events):
-                    counts[pattern] += 1
+        self._pending += 1
         if (
             self.check_every is not None
             and self._commits_seen % self.check_every == 0
         ):
             self.heal()
+
+    def _absorb(self) -> None:
+        """Catch the derived state up with the pending commits.
+
+        Chooses incremental replay (refresh the index/kernel, scan only
+        the pending traces through the deep automata) or a from-scratch
+        rebuild, whichever the measured per-trace costs project to be
+        cheaper.  Either way the result is a pure function of the
+        committed traces, so reads after an absorb are identical no
+        matter which path ran.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        total = len(self._log)
+        self.absorbs += 1
+        if self._prefer_rebuild(pending, total):
+            self.adaptive_rebuilds += 1
+            self._rebuild_structures()
+            return
+        started = time.perf_counter()
+        self._kernel.refresh()
+        if self._deep:
+            counts = self._counts
+            for trace in self._log.traces[total - pending : total]:
+                alphabet = trace.alphabet()
+                events = trace.events
+                for pattern, event_set, automaton in self._deep:
+                    if event_set <= alphabet and automaton.matches(events):
+                        counts[pattern] += 1
+        self._pending = 0
+        self._note_cost(
+            "incremental", (time.perf_counter() - started) / pending
+        )
+
+    def _prefer_rebuild(self, pending: int, total: int) -> bool:
+        incremental = self._cost_per_trace.get("incremental")
+        rebuild = self._cost_per_trace.get("rebuild")
+        if incremental is not None and rebuild is not None:
+            return pending * incremental > total * rebuild
+        # No measurements yet: replaying everything and rebuilding
+        # everything are the same work, but the rebuild runs in tight
+        # batch loops — the restore-back-fill case.
+        return pending >= total
+
+    def _note_cost(self, path: str, seconds_per_trace: float) -> None:
+        previous = self._cost_per_trace.get(path)
+        if previous is None:
+            self._cost_per_trace[path] = seconds_per_trace
+        else:
+            self._cost_per_trace[path] = 0.5 * previous + 0.5 * seconds_per_trace
 
     def track(self, patterns: Iterable[Pattern]) -> tuple[Pattern, ...]:
         """Start tracking additional patterns; returns the new ones.
@@ -140,6 +210,8 @@ class DeltaState:
         patterns cost nothing.
         """
         fresh = self._pattern_index.extend(patterns)
+        if fresh:
+            self._absorb()
         for pattern in fresh:
             orders = cached_allowed_orders(pattern)
             self._orders[pattern] = orders
@@ -159,13 +231,20 @@ class DeltaState:
 
     @property
     def trace_index(self) -> TraceIndex:
-        """The incrementally maintained ``I_t``."""
+        """The incrementally maintained ``I_t`` (absorbed up to date)."""
+        self._absorb()
         return self._trace_index
 
     @property
     def kernel(self) -> FrequencyKernel:
         """The frequency kernel maintained alongside ``I_t``."""
+        self._absorb()
         return self._kernel
+
+    @property
+    def pending_commits(self) -> int:
+        """Commits awaiting absorption into the derived structures."""
+        return self._pending
 
     @property
     def num_traces(self) -> int:
@@ -178,6 +257,7 @@ class DeltaState:
 
     def match_count(self, pattern: Pattern) -> int:
         """Number of committed traces matching ``pattern``."""
+        self._absorb()
         count = self._counts.get(pattern)
         if count is not None:
             return count
@@ -221,6 +301,7 @@ class DeltaState:
         silent divergence is the one failure mode an online engine cannot
         tolerate.
         """
+        self._absorb()
         self.recovery.verifications += 1
         try:
             self._verify_against_batch()
@@ -299,6 +380,7 @@ class DeltaState:
         inline on the commit path; :meth:`verify` is the expensive full
         cross-check these escalate to.
         """
+        self._absorb()
         self.recovery.invariant_checks += 1
         problems: list[str] = []
         log = self._log
@@ -378,8 +460,15 @@ class DeltaState:
         The inverted index, frequency kernel and deep pattern counts are
         rebuilt from scratch against the live log; tracked patterns and
         their compiled automata are kept.  This is the recovery action
-        behind :meth:`heal`, and is also safe to call directly.
+        behind :meth:`heal`, and is also safe to call directly.  (The
+        adaptive absorb path reuses the same reconstruction without
+        counting it as a recovery — nothing diverged there.)
         """
+        self._rebuild_structures()
+        self.recovery.rebuilds += 1
+
+    def _rebuild_structures(self) -> None:
+        started = time.perf_counter()
         self._trace_index = TraceIndex(self._log)
         self._kernel = FrequencyKernel(
             self._log, trace_index=self._trace_index
@@ -388,4 +477,9 @@ class DeltaState:
             self._counts[pattern] = self._kernel.count_matching(
                 self._orders[pattern]
             )
-        self.recovery.rebuilds += 1
+        self._pending = 0
+        total = len(self._log)
+        if total:
+            self._note_cost(
+                "rebuild", (time.perf_counter() - started) / total
+            )

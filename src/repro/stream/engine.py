@@ -153,6 +153,11 @@ class OnlineMatcher:
         self._baseline = 0.0
         self._known_targets: frozenset[str] = frozenset()
         self._history: list[StreamUpdate] = []
+        #: Sequence number of the last checkpoint saved of this session;
+        #: bumped by :func:`repro.resilience.checkpoint.save_checkpoint`
+        #: and restored by ``load_checkpoint``, so checkpoint files are
+        #: totally ordered across kill/resume cycles.
+        self.checkpoint_sequence = 0
         self._probe = NULL_PROBE
         if probe is not None:
             self.attach_probe(probe)

@@ -1,0 +1,456 @@
+"""Tests for repro.service — the matching daemon.
+
+Covers the acceptance contracts of the service layer:
+
+* a dropped file becomes a registered log (and a poisoned one a
+  quarantined file, not a wedged watcher);
+* a job submitted over the queue/pool produces the *identical* mapping
+  and score as calling the matcher directly;
+* the HTTP API round-trips logs, jobs and sessions as JSON;
+* kill-and-resume: a service killed mid-stream and resumed from its
+  state directory converges to exactly the state of an uninterrupted
+  run, even under seeded chaos;
+* checkpoint sequence numbers are monotone, and checkpoints/manifests
+  from a newer format version are refused with a clear error.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.matcher import EventMatcher
+from repro.log.csvio import write_csv
+from repro.log.eventlog import EventLog
+from repro.patterns.parser import parse_pattern
+from repro.resilience.chaos import ChaosConfig, ChaosInjector
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.service import (
+    MatchingService,
+    ServiceAPI,
+    UnknownJobError,
+    UnknownLogError,
+)
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobQueue
+from repro.service.workers import WorkerPool
+
+LEFT = EventLog([list("ABC"), list("ACB"), list("AB"), list("BCA")], name="left")
+RIGHT = EventLog([list("xyz"), list("xzy"), list("xy"), list("yzx")], name="right")
+PATTERNS = ("SEQ(A, B)",)
+
+
+def make_service(tmp_path, **options):
+    options.setdefault("processes", 0)
+    options.setdefault("settle_polls", 0)
+    options.setdefault("checkpoint_every", None)
+    return MatchingService(tmp_path / "state", **options)
+
+
+def direct_result(patterns=PATTERNS):
+    matcher = EventMatcher(
+        LEFT, RIGHT, patterns=[parse_pattern(text) for text in patterns]
+    )
+    return matcher.run()
+
+
+class TestDirectoryWatcher:
+    def test_dropped_file_registers_and_spools(self, tmp_path):
+        service = make_service(tmp_path)
+        write_csv(LEFT, service.watcher.drop_dir / "left.csv")
+        outcome = service.tick()
+        assert outcome["registered"] == ["left"]
+        assert "left" in service.registry
+        assert service.registry.get("left") == LEFT
+        # drop file consumed; canonical copy lives in the spool
+        assert not (service.watcher.drop_dir / "left.csv").exists()
+        assert (service.state_dir / "spool" / "left.csv").exists()
+
+    def test_settling_defers_ingestion(self, tmp_path):
+        service = make_service(tmp_path, settle_polls=1)
+        write_csv(LEFT, service.watcher.drop_dir / "left.csv")
+        assert service.watcher.poll() == []  # first sight: not yet stable
+        assert service.watcher.poll() == ["left"]
+
+    def test_growing_file_is_not_ingested(self, tmp_path):
+        service = make_service(tmp_path, settle_polls=1)
+        path = service.watcher.drop_dir / "left.csv"
+        path.write_text("case_id,activity\n")
+        assert service.watcher.poll() == []
+        write_csv(LEFT, path)  # still being written: signature changed
+        assert service.watcher.poll() == []
+        assert service.watcher.poll() == ["left"]
+
+    def test_unreadable_file_is_quarantined_not_fatal(self, tmp_path):
+        service = make_service(tmp_path)
+        bad = service.watcher.drop_dir / "bad.xes"
+        bad.write_text("<log><trace>")
+        assert service.watcher.poll() == []
+        assert not bad.exists()
+        assert (service.watcher.quarantine_dir / "bad.xes").exists()
+        [record] = service.quarantine.records
+        assert record.kind == "file"
+        assert record.source == "bad.xes"
+        # ...and the spill file has it too (daemon-grade dead letters)
+        assert (service.state_dir / "quarantine.jsonl").exists()
+
+    def test_unsupported_extension_is_quarantined(self, tmp_path):
+        service = make_service(tmp_path)
+        (service.watcher.drop_dir / "notes.txt").write_text("hello")
+        service.watcher.poll()
+        [record] = service.quarantine.records
+        assert "unsupported log format" in record.reason
+
+    def test_redrop_replaces_registration(self, tmp_path):
+        service = make_service(tmp_path)
+        write_csv(LEFT, service.watcher.drop_dir / "log.csv")
+        service.tick()
+        assert service.registry.info("log").num_traces == len(LEFT)
+        write_csv(RIGHT, service.watcher.drop_dir / "log.csv")
+        service.tick()
+        assert service.registry.get("log") == RIGHT
+
+
+class TestJobQueue:
+    def test_lifecycle(self):
+        queue = JobQueue()
+        job = queue.submit("a", "b", patterns=("SEQ(A, B)",))
+        assert job.state == QUEUED
+        assert queue.depth == 1
+        claimed = queue.claim_next()
+        assert claimed.job_id == job.job_id
+        assert queue.get(job.job_id).state == RUNNING
+        queue.finish(job.job_id, {"score": 1.0}, elapsed_seconds=0.5)
+        done = queue.get(job.job_id)
+        assert done.state == DONE
+        assert done.result == {"score": 1.0}
+        assert queue.depth == 0
+        assert queue.claim_next() is None
+
+    def test_unknown_job_raises(self):
+        with pytest.raises(UnknownJobError):
+            JobQueue().get("job-999999")
+
+    def test_rematch_clones_the_recipe(self):
+        queue = JobQueue()
+        job = queue.submit("a", "b", method="heuristic-simple", workers=3)
+        clone = queue.rematch(job.job_id)
+        assert clone.job_id != job.job_id
+        assert clone.method == "heuristic-simple"
+        assert clone.workers == 3
+        assert clone.state == QUEUED
+
+    def test_restore_requeues_interrupted_jobs(self):
+        queue = JobQueue()
+        queued = queue.submit("a", "b")
+        running = queue.submit("a", "b")
+        finished = queue.submit("a", "b")
+        queue._jobs[running.job_id].state = RUNNING
+        queue.finish(finished.job_id, {"score": 2.0}, 0.1)
+        payload = queue.to_payload()
+
+        fresh = JobQueue()
+        assert fresh.restore_payload(payload) == 2  # queued + killed-running
+        assert fresh.get(queued.job_id).state == QUEUED
+        assert fresh.get(running.job_id).state == QUEUED
+        assert fresh.get(finished.job_id).result == {"score": 2.0}
+        # counter continues past restored ids: no collisions
+        assert fresh.submit("a", "b").job_id == "job-000004"
+
+
+class TestWorkerExecution:
+    def test_job_result_identical_to_direct_match(self, tmp_path):
+        service = make_service(tmp_path)
+        service.registry.register("left", LEFT)
+        service.registry.register("right", RIGHT)
+        job = service.submit_job("left", "right", patterns=PATTERNS)
+        service.run_until_idle()
+        done = service.jobs.get(job.job_id)
+        assert done.state == DONE
+
+        expected = direct_result()
+        assert done.result["score"] == pytest.approx(expected.score)
+        assert done.result["mapping"] == {
+            str(source): str(target)
+            for source, target in expected.mapping.as_dict().items()
+        }
+        assert done.result["degraded"] is False
+
+    def test_unknown_log_fails_the_job_at_dispatch(self, tmp_path):
+        service = make_service(tmp_path)
+        service.registry.register("left", LEFT)
+        with pytest.raises(UnknownLogError):
+            service.submit_job("left", "missing")
+        # a log deleted between submit and dispatch fails, not crashes
+        service.registry.register("right", RIGHT)
+        job = service.submit_job("left", "right")
+        del service.registry._logs["right"]
+        service.run_until_idle()
+        failed = service.jobs.get(job.job_id)
+        assert failed.state == FAILED
+        assert "UnknownLogError" in failed.error
+
+    def test_bad_recipe_fails_cleanly(self, tmp_path):
+        service = make_service(tmp_path)
+        service.registry.register("left", LEFT)
+        service.registry.register("right", RIGHT)
+        job = service.submit_job("left", "right", method="no-such-method")
+        service.run_until_idle()
+        failed = service.jobs.get(job.job_id)
+        assert failed.state == FAILED
+        assert "no-such-method" in failed.error
+
+    def test_inline_pool_counts_active_until_harvest(self):
+        pool = WorkerPool(processes=0)
+        pool.submit("job-1", {"paths": ("nope.csv", "nope.csv"), "patterns": []})
+        assert pool.active == 1
+        [(job_id, result, error, elapsed)] = pool.completed()
+        assert job_id == "job-1"
+        assert result is None and "no such file" in error
+        assert pool.active == 0
+
+
+class TestHTTPAPI:
+    @pytest.fixture
+    def served(self, tmp_path):
+        service = make_service(tmp_path)
+        api = ServiceAPI(service).start()
+        yield service, api
+        api.stop()
+
+    def _get(self, api, path):
+        with urllib.request.urlopen(api.address + path) as response:
+            return response.status, json.loads(response.read())
+
+    def _post(self, api, path, payload=None, raw=None):
+        data = raw if raw is not None else json.dumps(payload or {}).encode()
+        request = urllib.request.Request(
+            api.address + path, data=data, method="POST"
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+
+    def test_full_workflow_over_http(self, served):
+        service, api = served
+        # register both logs by POSTing CSV bodies
+        for name, log in (("left", LEFT), ("right", RIGHT)):
+            import io
+
+            buffer = io.StringIO()
+            write_csv(log, buffer)
+            status, body = self._post(
+                api, f"/logs/{name}", raw=buffer.getvalue().encode()
+            )
+            assert status == 201
+            assert body["num_traces"] == len(log)
+
+        status, body = self._post(
+            api,
+            "/jobs",
+            {"log_1": "left", "log_2": "right", "patterns": list(PATTERNS)},
+        )
+        assert status == 202
+        job_id = body["job_id"]
+
+        # drive the scheduler over HTTP, then poll to completion
+        status, _ = self._post(api, "/tick")
+        assert status == 200
+        status, body = self._get(api, f"/jobs/{job_id}")
+        assert status == 200
+        assert body["state"] == "done"
+        expected = direct_result()
+        assert body["result"]["score"] == pytest.approx(expected.score)
+        assert body["result"]["mapping"] == {
+            str(s): str(t) for s, t in expected.mapping.as_dict().items()
+        }
+
+        # health and metrics reflect the work
+        status, health = self._get(api, "/healthz")
+        assert health["logs"] == 2 and health["jobs"] == 1
+        with urllib.request.urlopen(api.address + "/metrics") as response:
+            text = response.read().decode()
+        assert "repro_service_jobs_finished_total" in text
+        assert "repro_service_http_requests_total" in text
+
+    def test_session_workflow_over_http(self, served):
+        service, api = served
+        service.registry.register("left", LEFT)
+        status, body = self._post(
+            api, "/sessions", {"name": "live", "reference": "left"}
+        )
+        assert status == 201
+        status, body = self._post(
+            api,
+            "/sessions/live/traces",
+            {"traces": [["x", "y", "z"], ["x", "z", "y"]]},
+        )
+        assert status == 200
+        assert body["num_traces"] == 2
+        status, body = self._get(api, "/sessions/live")
+        assert body["mapping"] is not None
+        status, body = self._post(api, "/sessions/live/checkpoint")
+        assert status == 200
+        assert (service.state_dir / "sessions" / "live.json").exists()
+
+    def test_errors_are_json_with_right_status(self, served):
+        service, api = served
+        for path, expected in (
+            ("/jobs/job-000042", 404),
+            ("/nope", 404),
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(api, path)
+            assert excinfo.value.code == expected
+            assert "error" in json.loads(excinfo.value.read())
+        service.registry.register("left", LEFT)
+        service.registry.register("right", RIGHT)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(
+                api,
+                "/jobs",
+                {"log_1": "left", "log_2": "right", "bogus_option": 1},
+            )
+        assert excinfo.value.code == 400
+
+    def test_shutdown_saves_state_and_signals(self, served):
+        service, api = served
+        service.registry.register("left", LEFT)
+        status, body = self._post(api, "/shutdown")
+        assert status == 200
+        assert api.stopping.is_set()
+        assert service.manifest_path.exists()
+
+
+class TestSaveAndResume:
+    def test_manifest_round_trip(self, tmp_path):
+        service = make_service(tmp_path)
+        service.registry.register("left", LEFT)
+        service.registry.register("right", RIGHT)
+        job = service.submit_job("left", "right", patterns=PATTERNS)
+        service.run_until_idle()
+        interrupted = service.submit_job("right", "left")
+        service.save_state()
+
+        fresh = make_service(tmp_path)
+        summary = fresh.resume()
+        assert summary["logs"] == 2
+        assert summary["jobs_requeued"] == 1
+        assert fresh.jobs.get(job.job_id).result["score"] == pytest.approx(
+            direct_result().score
+        )
+        fresh.run_until_idle()
+        assert fresh.jobs.get(interrupted.job_id).state == DONE
+
+    def test_spool_survives_manifest_loss(self, tmp_path):
+        """SIGKILL before any manifest save must not orphan spooled logs."""
+        service = make_service(tmp_path)
+        service.registry.register("left", LEFT)
+        service.registry.register("right", RIGHT)
+        assert not service.manifest_path.exists()  # never saved: the kill
+
+        fresh = make_service(tmp_path)
+        summary = fresh.resume()
+        assert summary["logs"] == 2
+        assert fresh.registry.get("left") == LEFT
+        assert fresh.registry.info("left").source == "spool-scan"
+
+    def test_newer_manifest_version_is_refused(self, tmp_path):
+        service = make_service(tmp_path)
+        service.save_state()
+        document = json.loads(service.manifest_path.read_text())
+        document["version"] = 99
+        service.manifest_path.write_text(json.dumps(document))
+        fresh = make_service(tmp_path)
+        with pytest.raises(ValueError, match="newer than this build"):
+            fresh.resume()
+
+
+class TestKillAndResumeUnderChaos:
+    """Satellite: the service survives a kill mid-stream, under chaos."""
+
+    def _feed(self):
+        clean = [list("xyz"), list("xzy"), list("xy"), list("yzx")] * 6
+        injector = ChaosInjector(
+            ChaosConfig(
+                drop_event_rate=0.05,
+                corrupt_event_rate=0.05,
+                duplicate_trace_rate=0.1,
+                seed=20260808,
+            )
+        )
+        return list(injector.perturb(clean))
+
+    def _run(self, service, feed):
+        engine = service.sessions.get("live")
+        for case_id, events in feed:
+            if not events:
+                continue  # chaos dropped the whole payload
+            for event in events:
+                engine.stream.append_event(case_id, event)
+            engine.stream.close_trace(case_id)
+            engine.update()
+
+    def test_resumed_session_matches_uninterrupted_run(self, tmp_path):
+        feed = self._feed()
+        split = len(feed) // 2
+
+        control = make_service(tmp_path / "control")
+        control.registry.register("ref", LEFT)
+        control.sessions.create("live", "ref", patterns=PATTERNS)
+        self._run(control, feed)
+        expected = control.sessions.status("live")
+
+        # interrupted run: feed half, save, "kill", resume, feed the rest
+        victim = make_service(tmp_path / "victim")
+        victim.registry.register("ref", LEFT)
+        victim.sessions.create("live", "ref", patterns=PATTERNS)
+        self._run(victim, feed[:split])
+        victim.save_state()
+        del victim  # the kill
+
+        resumed = make_service(tmp_path / "victim")
+        summary = resumed.resume()
+        assert summary["sessions"] == ["live"]
+        self._run(resumed, feed[split:])
+        actual = resumed.sessions.status("live")
+
+        assert actual["mapping"] == expected["mapping"]
+        assert actual["score"] == pytest.approx(expected["score"])
+        assert actual["num_traces"] == expected["num_traces"]
+
+
+class TestCheckpointSequence:
+    """Satellite: monotone sequence numbers + newer-version refusal."""
+
+    def _engine(self, tmp_path):
+        service = make_service(tmp_path)
+        service.registry.register("ref", LEFT)
+        service.sessions.create("live", "ref")
+        service.sessions.append("live", [["x", "y"], ["y", "x"]])
+        return service
+
+    def test_sequence_increases_across_saves_and_restores(self, tmp_path):
+        service = self._engine(tmp_path)
+        path = service.sessions.checkpoint("live")
+        assert json.loads(path.read_text())["sequence"] == 1
+        service.sessions.checkpoint("live")
+        assert json.loads(path.read_text())["sequence"] == 2
+
+        engine = load_checkpoint(path)
+        assert engine.checkpoint_sequence == 2
+        save_checkpoint(engine, path)
+        assert json.loads(path.read_text())["sequence"] == 3
+
+    def test_newer_checkpoint_version_is_refused(self, tmp_path):
+        service = self._engine(tmp_path)
+        path = service.sessions.checkpoint("live")
+        document = json.loads(path.read_text())
+        document["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointError, match="newer"):
+            load_checkpoint(path)

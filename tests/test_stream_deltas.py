@@ -162,6 +162,61 @@ class TestVerify:
         deltas.verify()
 
 
+class TestLazyAbsorption:
+    def test_commits_buffer_until_the_next_read(self):
+        stream = StreamingLog(traces=["AB"])
+        pattern = parse_pattern("SEQ(A, B)")
+        deltas = DeltaState(stream, patterns=[pattern])
+        assert deltas.pending_commits == 0
+        stream.append_trace("ABAB")
+        stream.append_trace("BA")
+        assert deltas.pending_commits == 2
+        assert deltas.frequency(pattern) == pytest.approx(2 / 3)
+        assert deltas.pending_commits == 0
+        deltas.verify()
+
+    def test_restore_backfill_prefers_one_rebuild(self):
+        """With everything pending and no cost data, absorb rebuilds."""
+        stream = StreamingLog()
+        pattern = parse_pattern("SEQ(A, B, C)")
+        deltas = DeltaState(stream, patterns=[pattern])
+        for _ in range(5):
+            stream.append_trace("ABC")
+        assert deltas.frequency(pattern) == pytest.approx(1.0)
+        assert deltas.absorbs == 1
+        assert deltas.adaptive_rebuilds == 1
+        # An adaptive rebuild is bookkeeping, not a recovery event.
+        assert deltas.recovery.rebuilds == 0
+        deltas.verify()
+
+    def test_measured_costs_steer_the_absorb_path(self):
+        stream = StreamingLog(traces=["ABC", "ACB", "BCA"])
+        pattern = parse_pattern("SEQ(A, B, C)")
+        deltas = DeltaState(stream, patterns=[pattern])
+        # Pretend incremental replay measured catastrophically slow and
+        # rebuilds essentially free: the next absorb must rebuild.
+        deltas._cost_per_trace = {"incremental": 1.0, "rebuild": 1e-9}
+        stream.append_trace("ABC")
+        assert deltas.frequency(pattern) == pytest.approx(2 / 4)
+        assert deltas.adaptive_rebuilds == 1
+        # And the other way around: incremental essentially free.
+        deltas._cost_per_trace = {"incremental": 1e-9, "rebuild": 1.0}
+        stream.append_trace("ABC")
+        assert deltas.frequency(pattern) == pytest.approx(3 / 5)
+        assert deltas.adaptive_rebuilds == 1  # unchanged
+        deltas.verify()
+
+    def test_self_healing_still_fires_on_the_commit_path(self):
+        stream = StreamingLog()
+        deltas = DeltaState(stream, check_every=2)
+        for trace in ("AB", "BA", "AB", "BA"):
+            stream.append_trace(trace)
+        # heal() ran at commits 2 and 4, absorbing and spot-checking.
+        assert deltas.recovery.invariant_checks == 2
+        assert deltas.recovery.cheap_check_failures == 0
+        assert deltas.pending_commits == 0
+
+
 class TestPatternIndexUpdatePath:
     def test_extend_reports_only_fresh(self):
         index = PatternIndex([parse_pattern("SEQ(A, B)")])
