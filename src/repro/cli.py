@@ -170,6 +170,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
         degraded_fallback=args.degraded_fallback,
         probe=probe,
         workers=args.workers,
+        transport=args.transport,
+        chunk_size=args.chunk_size,
     )
     degraded_text = (
         f" DEGRADED gap<={result.gap:.4f}" if result.degraded else ""
@@ -421,7 +423,17 @@ def build_parser() -> argparse.ArgumentParser:
     match_parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="root-split the exact pattern-* search over N worker "
-        "processes (1 = serial; budgets apply per shard)",
+        "processes (1 = serial; budgets apply per chunk)",
+    )
+    match_parser.add_argument(
+        "--transport", choices=("auto", "shm", "pickle"), default="auto",
+        help="how logs reach parallel workers: shared memory, pickling, "
+        "or auto (shm with pickle fallback); ignored when --workers 1",
+    )
+    match_parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="K",
+        help="root targets per work-stealing chunk (default: split into "
+        "4 chunks per worker); ignored when --workers 1",
     )
     match_parser.add_argument(
         "--strict", action="store_true",

@@ -92,6 +92,21 @@ class AStarMatcher:
         discards an optimal branch.
     sync_interval:
         Expansions between ``incumbent_sync`` polls.
+    dominated_at:
+        Dominance threshold for sharded searches: the *realized* score
+        of a complete mapping the caller holds and will fall back to.
+        Children whose ``g + h`` cannot beat it by more than the fp
+        tolerance (``priority <= dominated_at + 1e-12``) are pruned —
+        including exact ties.  This is stronger than ``incumbent_score``
+        (which keeps ties): it is what lets a shard that does not own a
+        strictly better mapping terminate after expanding only its
+        already-open frontier, instead of draining the huge plateau of
+        nodes whose optimistic ``g + h`` sits within the tolerance of
+        the incumbent.  Sound only because the caller's fallback mapping
+        realizes ``dominated_at``: every pruned completion scores at
+        most ``dominated_at + 1e-12``, which the caller's merge treats
+        as not better.  Intended for shard searches (``root_targets``);
+        frontier exhaustion is then a legal outcome, not an error.
     """
 
     def __init__(
@@ -105,6 +120,7 @@ class AStarMatcher:
         root_targets: list[Event] | None = None,
         incumbent_sync=None,
         sync_interval: int = 128,
+        dominated_at: float | None = None,
     ):
         self.model = model
         self.node_budget = node_budget
@@ -115,6 +131,7 @@ class AStarMatcher:
         self.root_targets = root_targets
         self.incumbent_sync = incumbent_sync
         self.sync_interval = max(1, sync_interval)
+        self.dominated_at = dominated_at
 
     @property
     def bound(self) -> BoundKind:
@@ -141,6 +158,14 @@ class AStarMatcher:
         goal_depth = min(len(order), len(targets))
         started = time.monotonic()
         tiebreak = itertools.count()
+
+        dominated_at = self.dominated_at
+        # Shard searches also drop nodes at *pop* time (see below); the
+        # serial search never needs to — its goal always sits at the top
+        # of the frontier when pruning thresholds catch up — and keeping
+        # the historical pop path byte-identical is what the equality
+        # tests pin.
+        shard_mode = self.root_targets is not None or dominated_at is not None
 
         root_mapping: dict[Event, Event] = {}
         root_priority = model.h(root_mapping, targets)
@@ -225,6 +250,29 @@ class AStarMatcher:
                     )
                 model.collect_frequency_evaluations(stats)
                 return MatchOutcome(Mapping(mapping), g, stats)
+            if shard_mode:
+                # Pop-side pruning: children enter the frontier under
+                # their parent's stale (over-estimating) h, so the
+                # push-side checks miss most of what a foreign incumbent
+                # or the dominance threshold has since invalidated.  The
+                # popped key — stale or exact — upper-bounds every
+                # completion below this node, so when it already cannot
+                # beat the thresholds, the whole subtree is dropped for
+                # the cost of one heap pop, without even refreshing h.
+                # This is what lets a shard *terminate*: under dominance
+                # its own goal children are never pushed, so it must run
+                # its frontier dry, and draining by dropping is cheaper
+                # than expansion by orders of magnitude.
+                f_upper = -negative_key
+                if (
+                    prune_at is not None and f_upper < prune_at - 1e-12
+                ) or (
+                    dominated_at is not None and f_upper <= dominated_at + 1e-12
+                ):
+                    stats.extra["dropped_on_pop"] = (
+                        stats.extra.get("dropped_on_pop", 0) + 1
+                    )
+                    continue
             if not h_exact:
                 used = set(mapping.values())
                 remaining = [t for t in targets if t not in used]
@@ -293,6 +341,11 @@ class AStarMatcher:
                 if prune_at is not None and priority < prune_at - 1e-12:
                     stats.pruned_by_bound += 1
                     continue
+                if dominated_at is not None and priority <= dominated_at + 1e-12:
+                    stats.extra["pruned_dominated"] = (
+                        stats.extra.get("pruned_dominated", 0) + 1
+                    )
+                    continue
                 heapq.heappush(
                     frontier,
                     (
@@ -312,12 +365,14 @@ class AStarMatcher:
         # always pushed otherwise — unless incumbent pruning dropped every
         # branch, which can only happen with an unachievable incumbent.
         model.collect_frequency_evaluations(stats)
-        if self.root_targets is not None:
-            # Shard mode: a foreign (shared or warm-start) incumbent can
-            # legitimately prune this shard's every branch — every pruned
-            # key was strictly below an achieved score elsewhere, so the
-            # shard simply holds nothing better.  Report that instead of
-            # failing the whole parallel run.
+        if self.root_targets is not None or self.dominated_at is not None:
+            # Shard mode: a foreign (shared or warm-start) incumbent or
+            # the dominance threshold can legitimately prune this
+            # shard's every branch — every pruned key was strictly below
+            # an achieved score elsewhere, or within the fp tolerance of
+            # the caller's fallback mapping, so the shard holds nothing
+            # the merge would keep.  Report that instead of failing the
+            # parallel run.
             if best_complete is not None:
                 score, mapping = best_complete
                 return MatchOutcome(Mapping(mapping), score, stats)

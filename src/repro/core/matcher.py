@@ -144,16 +144,22 @@ class EventMatcher:
         degraded_fallback: float | None = None,
         probe: Probe | None = None,
         workers: int = 1,
+        transport: str = "auto",
+        chunk_size: int | None = None,
     ) -> MatchResult:
         """Run ``method`` and return its annotated result.
 
         ``workers`` — run the exact ``pattern-*`` searches root-split
         over this many worker processes
         (:func:`repro.parallel.search.parallel_match`): same mapping and
-        score, budgets applied per shard.  ``workers=1`` (the default)
+        score, budgets applied per chunk.  ``workers=1`` (the default)
         keeps the serial path byte-identical; other methods, and runs
         with a ``warm_start`` (whose incumbent seeding needs the parent's
         score model), ignore the setting and run serially.
+        ``transport`` picks how logs reach the workers (``"shm"`` shared
+        memory, ``"pickle"``, or ``"auto"`` = shm with pickle fallback);
+        ``chunk_size`` overrides the work-stealing chunk granularity.
+        Both are ignored on serial runs.
 
         ``node_budget``/``time_budget`` apply to the exact searches
         (``pattern-*`` and ``vertex-edge``).  Exceeding a budget returns
@@ -187,11 +193,13 @@ class EventMatcher:
             return self._run(
                 method, node_budget, time_budget, heuristic_bound,
                 warm_start, strict, degraded_fallback, probe, workers,
+                transport, chunk_size,
             )
         with probe.span("match.run", method=method):
             result = self._run(
                 method, node_budget, time_budget, heuristic_bound,
                 warm_start, strict, degraded_fallback, probe, workers,
+                transport, chunk_size,
             )
         probe.record_search_stats(result.stats)
         return result
@@ -207,6 +215,8 @@ class EventMatcher:
         degraded_fallback: float | None,
         probe: Probe,
         workers: int = 1,
+        transport: str = "auto",
+        chunk_size: int | None = None,
     ) -> MatchResult:
         started = time.perf_counter()
         if method in _PATTERN_METHODS:
@@ -227,6 +237,8 @@ class EventMatcher:
                     include_vertices=self.include_vertices,
                     include_edges=self.include_edges,
                     probe=probe,
+                    transport=transport,
+                    chunk_size=chunk_size,
                 )
                 if (
                     outcome.degraded
@@ -358,6 +370,8 @@ def match(
     degraded_fallback: float | None = None,
     probe: Probe | None = None,
     workers: int = 1,
+    transport: str = "auto",
+    chunk_size: int | None = None,
 ) -> MatchResult:
     """One-call event matching between two logs (see module docstring)."""
     matcher = EventMatcher(log_1, log_2, patterns=patterns)
@@ -370,4 +384,6 @@ def match(
         degraded_fallback=degraded_fallback,
         probe=probe,
         workers=workers,
+        transport=transport,
+        chunk_size=chunk_size,
     )

@@ -107,6 +107,18 @@ class Probe:
     ) -> None:
         pass
 
+    def on_chunk_done(self, worker: int, chunk: int, stolen: bool) -> None:
+        pass
+
+    def on_shard_steal(self, worker: int, chunk: int) -> None:
+        pass
+
+    def on_pool_event(self, reused: bool, workers: int) -> None:
+        pass
+
+    def on_shm_bytes(self, total_bytes: int) -> None:
+        pass
+
     # -- streaming ------------------------------------------------------
     def on_stream_commit(self, trace_id: int, num_events: int) -> None:
         pass
@@ -248,6 +260,30 @@ class ObservabilityProbe(Probe):
             "repro_parallel_shard_seconds",
             "Wall-clock seconds per parallel search shard",
         )
+        self._chunks = m.counter(
+            "repro_parallel_chunks_total",
+            "Work-stealing root chunks completed by parallel searches",
+        )
+        self._steals = m.counter(
+            "repro_parallel_steals_total",
+            "Chunks claimed by a worker other than their home worker",
+        )
+        self._pool_reuse = m.gauge(
+            "repro_parallel_pool_reuse",
+            "Whether the most recent parallel run reused a warm pool (1/0)",
+        )
+        self._pool_spawns = m.counter(
+            "repro_parallel_pool_spawns_total",
+            "Parallel runs that had to create a fresh worker pool",
+        )
+        self._pool_reuses = m.counter(
+            "repro_parallel_pool_reuses_total",
+            "Parallel runs served by an already-warm worker pool",
+        )
+        self._shm_bytes = m.gauge(
+            "repro_parallel_shm_bytes",
+            "Bytes mapped by cached shared-memory log arenas",
+        )
         self._queue_depth = m.gauge(
             "repro_service_queue_depth", "Match jobs waiting for a worker"
         )
@@ -318,6 +354,19 @@ class ObservabilityProbe(Probe):
     def on_shard_done(self, shard, elapsed_seconds, expanded_nodes):
         self._parallel_shards.inc()
         self._shard_seconds.observe(elapsed_seconds)
+
+    def on_chunk_done(self, worker, chunk, stolen):
+        self._chunks.inc()
+
+    def on_shard_steal(self, worker, chunk):
+        self._steals.inc()
+
+    def on_pool_event(self, reused, workers):
+        self._pool_reuse.set(1.0 if reused else 0.0)
+        (self._pool_reuses if reused else self._pool_spawns).inc()
+
+    def on_shm_bytes(self, total_bytes):
+        self._shm_bytes.set(total_bytes)
 
     def on_kernel_tier(self, tier):
         counter = self._tier_counters.get(tier)

@@ -16,19 +16,36 @@ points (:meth:`repro.EventMatcher.run`,
 CLI's ``--workers``); ``N=1`` keeps the serial code paths untouched.
 """
 
-from repro.parallel.search import (
+from repro.parallel.pool import (
     SharedIncumbent,
+    WarmPool,
+    close_warm_pool,
+    current_warm_pool,
+    get_warm_pool,
+    warm_pool_stats,
+)
+from repro.parallel.search import (
     ShardOutcome,
+    chunk_root_targets,
     parallel_match,
     partition_root_targets,
 )
+from repro.parallel.shm import ShmArenaError, ShmLogArena
 from repro.parallel.sweep import TaskSpec, parallel_sweep
 
 __all__ = [
     "SharedIncumbent",
     "ShardOutcome",
+    "ShmArenaError",
+    "ShmLogArena",
     "TaskSpec",
+    "WarmPool",
+    "chunk_root_targets",
+    "close_warm_pool",
+    "current_warm_pool",
+    "get_warm_pool",
     "parallel_match",
     "parallel_sweep",
     "partition_root_targets",
+    "warm_pool_stats",
 ]

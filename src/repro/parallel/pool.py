@@ -1,0 +1,465 @@
+"""Persistent warm worker pools and the cross-process coordination cells.
+
+PR 5's parallel layer created a ``ProcessPoolExecutor`` per call — every
+``parallel_match`` paid process spawn, log pickling, and a full
+per-worker :class:`~repro.core.scoring.ScoreModel` build before its
+first expansion.  This module makes those one-time costs actually
+one-time:
+
+* :class:`WarmPool` owns a long-lived executor plus the two inherited
+  coordination cells every run reuses — the :class:`SharedIncumbent`
+  (cross-process best-score max cell) and the :class:`ChunkCursor`
+  (the work-stealing queue: a fetch-and-increment claim counter over a
+  deterministic chunk list).  Both are created *with* the pool so they
+  reach workers by inheritance, the only channel ``multiprocessing``
+  synchronization primitives support.
+* The pool caches one :class:`~repro.parallel.shm.ShmLogArena` per
+  ``(log, generation)`` on the parent side, so repeated matches over
+  the same log reuse one shared-memory segment (and its name, which is
+  the workers' model-cache key).
+* Workers keep a bounded LRU of materialized score models keyed by the
+  :class:`ModelHandle`'s cache key: the second call on the same logs
+  skips attach + rebuild + model build entirely — the per-process model
+  build happens once per process lifetime, not once per call.
+* A lazily created, explicitly closeable module-level pool
+  (:func:`get_warm_pool` / :func:`close_warm_pool`) survives across
+  ``match()`` / ``parallel_sweep`` calls and backs the service's
+  :class:`~repro.service.workers.WorkerPool`.  It is fork-safe: a
+  process that inherits the singleton by forking discards it on first
+  use instead of sharing the parent's executor.
+
+Runs that use the shared cells are serialized by :attr:`WarmPool.lock`
+— the cells are per-run state, and ``parallel_match`` resets them under
+that lock.  Plain :meth:`WarmPool.submit` fan-outs (sweeps, service
+jobs) don't touch the cells and need no lock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.log.eventlog import EventLog
+
+
+class SharedIncumbent:
+    """A cross-process max-score cell with ``peek``/``offer`` semantics.
+
+    Wraps a double ``multiprocessing.Value``.  ``peek`` is a plain read
+    (workers poll it between expansions); ``offer`` takes the value's
+    lock only to apply a compare-and-max.  Scores only ever increase
+    within a run, so a stale ``peek`` merely delays pruning by one poll
+    interval — it can never make pruning unsound.  :meth:`reset` rearms
+    the cell between runs (parent side, pool idle).
+    """
+
+    def __init__(self, initial: float = float("-inf"), context=None):
+        ctx = context if context is not None else multiprocessing
+        self._value = ctx.Value("d", initial)
+
+    def peek(self) -> float:
+        return self._value.value
+
+    def offer(self, score: float) -> float:
+        with self._value.get_lock():
+            if score > self._value.value:
+                self._value.value = score
+            return self._value.value
+
+    def reset(self, value: float = float("-inf")) -> None:
+        with self._value.get_lock():
+            self._value.value = value
+
+
+class ChunkCursor:
+    """The work-stealing queue: a shared next-chunk claim counter.
+
+    The chunk *list* is deterministic and shipped to every worker; only
+    the claim order is dynamic.  Workers loop ``claim()`` until it runs
+    past the chunk count — a fast worker simply claims (steals) chunks
+    a static partition would have assigned elsewhere.  One atomic
+    fetch-and-increment per chunk is the entire queue protocol: there is
+    nothing to enqueue, rebalance, or shut down.
+    """
+
+    def __init__(self, context=None):
+        ctx = context if context is not None else multiprocessing
+        self._next = ctx.Value("q", 0)
+
+    def claim(self) -> int:
+        """Atomically claim and return the next chunk index."""
+        with self._next.get_lock():
+            index = self._next.value
+            self._next.value = index + 1
+            return index
+
+    def reset(self) -> None:
+        with self._next.get_lock():
+            self._next.value = 0
+
+
+class LruCache:
+    """A size-capped mapping with FIFO-recency eviction and a counter."""
+
+    def __init__(self, cap: int):
+        if cap < 1:
+            raise ValueError("cap must be positive")
+        self.cap = cap
+        self.evictions = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key, value) -> list:
+        """Insert and return the evicted values (possibly empty)."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        evicted = []
+        while len(self._entries) > self.cap:
+            _, old = self._entries.popitem(last=False)
+            evicted.append(old)
+            self.evictions += 1
+        return evicted
+
+    def pop(self, key):
+        return self._entries.pop(key, None)
+
+    def clear(self) -> list:
+        values = list(self._entries.values())
+        self._entries.clear()
+        return values
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+
+@dataclass(frozen=True)
+class ModelHandle:
+    """A picklable description of one score model for the workers.
+
+    ``transport`` selects how the logs travel: ``"shm"`` ships only the
+    two arena segment names (workers attach and rebuild); ``"pickle"``
+    carries the logs in the handle (the portable fallback — one log
+    pickle per task submission).  ``cache_key`` identifies the
+    materialized model in the worker-side LRU: arena names are stable
+    across calls thanks to the parent's arena cache, so warm workers
+    hit; pickle tokens are minted per ``(log id, generation)`` by the
+    parent for the same effect.
+    """
+
+    transport: str
+    cache_key: tuple
+    patterns: tuple
+    bound: object
+    arenas: tuple[str, str] | None = None
+    logs: tuple[EventLog, EventLog] | None = field(default=None, compare=False)
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+
+#: Installed once per worker process by the pool initializer: the
+#: inherited coordination cells.
+_WORKER_CELLS: dict = {}
+
+#: Materialized score models, keyed by ``ModelHandle.cache_key``.  Score
+#: models are heavy (interned logs, postings, automata, f1 tables); a
+#: small cap bounds warm-worker memory while still covering the
+#: steady-state "same logs every call" case.
+MODEL_CACHE_CAP = 4
+_MODEL_CACHE = LruCache(MODEL_CACHE_CAP)
+
+
+def _init_pool_worker(incumbent: SharedIncumbent, cursor: ChunkCursor) -> None:
+    _WORKER_CELLS["incumbent"] = incumbent
+    _WORKER_CELLS["cursor"] = cursor
+
+
+def worker_cells() -> tuple[SharedIncumbent, ChunkCursor]:
+    """The inherited (incumbent, cursor) pair — worker processes only."""
+    return _WORKER_CELLS["incumbent"], _WORKER_CELLS["cursor"]
+
+
+def materialize_model(handle: ModelHandle):
+    """The worker-side score model for ``handle``: ``(model, cache_hit)``.
+
+    On a cache miss the model is built once — from attached shared
+    memory (``shm``) or the pickled logs (``pickle``) — and cached under
+    the handle's key for every later call that names the same logs,
+    patterns and bound.
+    """
+    model = _MODEL_CACHE.get(handle.cache_key)
+    if model is not None:
+        return model, True
+    # Local import: repro.core.scoring sits above this substrate module.
+    from repro.core.scoring import ScoreModel
+
+    if handle.transport == "shm":
+        from repro.parallel.shm import ShmLogArena
+
+        assert handle.arenas is not None
+        index_pair = []
+        logs = []
+        for name in handle.arenas:
+            arena = ShmLogArena.attach(name)
+            try:
+                log, index = arena.rebuild()
+            finally:
+                arena.close()
+            logs.append(log)
+            index_pair.append(index)
+        log_1, log_2 = logs
+        trace_index_1, trace_index_2 = index_pair
+    else:
+        assert handle.logs is not None
+        log_1, log_2 = handle.logs
+        trace_index_1 = trace_index_2 = None
+    model = ScoreModel(
+        log_1,
+        log_2,
+        list(handle.patterns),
+        bound=handle.bound,
+        trace_index_1=trace_index_1,
+        trace_index_2=trace_index_2,
+    )
+    _MODEL_CACHE.put(handle.cache_key, model)
+    return model, False
+
+
+def model_cache_stats() -> dict:
+    """This process's model-cache occupancy/evictions (tests, debugging)."""
+    return {"entries": len(_MODEL_CACHE), "evictions": _MODEL_CACHE.evictions}
+
+
+# ----------------------------------------------------------------------
+# Parent-process side
+# ----------------------------------------------------------------------
+
+#: Parent-side arena cache bound: segments for this many distinct
+#: ``(log, generation)`` pairs stay mapped; older ones are unlinked.
+ARENA_CACHE_CAP = 8
+
+#: Parent-side warm-start seed cache bound (one small entry per model
+#: cache key: a score plus one complete mapping).
+SEED_CACHE_CAP = 8
+
+
+class WarmPool:
+    """A persistent executor plus everything a parallel run inherits.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count (the executor's ``max_workers``).
+
+    The pool is *warm*: once a worker process has built a score model
+    for a given log pair it keeps it cached, so only the first call
+    pays the build.  :attr:`spawned_runs`/:attr:`reused_runs` count how
+    often :func:`get_warm_pool` had to (re)create a pool versus handing
+    back a live one — the pool-reuse gauge the probes export.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        ctx = multiprocessing.get_context()
+        self.incumbent = SharedIncumbent(context=ctx)
+        self.cursor = ChunkCursor(context=ctx)
+        #: Serializes runs that use the shared cells (reset-then-run).
+        self.lock = threading.Lock()
+        self._arena_lock = threading.Lock()
+        self._arenas: LruCache = LruCache(ARENA_CACHE_CAP)
+        self._seed_lock = threading.Lock()
+        self._seeds: LruCache = LruCache(SEED_CACHE_CAP)
+        self._pickle_tokens: dict[tuple, str] = {}
+        self._token_serial = 0
+        self.executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_init_pool_worker,
+            initargs=(self.incumbent, self.cursor),
+        )
+        self._closed = False
+
+    # -- generic task fan-out -------------------------------------------
+    def submit(self, fn, /, *args, **kwargs):
+        """Submit a plain picklable task to the warm executor."""
+        return self.executor.submit(fn, *args, **kwargs)
+
+    # -- per-run coordination -------------------------------------------
+    def begin_run(self, seed: float = float("-inf")) -> None:
+        """Rearm the shared cells for one run (call under :attr:`lock`)."""
+        self.incumbent.reset(seed)
+        self.cursor.reset()
+
+    def seed_for(self, key, build):
+        """The cached parent-side warm-start seed for a model cache key.
+
+        ``build`` runs at most once per key while the entry stays in the
+        LRU — warm repeat calls skip both the parent's score-model build
+        and the heuristic run that produce the seed.
+        """
+        with self._seed_lock:
+            seed = self._seeds.get(key)
+            if seed is not None:
+                return seed
+        seed = build()
+        with self._seed_lock:
+            cached = self._seeds.get(key)
+            if cached is not None:  # lost a benign build race
+                return cached
+            self._seeds.put(key, seed)
+        return seed
+
+    # -- shared-memory arenas -------------------------------------------
+    def arena_for(self, log: EventLog):
+        """The cached :class:`ShmLogArena` for ``log`` (created once).
+
+        Keyed by ``(id(log), generation)`` so appends invalidate; a
+        weakref finalizer unlinks the segment when the log is collected,
+        and the LRU cap unlinks the oldest segments under churn.
+        """
+        from repro.parallel.shm import ShmLogArena
+
+        key = (id(log), log.generation)
+        with self._arena_lock:
+            arena = self._arenas.get(key)
+            if arena is not None:
+                return arena
+        built = ShmLogArena.create(log)
+        with self._arena_lock:
+            arena = self._arenas.get(key)
+            if arena is not None:  # lost a benign build race
+                built.unlink()
+                return arena
+            evicted = self._arenas.put(key, built)
+        for old in evicted:
+            old.unlink()
+        weakref.finalize(log, self._drop_arena, key)
+        return built
+
+    def _drop_arena(self, key) -> None:
+        with self._arena_lock:
+            arena = self._arenas.pop(key)
+        if arena is not None:
+            arena.unlink()
+
+    def shm_bytes(self) -> int:
+        """Total bytes currently mapped by cached arenas."""
+        with self._arena_lock:
+            return sum(a.size for a in self._arenas._entries.values())
+
+    def pickle_token(self, log: EventLog) -> str:
+        """A stable worker-cache token for ``log`` on the pickle path.
+
+        The same live log keeps the same token (so warm workers hit
+        their model cache); a finalizer retires the token when the log
+        is collected, so a recycled ``id`` can never alias a stale one.
+        """
+        key = (id(log), log.generation)
+        token = self._pickle_tokens.get(key)
+        if token is None:
+            self._token_serial += 1
+            token = f"pickle-{os.getpid()}-{self._token_serial}"
+            self._pickle_tokens[key] = token
+            weakref.finalize(log, self._pickle_tokens.pop, key, None)
+        return token
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the executor down and unlink every cached arena."""
+        if self._closed:
+            return
+        self._closed = True
+        self.executor.shutdown(wait=True, cancel_futures=True)
+        with self._arena_lock:
+            arenas = self._arenas.clear()
+        for arena in arenas:
+            arena.unlink()
+
+
+# ----------------------------------------------------------------------
+# The module-level warm pool
+# ----------------------------------------------------------------------
+
+_pool: WarmPool | None = None
+_pool_pid: int | None = None
+_pool_guard = threading.Lock()
+_pool_stats = {"spawns": 0, "reuses": 0}
+
+
+def get_warm_pool(workers: int) -> WarmPool:
+    """The process-wide warm pool, created or grown to ``workers``.
+
+    Lazily creates the pool on first use; later calls reuse it when it
+    is live and large enough, and replace it (counting a fresh spawn)
+    when it is closed, too small, or was inherited across a ``fork`` —
+    an inherited executor's queues belong to the parent and must never
+    be driven from the child.
+    """
+    global _pool, _pool_pid
+    with _pool_guard:
+        if _pool is not None and _pool_pid != os.getpid():
+            # Forked child: drop the inherited reference without touching
+            # the parent's executor.
+            _pool = None
+        if _pool is not None and not _pool.closed and _pool.workers >= workers:
+            _pool_stats["reuses"] += 1
+            return _pool
+        stale = _pool
+        _pool = None
+        if stale is not None and not stale.closed:
+            stale.close()
+        pool = WarmPool(workers)
+        _pool = pool
+        _pool_pid = os.getpid()
+        _pool_stats["spawns"] += 1
+        return pool
+
+
+def current_warm_pool() -> WarmPool | None:
+    """The live module pool, or ``None`` (never creates one)."""
+    with _pool_guard:
+        if _pool is None or _pool.closed or _pool_pid != os.getpid():
+            return None
+        return _pool
+
+
+def close_warm_pool() -> None:
+    """Explicitly close the module pool (idempotent)."""
+    global _pool
+    with _pool_guard:
+        pool = _pool
+        _pool = None
+    if pool is not None and _pool_pid == os.getpid():
+        pool.close()
+
+
+def warm_pool_stats() -> dict:
+    """Spawn/reuse counters plus the live pool's shape, for probes/tests."""
+    pool = current_warm_pool()
+    return {
+        "spawns": _pool_stats["spawns"],
+        "reuses": _pool_stats["reuses"],
+        "live": pool is not None,
+        "workers": pool.workers if pool is not None else 0,
+        "shm_bytes": pool.shm_bytes() if pool is not None else 0,
+    }

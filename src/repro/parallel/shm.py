@@ -1,0 +1,300 @@
+"""Shared-memory log transport: the flat-buffer :class:`ShmLogArena`.
+
+Root-split workers need three things from each log: the event
+vocabulary, the traces, and the ``I_t`` posting bitsets.  Pickling a
+full :class:`~repro.log.eventlog.EventLog` per shard re-serializes and
+re-parses all of it for every call — PR 5's recorded 0.34–0.40x speedup
+is mostly that cost.  The arena replaces the pickle with one
+``multiprocessing.shared_memory`` segment per log, written once by the
+parent and attached (not copied, not unpickled) by every worker:
+
+* the :class:`~repro.kernel.interner.EventInterner`'s dense ids become
+  an id→name offset table over a UTF-8 blob (id ``i`` is name ``i`` —
+  first-appearance order is the serialization order, so rebuilt ids are
+  bit-identical to the parent's);
+* traces are a single flat ``uint32`` id array sliced by a
+  ``uint64`` offset table (one entry per trace);
+* the :class:`~repro.log.index.TraceIndex` posting bitsets — arbitrary-
+  precision ints — are stored big-endian under a third offset table,
+  one posting per event id.
+
+Workers :meth:`attach` by segment name, :meth:`rebuild` a log whose
+interner and trace index are pre-seeded from the buffer (no rescans),
+and :meth:`close` their view; only the creating parent :meth:`unlink`s.
+The rebuilt objects are plain Python values (ints, str, tuples) copied
+out of the buffer during ``rebuild`` — the segment can be closed the
+moment ``rebuild`` returns, and rebuilt state is equal to what pickling
+the log would have produced (the round-trip property tests pin this).
+
+Layout (all offsets relative to buffer start, little-endian)::
+
+    header   magic "RSHMARE1" | u64 version | u64 num_events
+             | u64 num_traces | u64 off_names | u64 off_traces
+             | u64 off_postings | u64 used_bytes | u64 name_len
+    log name UTF-8, name_len bytes
+    names    u64 offsets[num_events + 1] | UTF-8 blob
+    traces   u64 offsets[num_traces + 1] | u32 ids[total_events]
+    postings u64 offsets[num_events + 1] | big-endian int blob
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.kernel.interner import EventInterner
+from repro.log.eventlog import EventLog
+from repro.log.index import TraceIndex
+
+_MAGIC = b"RSHMARE1"
+_VERSION = 1
+_HEADER = struct.Struct("<8s8Q")
+
+
+class ShmArenaError(RuntimeError):
+    """A shared-memory arena could not be created, attached, or parsed."""
+
+
+def _pack_offsets(chunks: list[bytes]) -> tuple[bytes, bytes]:
+    """``chunks`` as (u64 offset table, concatenated blob)."""
+    offsets = [0]
+    for chunk in chunks:
+        offsets.append(offsets[-1] + len(chunk))
+    table = struct.pack(f"<{len(offsets)}Q", *offsets)
+    return table, b"".join(chunks)
+
+
+class ShmLogArena:
+    """One log serialized into one shared-memory segment.
+
+    Lifecycle: the parent calls :meth:`create` (building the buffer from
+    the log's interner and trace index), ships ``arena.name`` to workers,
+    and eventually calls :meth:`unlink`.  Workers call :meth:`attach`,
+    :meth:`rebuild`, then :meth:`close`.  ``close`` is idempotent and
+    safe on both sides; ``unlink`` must run exactly once, in the parent.
+    """
+
+    def __init__(self, segment: shared_memory.SharedMemory, owner: bool):
+        self._segment: shared_memory.SharedMemory | None = segment
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    # Creation (parent side)
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, log: EventLog, index: TraceIndex | None = None
+    ) -> "ShmLogArena":
+        """Serialize ``log`` (interner ids, traces, postings) into shm.
+
+        ``index`` may be a pre-built, fresh :class:`TraceIndex` for the
+        log; one is built when omitted.  Building the interner and index
+        here is O(total events) — paid once per (log, generation), then
+        amortized across every worker and every call through the arena
+        cache in :mod:`repro.parallel.pool`.
+        """
+        interner = log.interner()
+        if index is None:
+            index = TraceIndex(log)
+        elif index.log is not log:
+            raise ShmArenaError("trace index was built for a different log")
+        index.refresh()
+
+        events = [interner.event_of(i) for i in range(len(interner))]
+        name_table, name_blob = _pack_offsets(
+            [event.encode("utf-8") for event in events]
+        )
+        traces = interner.interned_traces
+        trace_table, trace_blob = _pack_offsets(
+            [struct.pack(f"<{len(t)}I", *t) for t in traces]
+        )
+        posting_table, posting_blob = _pack_offsets(
+            [
+                _encode_posting(index.posting_bits(event))
+                for event in events
+            ]
+        )
+        log_name = log.name.encode("utf-8")
+
+        off_names = _HEADER.size + len(log_name)
+        off_traces = off_names + len(name_table) + len(name_blob)
+        off_postings = off_traces + len(trace_table) + len(trace_blob)
+        used = off_postings + len(posting_table) + len(posting_blob)
+        header = _HEADER.pack(
+            _MAGIC, _VERSION, len(events), len(traces),
+            off_names, off_traces, off_postings, used, len(log_name),
+        )
+        payload = b"".join(
+            (
+                header, log_name,
+                name_table, name_blob,
+                trace_table, trace_blob,
+                posting_table, posting_blob,
+            )
+        )
+        assert len(payload) == used
+        segment = shared_memory.SharedMemory(create=True, size=max(used, 1))
+        segment.buf[:used] = payload
+        return cls(segment, owner=True)
+
+    # ------------------------------------------------------------------
+    # Attachment (worker side)
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, name: str) -> "ShmLogArena":
+        """Open an existing arena by segment name (no copy)."""
+        # CPython < 3.13 registers *attached* segments with the resource
+        # tracker as if this process owned them; the tracker's cache is a
+        # set shared by the whole process tree, so the spurious entries
+        # collapse with the creator's and any later unregister/unlink pair
+        # trips KeyError tracebacks inside the tracker.  Suppress the
+        # attach-side registration instead — creation-side tracking in
+        # the parent stays balanced (one register at create, one
+        # unregister at unlink).
+        tracked_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError as error:
+            raise ShmArenaError(f"no shared-memory arena {name!r}") from error
+        finally:
+            resource_tracker.register = tracked_register
+        arena = cls(segment, owner=False)
+        if segment.size < _HEADER.size:
+            arena.close()
+            raise ShmArenaError(f"segment {name!r} is not a log arena")
+        magic, version = _HEADER.unpack_from(segment.buf, 0)[:2]
+        if magic != _MAGIC:
+            arena.close()
+            raise ShmArenaError(f"segment {name!r} is not a log arena")
+        if version != _VERSION:
+            arena.close()
+            raise ShmArenaError(
+                f"arena {name!r} has layout version {version}, "
+                f"expected {_VERSION}"
+            )
+        return arena
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def rebuild(self) -> tuple[EventLog, TraceIndex]:
+        """Rebuild ``(log, trace_index)`` read-only views from the buffer.
+
+        The log's interner is pre-seeded with the serialized dense ids
+        (same first-appearance order, hence bit-identical ids) and the
+        trace index with the serialized posting bitsets — neither is
+        rescanned from the traces.  Trace tuples share one ``str``
+        object per event name, so the rebuilt log is as deduplicated as
+        the parent's.  Everything returned is an ordinary heap object;
+        the arena may be closed as soon as this returns.
+        """
+        segment = self._segment
+        if segment is None:
+            raise ShmArenaError("arena is closed")
+        buf = segment.buf
+        (
+            _magic, _version, num_events, num_traces,
+            off_names, off_traces, off_postings, _used, name_len,
+        ) = _HEADER.unpack_from(buf, 0)
+
+        log_name = bytes(buf[_HEADER.size:_HEADER.size + name_len]).decode(
+            "utf-8"
+        )
+        name_offsets = struct.unpack_from(f"<{num_events + 1}Q", buf, off_names)
+        blob_start = off_names + 8 * (num_events + 1)
+        names_blob = bytes(
+            buf[blob_start:blob_start + name_offsets[num_events]]
+        )
+        events = [
+            names_blob[name_offsets[i]:name_offsets[i + 1]].decode("utf-8")
+            for i in range(num_events)
+        ]
+
+        trace_offsets = struct.unpack_from(
+            f"<{num_traces + 1}Q", buf, off_traces
+        )
+        ids_start = off_traces + 8 * (num_traces + 1)
+        int_traces = []
+        for i in range(num_traces):
+            begin, end = trace_offsets[i], trace_offsets[i + 1]
+            count = (end - begin) // 4
+            int_traces.append(
+                struct.unpack_from(f"<{count}I", buf, ids_start + begin)
+            )
+
+        posting_offsets = struct.unpack_from(
+            f"<{num_events + 1}Q", buf, off_postings
+        )
+        postings_start = off_postings + 8 * (num_events + 1)
+        postings_blob = bytes(
+            buf[postings_start:postings_start + posting_offsets[num_events]]
+        )
+        postings = {
+            events[i]: int.from_bytes(
+                postings_blob[posting_offsets[i]:posting_offsets[i + 1]],
+                "big",
+            )
+            for i in range(num_events)
+        }
+
+        log = EventLog(
+            ([events[e] for e in trace] for trace in int_traces),
+            name=log_name,
+        )
+        log.attach_interner(EventInterner.from_dense(events, int_traces))
+        index = TraceIndex.from_postings(log, postings)
+        return log, index
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name workers attach by."""
+        if self._segment is None:
+            raise ShmArenaError("arena is closed")
+        return self._segment.name
+
+    @property
+    def size(self) -> int:
+        """Allocated segment size in bytes (0 once closed)."""
+        return self._segment.size if self._segment is not None else 0
+
+    def close(self) -> None:
+        """Release this process's view of the segment (idempotent)."""
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side; closes the view first)."""
+        segment = self._segment
+        self.close()
+        if segment is not None and self._owner:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ShmLogArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:
+        if self._segment is None:
+            return "ShmLogArena(closed)"
+        side = "owner" if self._owner else "view"
+        return f"ShmLogArena({self.name!r}, {self.size} bytes, {side})"
+
+
+def _encode_posting(bits: int) -> bytes:
+    """A posting bitset as minimal big-endian bytes (b"" for 0)."""
+    if not bits:
+        return b""
+    return bits.to_bytes((bits.bit_length() + 7) // 8, "big")

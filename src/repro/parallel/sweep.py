@@ -10,10 +10,14 @@ cheap:
   file paths, a datagen generator + seed, or an inline pickled task).
   Workers rebuild the task from the recipe instead of receiving one
   pickled log pair per cell.
-* a pool *initializer* that materializes the base task once per worker
-  process — the interned logs, posting bitsets and frequency kernels
-  hang off the ``EventLog`` objects, so every cell that worker runs
-  reuses them; per-cell projections are memoized per process too.
+* a per-worker *memo* that materializes the base task on the first cell
+  a worker runs for a given spec — the interned logs, posting bitsets
+  and frequency kernels hang off the ``EventLog`` objects, so every
+  later cell reuses them; per-cell projections are memoized too.  Both
+  memos are bounded LRUs (:data:`BASE_MEMO_CAP`,
+  :data:`PROJECTION_MEMO_CAP`) because sweeps run on the *persistent*
+  :class:`~repro.parallel.pool.WarmPool` — workers outlive any one
+  sweep, so unbounded memos would grow with every spec ever swept.
 
 Cells are returned in submission order, so a parallel sweep's result
 list is ordered exactly like the serial harness's.  Worker processes run
@@ -24,13 +28,22 @@ span around the whole fan-out.
 
 from __future__ import annotations
 
+import os
+import threading
+import weakref
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.datagen.task import MatchingTask
 from repro.obs.probe import NULL_PROBE, Probe
+from repro.parallel.pool import (
+    LruCache,
+    WarmPool,
+    current_warm_pool,
+    get_warm_pool,
+)
 
 #: A cell transform: ``None`` runs the base task, ``("events", n)``
 #: projects onto the first ``n`` events, ``("traces", n)`` onto the
@@ -126,21 +139,40 @@ class TaskSpec:
         raise ValueError(f"unknown TaskSpec kind {self.kind!r}")
 
 
-# Per-worker-process sweep state: the materialized base task plus a memo
-# of its projections, built by the pool initializer.
-_SWEEP_STATE: dict = {}
+# ----------------------------------------------------------------------
+# Worker-process side: bounded base-task / projection memos
+# ----------------------------------------------------------------------
+
+#: Distinct base tasks a warm worker keeps materialized.  Sweeps send
+#: one (token, spec) per cell; a worker rebuilds the base task only on
+#: its first cell for that token, then serves every later cell from the
+#: memo.  The caps bound a *persistent* worker's memory: the warm pool
+#: recycles processes across sweeps, so without eviction every spec a
+#: worker ever saw would stay resident.
+BASE_MEMO_CAP = 4
+#: Projections kept per memoized base task (one per sweep grid point).
+PROJECTION_MEMO_CAP = 32
+
+_SWEEP_MEMO = LruCache(BASE_MEMO_CAP)
 
 
-def _init_sweep_worker(spec: TaskSpec) -> None:
-    _SWEEP_STATE["base"] = spec.build()
-    _SWEEP_STATE["projections"] = {}
+def _sweep_entry(token: str, spec: TaskSpec) -> dict:
+    entry = _SWEEP_MEMO.get(token)
+    if entry is None:
+        entry = {
+            "base": spec.build(),
+            "projections": LruCache(PROJECTION_MEMO_CAP),
+        }
+        _SWEEP_MEMO.put(token, entry)
+    return entry
 
 
-def _transformed_task(transform) -> MatchingTask:
-    base: MatchingTask = _SWEEP_STATE["base"]
+def _transformed_task(token: str, spec: TaskSpec, transform) -> MatchingTask:
+    entry = _sweep_entry(token, spec)
+    base: MatchingTask = entry["base"]
     if transform is None:
         return base
-    projections: dict = _SWEEP_STATE["projections"]
+    projections: LruCache = entry["projections"]
     task = projections.get(transform)
     if task is None:
         axis, value = transform
@@ -150,11 +182,13 @@ def _transformed_task(transform) -> MatchingTask:
             task = base.take_traces(value)
         else:
             raise ValueError(f"unknown sweep axis {axis!r}")
-        projections[transform] = task
+        projections.put(transform, task)
     return task
 
 
 def _run_cell(
+    token: str,
+    spec: TaskSpec,
     index: int,
     transform,
     method: str,
@@ -166,11 +200,62 @@ def _run_cell(
     # into the harness would be circular.
     from repro.evaluation.harness import run_method
 
-    task = _transformed_task(transform)
+    task = _transformed_task(token, spec, transform)
     run = run_method(
         task, method, node_budget=node_budget, time_budget=time_budget
     )
     return index, run
+
+
+def sweep_memo_stats() -> dict:
+    """This process's sweep-memo occupancy and eviction counters."""
+    projections = sum(
+        len(entry["projections"]) for entry in _SWEEP_MEMO._entries.values()
+    )
+    projection_evictions = sum(
+        entry["projections"].evictions
+        for entry in _SWEEP_MEMO._entries.values()
+    )
+    return {
+        "base_entries": len(_SWEEP_MEMO),
+        "base_evictions": _SWEEP_MEMO.evictions,
+        "projection_entries": projections,
+        "projection_evictions": projection_evictions,
+    }
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+# Worker-memo tokens, one per distinct spec.  The token (not the spec)
+# keys the worker memo: TaskSpec equality ignores ``inline_task``, so
+# two inline specs wrapping different tasks under the same name must
+# not share a memo slot — the token tells them apart by task identity.
+_spec_tokens: dict = {}
+_token_serial = 0
+_token_guard = threading.Lock()
+
+
+def _spec_token(spec: TaskSpec) -> str:
+    global _token_serial
+    key = (spec, id(spec.inline_task)) if spec.kind == "inline" else spec
+    with _token_guard:
+        token = _spec_tokens.get(key)
+        if token is None:
+            _token_serial += 1
+            token = f"sweep-{os.getpid()}-{_token_serial}"
+            _spec_tokens[key] = token
+            if spec.inline_task is not None:
+                weakref.finalize(
+                    spec.inline_task, _drop_spec_token, key
+                )
+        return token
+
+
+def _drop_spec_token(key) -> None:
+    with _token_guard:
+        _spec_tokens.pop(key, None)
 
 
 def parallel_sweep(
@@ -180,34 +265,59 @@ def parallel_sweep(
     node_budget: int | None = None,
     time_budget: float | None = None,
     probe: Probe | None = None,
+    reuse_pool: bool = True,
 ) -> list:
-    """Fan ``cells`` — ``(transform, method)`` pairs — over a pool.
+    """Fan ``cells`` — ``(transform, method)`` pairs — over the warm pool.
 
     Returns the cells' :class:`~repro.evaluation.harness.MethodRun`
     results in input order.  ``workers`` is clamped to the cell count;
     callers route ``workers <= 1`` through the serial harness before
-    getting here.
+    getting here.  With ``reuse_pool`` (the default) the module-level
+    :func:`~repro.parallel.pool.get_warm_pool` executor is used and left
+    running, so back-to-back sweeps skip process spawn and warm workers
+    serve repeated specs from their memo; ``reuse_pool=False`` runs on a
+    private pool torn down before returning.
     """
     if probe is None:
         probe = NULL_PROBE
     workers = max(1, min(workers, len(cells) or 1))
+    token = _spec_token(spec)
     results: list = [None] * len(cells)
     with probe.span("sweep.parallel", workers=workers, cells=len(cells)):
         if probe.enabled:
             probe.on_parallel_run(workers, len(cells))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_sweep_worker,
-            initargs=(spec,),
-        ) as pool:
+        if reuse_pool:
+            reused = current_warm_pool() is not None
+            pool = get_warm_pool(workers)
+        else:
+            reused = False
+            pool = WarmPool(workers)
+        if probe.enabled:
+            probe.on_pool_event(reused, pool.workers)
+        try:
             futures = [
                 pool.submit(
-                    _run_cell, index, transform, method,
+                    _run_cell, token, spec, index, transform, method,
                     node_budget, time_budget,
                 )
                 for index, (transform, method) in enumerate(cells)
             ]
-            for future in futures:
-                index, run = future.result()
-                results[index] = run
+            try:
+                for future in futures:
+                    index, run = future.result()
+                    results[index] = run
+            except BrokenProcessPool:
+                # A worker died (OOM, hard kill).  The pool is unusable;
+                # close it and finish the grid serially in-process —
+                # results are a pure function of the recipe either way.
+                pool.close()
+                for index, (transform, method) in enumerate(cells):
+                    if results[index] is None:
+                        _, results[index] = _run_cell(
+                            token, spec, index, transform, method,
+                            node_budget, time_budget,
+                        )
+        finally:
+            if not reuse_pool:
+                pool.close()
     return results

@@ -71,6 +71,13 @@ class EventPattern(Pattern):
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("patterns are immutable")
 
+    def __reduce__(self):
+        # Slots + the immutable __setattr__ break default pickling
+        # (__setstate__ would setattr); rebuild through the constructor
+        # instead.  Picklability matters: the parallel layer ships
+        # patterns to worker processes per task.
+        return (EventPattern, (self.event,))
+
     def events(self) -> tuple[Event, ...]:
         return (self.event,)
 
@@ -118,6 +125,10 @@ class _Operator(Pattern):
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("patterns are immutable")
+
+    def __reduce__(self):
+        # See EventPattern.__reduce__: constructor-based pickling.
+        return (type(self), (self.children,))
 
     def events(self) -> tuple[Event, ...]:
         return self._events

@@ -94,7 +94,7 @@ class MatchingService:
             probe=probe,
         )
         self.jobs = JobQueue(probe=probe)
-        self.pool = WorkerPool(processes=processes)
+        self.pool = WorkerPool(processes=processes, probe=probe)
         self.sessions = SessionManager(
             self.registry,
             self.state_dir / "sessions",

@@ -10,19 +10,25 @@ job's result is a pure function of its recipe.
 
 :class:`WorkerPool` runs those recipes either **inline** (``processes=0``
 — synchronous, in-process; the deterministic mode used by tests, the CI
-smoke job, and ``repro serve --workers 0``) or on a
-``ProcessPoolExecutor``.  Inline mode is not a toy: because results are
-produced by the same function either way, switching modes cannot change
-any job's output, only its latency.
+smoke job, and ``repro serve --workers 0``) or on the persistent
+:class:`~repro.parallel.pool.WarmPool` shared with the parallel search
+layer.  Inline mode is not a toy: because results are produced by the
+same function either way, switching modes cannot change any job's
+output, only its latency.  Riding the warm pool means a daemon restart
+in the same process (tests, embedded use) reuses live workers instead
+of respawning, and daemon jobs share the workers' model caches with any
+``parallel_match`` calls in the same process.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 
 from repro.core.matcher import EventMatcher, MatchResult
+from repro.obs.probe import NULL_PROBE, Probe
+from repro.parallel.pool import current_warm_pool, get_warm_pool
 from repro.parallel.sweep import TaskSpec
 
 
@@ -91,13 +97,18 @@ class WorkerPool:
     identical in both modes.
     """
 
-    def __init__(self, processes: int = 0):
+    def __init__(self, processes: int = 0, probe: Probe | None = None):
         if processes < 0:
             raise ValueError("processes must be non-negative")
         self.processes = processes
-        self._executor = (
-            ProcessPoolExecutor(max_workers=processes) if processes else None
-        )
+        self.probe = probe if probe is not None else NULL_PROBE
+        if processes:
+            reused = current_warm_pool() is not None
+            self._pool = get_warm_pool(processes)
+            if self.probe.enabled:
+                self.probe.on_pool_event(reused, self._pool.workers)
+        else:
+            self._pool = None
         self._futures: dict = {}  # future -> (job_id, submitted_at)
         self._done: list[tuple[str, dict | None, str | None, float]] = []
 
@@ -107,7 +118,7 @@ class WorkerPool:
         return len(self._futures) + len(self._done)
 
     def submit(self, job_id: str, payload: dict) -> None:
-        if self._executor is None:
+        if self._pool is None:
             started = time.perf_counter()
             try:
                 result = execute_match_job(payload)
@@ -118,7 +129,7 @@ class WorkerPool:
                 outcome = (job_id, None, _describe(error))
             self._done.append((*outcome, time.perf_counter() - started))
             return
-        future = self._executor.submit(execute_match_job, payload)
+        future = self._pool.submit(execute_match_job, payload)
         self._futures[future] = (job_id, time.perf_counter())
 
     def completed(
@@ -142,8 +153,16 @@ class WorkerPool:
         return harvested
 
     def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
+        """Drain in-flight jobs; leave the shared warm pool running.
+
+        The pool is the process-wide singleton and deliberately survives
+        daemon shutdown — that persistence is what makes restarts cheap.
+        :func:`repro.parallel.pool.close_warm_pool` tears it down when a
+        process really is done with parallel work.
+        """
+        if self._pool is not None and self._futures:
+            wait(list(self._futures))
+            self._futures.clear()
 
 
 def _describe(error: BaseException) -> str:

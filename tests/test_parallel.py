@@ -286,3 +286,171 @@ class TestActualParallelism:
         task = seed_tasks[1]
         par = parallel_match(task.log_1, task.log_2, task.patterns, workers=2)
         assert par.stats.extra["parallel_shards"] == 2
+
+
+class TestTransports:
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_both_transports_equal_serial(self, seed_tasks, transport):
+        for task in seed_tasks:
+            serial = serial_outcome(task)
+            par = parallel_match(
+                task.log_1, task.log_2, task.patterns,
+                workers=2, transport=transport,
+            )
+            assert par.score == pytest.approx(serial.score, abs=1e-12)
+            assert par.mapping.as_dict() == serial.mapping.as_dict()
+
+    def test_unknown_transport_rejected(self, seed_tasks):
+        task = seed_tasks[0]
+        with pytest.raises(ValueError, match="transport"):
+            parallel_match(
+                task.log_1, task.log_2, task.patterns,
+                workers=2, transport="carrier-pigeon",
+            )
+
+
+class TestWorkStealing:
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 1000])
+    def test_adversarial_chunk_sizes_are_deterministic(
+        self, seed_tasks, chunk_size
+    ):
+        # Chunk granularity only changes who does the work, never the
+        # answer: a single-target chunk list maximizes steal pressure,
+        # an oversized one collapses to a single chunk.
+        task = seed_tasks[2]
+        serial = serial_outcome(task)
+        par = parallel_match(
+            task.log_1, task.log_2, task.patterns,
+            workers=3, chunk_size=chunk_size,
+        )
+        assert par.score == pytest.approx(serial.score, abs=1e-12)
+        assert par.mapping.as_dict() == serial.mapping.as_dict()
+        assert par.gap == 0.0 and not par.degraded
+
+    def test_chunking_covers_targets_disjointly(self):
+        from repro.parallel import chunk_root_targets
+
+        targets = tuple(range(7))
+        chunks = chunk_root_targets(targets, workers=2, chunk_size=2)
+        assert len(chunks) == 4
+        flat = [t for chunk in chunks for t in chunk]
+        assert sorted(flat) == list(targets)
+        # Default granularity: several chunks per worker so fast shards
+        # have something to steal.
+        assert len(chunk_root_targets(tuple(range(100)), workers=2)) == 8
+
+    def test_steal_counters_exported(self, seed_tasks):
+        task = seed_tasks[0]
+        par = parallel_match(
+            task.log_1, task.log_2, task.patterns, workers=2, chunk_size=1
+        )
+        assert par.stats.extra["parallel_chunks"] >= 2
+        assert par.stats.extra["parallel_steals"] >= 0
+
+
+class TestWarmPoolReuse:
+    def test_warm_runs_equal_cold_run(self, seed_tasks):
+        from repro.parallel import close_warm_pool, warm_pool_stats
+
+        task = seed_tasks[0]
+        serial = serial_outcome(task)
+        cold = parallel_match(
+            task.log_1, task.log_2, task.patterns,
+            workers=2, reuse_pool=False,
+        )
+        close_warm_pool()
+        warm_1 = parallel_match(
+            task.log_1, task.log_2, task.patterns, workers=2
+        )
+        warm_2 = parallel_match(
+            task.log_1, task.log_2, task.patterns, workers=2
+        )
+        for outcome in (cold, warm_1, warm_2):
+            assert outcome.score == pytest.approx(serial.score, abs=1e-12)
+            assert outcome.mapping.as_dict() == serial.mapping.as_dict()
+        assert cold.stats.extra["parallel_pool_reused"] == 0
+        assert warm_1.stats.extra["parallel_pool_reused"] == 0
+        assert warm_2.stats.extra["parallel_pool_reused"] == 1
+        # The second warm run hits the worker-side model cache: the
+        # arena names are stable, so no worker rebuilds the model.
+        assert warm_2.stats.extra["parallel_model_cache_hits"] >= 1
+        stats = warm_pool_stats()
+        assert stats["live"] and stats["reuses"] >= 1
+        close_warm_pool()
+
+    def test_sweep_reuses_pool_across_calls(self):
+        from repro.parallel import close_warm_pool, current_warm_pool
+
+        close_warm_pool()
+        spec = TaskSpec.random_pair(num_events=4, num_traces=30, seed=2)
+        cells = [(None, "heuristic-simple"), (("events", 3), "pattern-tight")]
+        first = parallel_sweep(spec, cells, workers=2)
+        pool = current_warm_pool()
+        assert pool is not None
+        second = parallel_sweep(spec, cells, workers=2)
+        assert current_warm_pool() is pool
+        assert [round(r.score, 9) for r in first] == [
+            round(r.score, 9) for r in second
+        ]
+        close_warm_pool()
+
+
+class TestWarmStartDominance:
+    """The parent heuristic seed + dominance pruning (PR 7 tentpole).
+
+    The parallel layer rescores the advanced heuristic's mapping through
+    the search's own ``g`` accumulation and ships it to every chunk as a
+    dominance threshold.  Two regimes must both stay bit-equal to the
+    serial search: the heuristic already found the optimum (chunks prove
+    nothing strictly better exists and the merge falls back to the
+    seed), and the heuristic fell short (some chunk strictly beats it
+    and wins the merge as before).
+    """
+
+    def test_optimal_seed_dominates_and_falls_back(self):
+        # Pinned instance where the advanced heuristic finds the optimal
+        # mapping: the merge must return the rescored seed, bit-equal to
+        # serial, and the chunks must have drained by pop-drops.
+        task = generate_random_pair(num_events=6, num_traces=20, seed=1)
+        serial = serial_outcome(task)
+        par = parallel_match(
+            task.log_1, task.log_2, task.patterns, workers=2
+        )
+        assert par.score == serial.score
+        assert par.mapping.as_dict() == serial.mapping.as_dict()
+        assert par.stats.extra.get("seed_dominated") == 1
+        assert par.stats.extra.get("dropped_on_pop", 0) > 0
+        assert par.stats.extra["parallel_seed_score"] == serial.score
+
+    def test_suboptimal_seed_is_strictly_beaten(self):
+        # Pinned instance where the heuristic is suboptimal: chunks must
+        # find the strictly better optimum and the merge must prefer it.
+        task = generate_random_pair(num_events=6, num_traces=20, seed=7)
+        serial = serial_outcome(task)
+        par = parallel_match(
+            task.log_1, task.log_2, task.patterns, workers=2
+        )
+        assert par.score == serial.score
+        assert par.mapping.as_dict() == serial.mapping.as_dict()
+        assert "seed_dominated" not in par.stats.extra
+
+    def test_dominated_shard_drains_by_drops_not_expansions(self):
+        task = generate_random_pair(num_events=5, num_traces=30, seed=3)
+        model = ScoreModel(
+            task.log_1,
+            task.log_2,
+            build_pattern_set(task.log_1, complex_patterns=task.patterns),
+        )
+        serial = AStarMatcher(model).match()
+        shard = AStarMatcher(
+            model,
+            incumbent_score=serial.score,
+            root_targets=sorted(task.log_2.alphabet()),
+            dominated_at=serial.score,
+        ).match()
+        # Nothing beats the dominance threshold by more than the fp
+        # tolerance, and proving that must cost pop-drops, not a full
+        # re-expansion of the serial search tree.
+        assert shard.score <= serial.score + 1e-12
+        assert shard.stats.extra.get("dropped_on_pop", 0) > 0
+        assert shard.stats.expanded_nodes < serial.stats.expanded_nodes

@@ -1,0 +1,281 @@
+"""Tests for repro.parallel.shm and repro.parallel.pool.
+
+The shared-memory arena's contract is *equality with the pickled path*:
+a worker that attaches and rebuilds must see exactly the log, interner
+ids, and posting bitsets that pickling the parent's objects would have
+produced.  The warm pool's contract is that reuse is invisible except in
+latency: warm runs return the same results as cold runs, and the
+bounded caches (arenas, models, sweep memos) evict instead of growing.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.random_logs import generate_random_pair
+from repro.log.eventlog import EventLog
+from repro.log.index import TraceIndex
+from repro.parallel.pool import (
+    LruCache,
+    WarmPool,
+    close_warm_pool,
+    current_warm_pool,
+    get_warm_pool,
+    warm_pool_stats,
+)
+from repro.parallel.shm import ShmArenaError, ShmLogArena
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _close_pool_after_module():
+    yield
+    close_warm_pool()
+
+
+# ----------------------------------------------------------------------
+# ShmLogArena round trip
+# ----------------------------------------------------------------------
+
+# Small alphabets force id collisions across traces; empty traces and
+# single-event traces exercise the offset-table edges.
+event_names = st.sampled_from(["a", "b", "c", "delta", "e-vent", "ζ"])
+traces = st.lists(event_names, min_size=0, max_size=8)
+logs = st.lists(traces, min_size=1, max_size=12)
+
+
+def assert_arena_equals_pickle(log: EventLog) -> None:
+    interner = log.interner()
+    index = TraceIndex(log)
+    arena = ShmLogArena.create(log, index=index)
+    try:
+        view = ShmLogArena.attach(arena.name)
+        rebuilt, rebuilt_index = view.rebuild()
+        view.close()
+        pickled: EventLog = pickle.loads(pickle.dumps(log))
+
+        assert rebuilt.name == pickled.name == log.name
+        assert rebuilt.traces == pickled.traces == log.traces
+        rebuilt_interner = rebuilt.interner()
+        assert len(rebuilt_interner) == len(interner)
+        for event_id in range(len(interner)):
+            assert (
+                rebuilt_interner.event_of(event_id)
+                == interner.event_of(event_id)
+            )
+        assert (
+            rebuilt_interner.interned_traces == interner.interned_traces
+        )
+        assert rebuilt_interner.bigram_sets == interner.bigram_sets
+        for event_id in range(len(interner)):
+            event = interner.event_of(event_id)
+            assert (
+                rebuilt_index.posting_bits(event)
+                == index.posting_bits(event)
+            )
+        assert rebuilt_index.export_postings() == index.export_postings()
+    finally:
+        arena.unlink()
+
+
+class TestShmArenaRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(logs, logs)
+    def test_attach_equals_pickle(self, traces_1, traces_2):
+        assert_arena_equals_pickle(EventLog(traces_1, name="left"))
+        assert_arena_equals_pickle(EventLog(traces_2, name="right"))
+
+    def test_realistic_pair(self):
+        task = generate_random_pair(num_events=6, num_traces=40, seed=7)
+        assert_arena_equals_pickle(task.log_1)
+        assert_arena_equals_pickle(task.log_2)
+
+    def test_empty_trace_and_unused_vocabulary_edge(self):
+        log = EventLog([[], ["a"], ["a", "b", "a"]], name="edgy")
+        assert_arena_equals_pickle(log)
+
+
+class TestShmArenaLifecycle:
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(ShmArenaError, match="no shared-memory arena"):
+            ShmLogArena.attach("repro-no-such-arena")
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            with pytest.raises(ShmArenaError, match="not a log arena"):
+                ShmLogArena.attach(segment.name)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_close_is_idempotent_and_unlink_destroys(self):
+        from multiprocessing import shared_memory
+
+        log = EventLog([["a", "b"]], name="lifecycle")
+        arena = ShmLogArena.create(log)
+        name = arena.name
+        assert arena.size > 0
+        arena.close()
+        arena.close()
+        assert arena.size == 0
+        with pytest.raises(ShmArenaError, match="closed"):
+            arena.rebuild()
+        # close() releases only this view; the segment itself survives
+        # until the owner unlinks it.
+        view = ShmLogArena.attach(name)
+        view.close()
+        ShmLogArena(
+            __import__("multiprocessing.shared_memory", fromlist=["x"])
+            .SharedMemory(name=name),
+            owner=True,
+        ).unlink()
+        with pytest.raises(ShmArenaError):
+            ShmLogArena.attach(name)
+
+    def test_context_manager_owner_unlinks(self):
+        log = EventLog([["a"], ["b"]], name="ctx")
+        with ShmLogArena.create(log) as arena:
+            name = arena.name
+        with pytest.raises(ShmArenaError):
+            ShmLogArena.attach(name)
+
+
+# ----------------------------------------------------------------------
+# LruCache
+# ----------------------------------------------------------------------
+
+
+class TestLruCache:
+    def test_eviction_order_and_counter(self):
+        cache = LruCache(2)
+        assert cache.put("a", 1) == []
+        assert cache.put("b", 2) == []
+        assert cache.get("a") == 1  # refresh a; b is now oldest
+        assert cache.put("c", 3) == [2]
+        assert cache.evictions == 1
+        assert "b" not in cache and "a" in cache and "c" in cache
+
+    def test_pop_and_clear(self):
+        cache = LruCache(3)
+        cache.put("x", 10)
+        assert cache.pop("x") == 10
+        assert cache.pop("x") is None
+        cache.put("y", 20)
+        assert cache.clear() == [20]
+        assert len(cache) == 0
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+
+# ----------------------------------------------------------------------
+# WarmPool
+# ----------------------------------------------------------------------
+
+
+class TestWarmPool:
+    def test_singleton_reuse_and_growth(self):
+        close_warm_pool()
+        assert current_warm_pool() is None
+        pool = get_warm_pool(1)
+        assert get_warm_pool(1) is pool  # large enough: reused
+        grown = get_warm_pool(2)  # too small: replaced
+        assert grown is not pool and pool.closed
+        assert get_warm_pool(1) is grown  # shrink requests still reuse
+        stats = warm_pool_stats()
+        assert stats["live"] and stats["workers"] == 2
+        close_warm_pool()
+        assert current_warm_pool() is None
+        assert not warm_pool_stats()["live"]
+
+    def test_arena_cache_keyed_by_generation(self):
+        pool = WarmPool(1)
+        try:
+            log = EventLog([["a", "b"], ["b"]], name="gen")
+            arena = pool.arena_for(log)
+            assert pool.arena_for(log) is arena
+            assert pool.shm_bytes() == arena.size > 0
+            log.append_trace(["a"])
+            fresh = pool.arena_for(log)
+            assert fresh is not arena
+        finally:
+            pool.close()
+        assert pool.shm_bytes() == 0
+
+    def test_pickle_tokens_stable_per_log(self):
+        pool = WarmPool(1)
+        try:
+            log_1 = EventLog([["a"]], name="one")
+            log_2 = EventLog([["b"]], name="two")
+            assert pool.pickle_token(log_1) == pool.pickle_token(log_1)
+            assert pool.pickle_token(log_1) != pool.pickle_token(log_2)
+        finally:
+            pool.close()
+
+    def test_submit_runs_in_worker(self):
+        pool = get_warm_pool(1)
+        assert pool.submit(pow, 2, 10).result() == 1024
+
+
+# ----------------------------------------------------------------------
+# Sweep memos (worker-side state, exercised in-process)
+# ----------------------------------------------------------------------
+
+
+class TestSweepMemo:
+    def test_base_memo_bounded_with_eviction_counter(self):
+        from repro.parallel.sweep import (
+            BASE_MEMO_CAP,
+            TaskSpec,
+            _SWEEP_MEMO,
+            _run_cell,
+            sweep_memo_stats,
+        )
+
+        _SWEEP_MEMO.clear()
+        _SWEEP_MEMO.evictions = 0
+        for i in range(BASE_MEMO_CAP + 2):
+            spec = TaskSpec.random_pair(
+                num_events=3, num_traces=5, seed=200 + i
+            )
+            index, run = _run_cell(
+                f"memo-{i}", spec, i, None, "heuristic-simple", None, None
+            )
+            assert index == i and run.score >= 0.0
+        stats = sweep_memo_stats()
+        assert stats["base_entries"] == BASE_MEMO_CAP
+        assert stats["base_evictions"] == 2
+
+    def test_projection_memo_bounded(self):
+        from repro.parallel.sweep import (
+            PROJECTION_MEMO_CAP,
+            TaskSpec,
+            _SWEEP_MEMO,
+            _transformed_task,
+        )
+
+        _SWEEP_MEMO.clear()
+        spec = TaskSpec.random_pair(num_events=6, num_traces=8, seed=9)
+        for n in range(2, PROJECTION_MEMO_CAP + 4):
+            task = _transformed_task("proj", spec, ("events", n))
+            assert len(task.log_1.alphabet()) <= n
+        entry = _SWEEP_MEMO.get("proj")
+        assert len(entry["projections"]) == PROJECTION_MEMO_CAP
+        assert entry["projections"].evictions == 2
+
+    def test_inline_specs_with_same_name_get_distinct_tokens(self):
+        from repro.parallel.sweep import TaskSpec, _spec_token
+
+        task_a = generate_random_pair(num_events=3, num_traces=5, seed=1)
+        task_b = generate_random_pair(num_events=3, num_traces=5, seed=2)
+        object.__setattr__(task_b, "name", task_a.name)
+        spec_a = TaskSpec.from_task(task_a)
+        spec_b = TaskSpec.from_task(task_b)
+        assert spec_a == spec_b  # equality ignores the inline task...
+        assert _spec_token(spec_a) != _spec_token(spec_b)  # ...tokens don't
+        assert _spec_token(spec_a) == _spec_token(spec_a)
