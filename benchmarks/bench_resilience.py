@@ -15,6 +15,14 @@ The target (asserted at non-smoke scales) is that the fully hardened
 configuration stays within 10% of trusting throughput.  A second section
 reports what a chaos-perturbed feed (10% dirty) costs end to end,
 including quarantine accounting.
+
+A third section (PR 8) prices the *execution-plane* supervision: the
+same batch of match jobs runs through the service daemon with the
+supervision knobs at their minimum (no deadline, no retries, no queue
+bound) and fully engaged (deadline + retries + bound).  On a no-fault
+run both configurations execute identical recipes, so the measured gap
+is pure policy bookkeeping — deadline stamping, attempt counting,
+backoff-aware claims — and must stay under 5%.
 """
 
 import time
@@ -27,11 +35,16 @@ from repro.datagen import generate_reallike
 from repro.resilience.chaos import ChaosConfig, ChaosInjector
 from repro.resilience.quarantine import QuarantineStore
 from repro.resilience.validation import TraceValidator
+from repro.service.daemon import MatchingService
 from repro.stream.deltas import DeltaState
 from repro.stream.ingest import StreamingLog
 
 #: Hardened ingestion may cost at most this fraction over trusting.
 OVERHEAD_TARGET = 0.10
+
+#: Supervision (deadlines+retries+bound) may cost at most this fraction
+#: over the no-knobs dispatch path on a fault-free run.
+SUPERVISION_OVERHEAD_TARGET = 0.05
 
 CHECK_EVERY = 25
 
@@ -149,6 +162,99 @@ def resilience_overhead(scale):
         },
     )
     return overhead_hardened
+
+
+def _run_job_batch(state_dir, task, patterns, num_jobs, **service_kwargs):
+    """Push ``num_jobs`` identical match jobs through one inline daemon."""
+    service = MatchingService(
+        state_dir, processes=0, settle_polls=0, checkpoint_every=None,
+        **service_kwargs,
+    )
+    service.registry.register("left", task.log_1)
+    service.registry.register("right", task.log_2)
+    started = time.perf_counter()
+    jobs = [
+        service.submit_job(
+            "left", "right", patterns=patterns, method="heuristic-simple"
+        )
+        for _ in range(num_jobs)
+    ]
+    service.run_until_idle()
+    elapsed = time.perf_counter() - started
+    results = [service.jobs.get(job.job_id).result for job in jobs]
+    assert all(result is not None for result in results)
+    # Wall-clock stamps differ run to run; everything else must not.
+    comparable = [
+        {k: v for k, v in result.items() if k != "elapsed_seconds"}
+        for result in results
+    ]
+    return elapsed, comparable, service
+
+
+@pytest.fixture(scope="module")
+def supervision_overhead(scale, tmp_path_factory):
+    if scale == "paper":
+        num_jobs, num_traces = 60, 120
+    elif scale == "smoke":
+        num_jobs, num_traces = 6, 40
+    else:
+        num_jobs, num_traces = 25, 80
+    task = generate_reallike(num_traces=num_traces, seed=13)
+    patterns = tuple(str(p) for p in task.patterns)
+    root = tmp_path_factory.mktemp("supervision-bench")
+
+    # Warm-up: one small batch absorbs interning/parse warm-up cost.
+    _run_job_batch(root / "warm", task, patterns, 2)
+
+    bare_s, bare_results, _ = _run_job_batch(
+        root / "bare", task, patterns, num_jobs, max_retries=0
+    )
+    supervised_s, supervised_results, supervised = _run_job_batch(
+        root / "supervised", task, patterns, num_jobs,
+        max_retries=2, job_deadline=300.0, queue_bound=num_jobs + 1,
+    )
+
+    # A fault-free supervised run changes nothing but bookkeeping.
+    assert supervised_results == bare_results
+    assert supervised.recovery.jobs_retried == 0
+    assert supervised.recovery.jobs_poisoned == 0
+
+    overhead = supervised_s / bare_s - 1.0
+    lines = [
+        f"supervised execution, {num_jobs} inline jobs over "
+        f"{num_traces}-trace logs (no faults injected):",
+        f"  no knobs             : {bare_s:8.3f}s "
+        f"({num_jobs / bare_s:8.1f} jobs/s)",
+        f"  deadline+retry+bound : {supervised_s:8.3f}s "
+        f"({overhead:+7.1%} overhead)",
+        f"  overhead target      : <{SUPERVISION_OVERHEAD_TARGET:.0%}",
+    ]
+    save_report("supervision", "\n".join(lines))
+    record_bench(
+        "supervision",
+        {
+            "scale": bench_scale(),
+            "num_jobs": num_jobs,
+            "num_traces": num_traces,
+            "overhead_target": SUPERVISION_OVERHEAD_TARGET,
+        },
+        {
+            "bare_s": round(bare_s, 6),
+            "supervised_s": round(supervised_s, 6),
+            "overhead_supervised": round(overhead, 4),
+        },
+    )
+    return overhead
+
+
+def test_supervision_overhead_benchmark(supervision_overhead):
+    """The no-fault supervision tax must stay under its 5% target.
+
+    Smoke scale only exercises the wiring — a handful of sub-second
+    jobs cannot produce a stable ratio.
+    """
+    if bench_scale() != "smoke":
+        assert supervision_overhead < SUPERVISION_OVERHEAD_TARGET
 
 
 def test_resilience_overhead_benchmark(benchmark, resilience_overhead):

@@ -333,6 +333,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         processes=args.workers,
         settle_polls=args.settle_polls,
         checkpoint_every=args.checkpoint_every,
+        max_retries=args.max_retries,
+        job_deadline=args.job_deadline,
+        queue_bound=args.queue_bound,
     )
     if args.resume:
         summary = service.resume()
@@ -356,7 +359,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("# interrupted; saving state", file=sys.stderr)
     finally:
         api.stop()
-        service.shutdown()
+        abandoned = service.shutdown()
+        if abandoned:
+            print(
+                f"# abandoned {len(abandoned)} in-flight job(s) after the "
+                f"drain timeout: {', '.join(abandoned)} (they re-queue on "
+                "--resume)",
+                file=sys.stderr,
+            )
         print(f"# state saved to {service.manifest_path}", file=sys.stderr)
     return 0
 
@@ -571,6 +581,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="restore registry, jobs and sessions from STATE_DIR before "
         "serving (interrupted jobs re-queue)",
+    )
+    serve_parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="failed-attempt retries a job gets before it is poisoned "
+        "into quarantine (0 fails jobs on first error)",
+    )
+    serve_parser.add_argument(
+        "--job-deadline", type=float, default=None, metavar="SECONDS",
+        help="default wall-clock budget per job attempt, enforced by "
+        "the daemon (over-deadline workers are reclaimed; unset = none)",
+    )
+    serve_parser.add_argument(
+        "--queue-bound", type=int, default=None, metavar="N",
+        help="maximum queued+running jobs before POST /jobs returns "
+        "429 with Retry-After (unset = unbounded)",
     )
     serve_parser.set_defaults(handler=_cmd_serve)
 

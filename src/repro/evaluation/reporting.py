@@ -181,6 +181,24 @@ def format_recovery_stats(recovery, quarantine=None, label: str = "") -> str:
         f"rebuilds {recovery.rebuilds} "
         f"(suppressed {recovery.rebuilds_suppressed})"
     ]
+    supervision = (
+        recovery.jobs_retried,
+        recovery.workers_respawned,
+        recovery.jobs_poisoned,
+        recovery.jobs_deadline_exceeded,
+        recovery.backpressure_rejections,
+        recovery.shm_segments_reaped,
+    )
+    if any(supervision):
+        lines.append(
+            f"{prefix}supervision — "
+            f"retries {recovery.jobs_retried}, "
+            f"respawns {recovery.workers_respawned}, "
+            f"poisoned {recovery.jobs_poisoned}, "
+            f"deadlines {recovery.jobs_deadline_exceeded}, "
+            f"backpressure {recovery.backpressure_rejections}, "
+            f"shm reaped {recovery.shm_segments_reaped}"
+        )
     if quarantine is not None and quarantine.total_seen:
         lines.append(prefix + quarantine.summary())
     return "\n".join(lines)

@@ -142,6 +142,22 @@ class Probe:
     def on_http_request(self, route: str, status: int) -> None:
         pass
 
+    # -- supervision ------------------------------------------------------
+    def on_job_retry(self, kind: str) -> None:
+        pass
+
+    def on_job_poisoned(self, kind: str) -> None:
+        pass
+
+    def on_pool_respawn(self, workers: int, reason: str) -> None:
+        pass
+
+    def on_backpressure(self) -> None:
+        pass
+
+    def on_shm_reaped(self, count: int) -> None:
+        pass
+
     # -- bulk stats ------------------------------------------------------
     def record_search_stats(self, stats) -> None:
         pass
@@ -421,6 +437,40 @@ class ObservabilityProbe(Probe):
             route=route,
             status=str(status),
         ).inc()
+
+    # -- supervision ------------------------------------------------------
+    def on_job_retry(self, kind):
+        self._labeled(
+            "repro_service_job_retries_total",
+            "Job attempts re-queued by the retry policy, by failure kind",
+            kind=kind,
+        ).inc()
+
+    def on_job_poisoned(self, kind):
+        self._labeled(
+            "repro_service_jobs_poisoned_total",
+            "Jobs dead-lettered into quarantine, by last failure kind",
+            kind=kind,
+        ).inc()
+
+    def on_pool_respawn(self, workers, reason):
+        self._labeled(
+            "repro_service_pool_respawns_total",
+            "Worker-pool rebuilds performed by supervision, by trigger",
+            reason=reason,
+        ).inc()
+
+    def on_backpressure(self):
+        self._labeled(
+            "repro_service_backpressure_total",
+            "Job submissions refused because the queue was at its bound",
+        ).inc()
+
+    def on_shm_reaped(self, count):
+        self._labeled(
+            "repro_service_shm_reaped_total",
+            "Orphaned shared-memory segments unlinked at startup",
+        ).inc(count)
 
     # -- streaming ------------------------------------------------------
     def on_stream_commit(self, trace_id, num_events):

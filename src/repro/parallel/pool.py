@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import threading
 import weakref
 from collections import OrderedDict
@@ -277,6 +278,7 @@ class WarmPool:
             raise ValueError("workers must be positive")
         self.workers = workers
         ctx = multiprocessing.get_context()
+        self._ctx = ctx
         self.incumbent = SharedIncumbent(context=ctx)
         self.cursor = ChunkCursor(context=ctx)
         #: Serializes runs that use the shared cells (reset-then-run).
@@ -287,18 +289,64 @@ class WarmPool:
         self._seeds: LruCache = LruCache(SEED_CACHE_CAP)
         self._pickle_tokens: dict[tuple, str] = {}
         self._token_serial = 0
-        self.executor = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=ctx,
+        #: Times the executor was rebuilt after a worker death/runaway.
+        self.respawns = 0
+        # Crash-safe shm lifecycle: before mapping any new segments,
+        # unlink segments a *dead* process left behind (a SIGKILLed
+        # daemon cannot run its own atexit hooks; the next pool pays
+        # one cheap ledger scan instead).
+        from repro.resilience.supervise import reap_orphan_segments
+
+        self.reaped_at_start = reap_orphan_segments()
+        self.executor = self._spawn_executor()
+        self._closed = False
+
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._ctx,
             initializer=_init_pool_worker,
             initargs=(self.incumbent, self.cursor),
         )
-        self._closed = False
 
     # -- generic task fan-out -------------------------------------------
     def submit(self, fn, /, *args, **kwargs):
         """Submit a plain picklable task to the warm executor."""
         return self.executor.submit(fn, *args, **kwargs)
+
+    # -- supervision -----------------------------------------------------
+    def worker_pids(self) -> list[int]:
+        """Live worker process ids (empty until the first submission —
+        ``ProcessPoolExecutor`` spawns workers lazily)."""
+        processes = getattr(self.executor, "_processes", None) or {}
+        return [pid for pid, proc in processes.items() if proc.is_alive()]
+
+    def respawn(self, kill_workers: bool = False) -> None:
+        """Replace a broken executor with a fresh one, same shared cells.
+
+        The incumbent and cursor are plain ``multiprocessing`` values;
+        re-passing them as initargs re-inherits them into the new
+        workers, so a respawned pool is a drop-in replacement — only the
+        worker-side model caches are lost (they repopulate on first
+        use).  ``kill_workers=True`` SIGKILLs the old workers first —
+        the deadline-enforcement path, where a runaway job must be
+        reclaimed, not waited on.
+        """
+        if self._closed:
+            raise RuntimeError("cannot respawn a closed pool")
+        old = self.executor
+        if kill_workers:
+            for pid in list((getattr(old, "_processes", None) or {})):
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+        try:
+            old.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - a broken pool may refuse politely
+            pass
+        self.executor = self._spawn_executor()
+        self.respawns += 1
 
     # -- per-run coordination -------------------------------------------
     def begin_run(self, seed: float = float("-inf")) -> None:
@@ -462,4 +510,5 @@ def warm_pool_stats() -> dict:
         "live": pool is not None,
         "workers": pool.workers if pool is not None else 0,
         "shm_bytes": pool.shm_bytes() if pool is not None else 0,
+        "respawns": pool.respawns if pool is not None else 0,
     }

@@ -39,16 +39,48 @@ Layout (all offsets relative to buffer start, little-endian)::
 
 from __future__ import annotations
 
+import atexit
+import os
 import struct
 from multiprocessing import resource_tracker, shared_memory
 
 from repro.kernel.interner import EventInterner
 from repro.log.eventlog import EventLog
 from repro.log.index import TraceIndex
+from repro.resilience.supervise import get_segment_registry
 
 _MAGIC = b"RSHMARE1"
 _VERSION = 1
 _HEADER = struct.Struct("<8s8Q")
+
+#: Segment name -> creating pid for segments this process created and
+#: has not yet unlinked — the atexit backstop unlinks whatever is left
+#: so a clean interpreter exit can never leak ``/dev/shm`` segments
+#: even if a cache or finalizer was skipped.  The pid guard keeps a
+#: forked child (which inherits this dict) from destroying its
+#: parent's live segments.  Abrupt deaths (SIGKILL) are covered by the
+#: on-disk :class:`~repro.resilience.supervise.ShmSegmentRegistry`,
+#: reaped at the next pool/daemon startup.
+_OWNED_SEGMENTS: dict[str, int] = {}
+
+
+def _atexit_unlink_owned() -> None:  # pragma: no cover - interpreter exit
+    registry = get_segment_registry()
+    pid = os.getpid()
+    for name, owner_pid in list(_OWNED_SEGMENTS.items()):
+        if owner_pid != pid:
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        registry.unregister(name)
+        _OWNED_SEGMENTS.pop(name, None)
+
+
+atexit.register(_atexit_unlink_owned)
 
 
 class ShmArenaError(RuntimeError):
@@ -135,6 +167,8 @@ class ShmLogArena:
         assert len(payload) == used
         segment = shared_memory.SharedMemory(create=True, size=max(used, 1))
         segment.buf[:used] = payload
+        get_segment_registry().register(segment.name)
+        _OWNED_SEGMENTS[segment.name] = os.getpid()
         return cls(segment, owner=True)
 
     # ------------------------------------------------------------------
@@ -270,12 +304,15 @@ class ShmLogArena:
     def unlink(self) -> None:
         """Destroy the segment (owner side; closes the view first)."""
         segment = self._segment
+        name = segment.name if segment is not None else None
         self.close()
         if segment is not None and self._owner:
             try:
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            get_segment_registry().unregister(name)
+            _OWNED_SEGMENTS.pop(name, None)
 
     def __enter__(self) -> "ShmLogArena":
         return self

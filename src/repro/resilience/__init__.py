@@ -22,6 +22,12 @@ degrades instead of failing.
   :func:`load_checkpoint` round-trip a live
   :class:`~repro.stream.engine.OnlineMatcher` through a versioned JSON
   document and resume mid-stream.
+* **Supervised execution** — :class:`RetryPolicy` (deadlines, bounded
+  retries with seeded backoff jitter, poison-job verdicts),
+  :class:`DegradedStateMachine` (the daemon's READY/DEGRADED
+  readiness), and the crash-safe :class:`ShmSegmentRegistry` that
+  reaps shared-memory segments orphaned by dead processes (see
+  :mod:`repro.resilience.supervise`).
 """
 
 from repro.resilience.chaos import (
@@ -45,6 +51,13 @@ from repro.resilience.quarantine import (
     sanitize_events,
 )
 from repro.resilience.recovery import RecoveryStats
+from repro.resilience.supervise import (
+    DegradedStateMachine,
+    RetryPolicy,
+    ShmSegmentRegistry,
+    pid_alive,
+    reap_orphan_segments,
+)
 from repro.resilience.validation import TraceValidator
 
 __all__ = [
@@ -53,14 +66,19 @@ __all__ = [
     "ChaosConfig",
     "ChaosInjector",
     "CheckpointError",
+    "DegradedStateMachine",
     "InducedListenerError",
     "QuarantineRecord",
     "QuarantineStore",
     "RecoveryStats",
+    "RetryPolicy",
+    "ShmSegmentRegistry",
     "TraceValidator",
     "corrupt_delta_state",
     "load_checkpoint",
     "load_spilled",
+    "pid_alive",
+    "reap_orphan_segments",
     "replay_spilled",
     "save_checkpoint",
     "sanitize_events",

@@ -14,7 +14,9 @@ chaos run is replayable bit-for-bit.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field, fields
 
@@ -60,6 +62,7 @@ class ChaosActions:
     traces_dropped: int = 0
     traces_duplicated: int = 0
     listener_errors_induced: int = 0
+    workers_killed: int = 0
 
     def total(self) -> int:
         return sum(getattr(self, f.name) for f in fields(self))
@@ -151,6 +154,30 @@ class ChaosInjector:
                 wrapped(trace_id, trace)
 
         return listener
+
+
+    # ------------------------------------------------------------------
+    # Execution-plane faults
+    # ------------------------------------------------------------------
+    def kill_worker(self, pids: Sequence[int]) -> int | None:
+        """SIGKILL one worker chosen by the seeded RNG; returns its pid.
+
+        The execution-plane fault the supervision layer exists for: a
+        warm-pool worker dying abruptly mid-job.  ``pids`` is the live
+        worker pid list (e.g. :meth:`repro.parallel.pool.WarmPool.
+        worker_pids`); a pid that died between listing and killing is
+        skipped.  Returns ``None`` when no worker could be killed.
+        """
+        candidates = list(pids)
+        while candidates:
+            victim = candidates.pop(self._rng.randrange(len(candidates)))
+            try:
+                os.kill(victim, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                continue
+            self.actions.workers_killed += 1
+            return victim
+        return None
 
 
 #: Sentinel marking an event for deletion inside :meth:`perturb`.

@@ -34,6 +34,20 @@ class RecoveryStats:
     rebuilds: int = 0
     #: Rebuild requests suppressed by the exponential backoff window.
     rebuilds_suppressed: int = 0
+    # -- execution-plane supervision (PR 8) -----------------------------
+    #: Job attempts re-queued after an error, worker crash, or deadline.
+    jobs_retried: int = 0
+    #: Worker-pool rebuilds after a worker death or runaway job.
+    workers_respawned: int = 0
+    #: Jobs declared poison (retries exhausted / two workers killed)
+    #: and routed to the quarantine store instead of retried forever.
+    jobs_poisoned: int = 0
+    #: Job attempts abandoned because their wall-clock deadline passed.
+    jobs_deadline_exceeded: int = 0
+    #: Submissions rejected (HTTP 429) because the job queue was full.
+    backpressure_rejections: int = 0
+    #: Orphaned shared-memory segments unlinked at startup reaping.
+    shm_segments_reaped: int = 0
 
     def merge(self, other: "RecoveryStats") -> None:
         """Accumulate another layer's counters into this one."""

@@ -1,0 +1,354 @@
+"""Supervised execution: the policies that keep the daemon's execution
+plane alive.
+
+PR 3 hardened the *data* plane — dirty traces quarantine, delta state
+self-heals, checkpoints survive kills.  This module applies the same
+discipline to the *execution* plane, where the faults are processes
+instead of payloads:
+
+* :class:`RetryPolicy` — per-job wall-clock deadlines, bounded retries
+  with exponential backoff and seeded jitter, and the poison-job rule
+  (a job that exhausts its retries, or that takes two workers down with
+  it, stops being retried and becomes a dead letter).  Jitter comes
+  from a seeded :class:`random.Random`, so a supervised run's schedule
+  is replayable exactly like a chaos run.
+* :class:`DegradedStateMachine` — the service's readiness state: READY
+  until some component marks a reason (worker pool rebuilding, queue
+  saturated), DEGRADED until every reason clears.  ``/readyz`` serves
+  its verdict as 200/503.
+* :class:`ShmSegmentRegistry` — a crash-safe, append-only on-disk
+  registry of shared-memory segments (name, owner pid, created_at).
+  Arenas register on creation and unregister on unlink; a process that
+  dies abruptly leaves its entries behind, and the next pool or daemon
+  startup calls :func:`reap_orphan_segments` to unlink every segment
+  whose owner pid is dead.  Combined with the ``atexit`` backstop in
+  :mod:`repro.parallel.shm`, ``/dev/shm`` can no longer accumulate
+  leaked arenas across crashes, tests, or CI runs.
+
+Everything here is parent-side bookkeeping on cold paths (job
+transitions, pool rebuilds, startup) — the no-fault path pays a few
+dict/float operations per job, which ``bench_resilience`` bounds at
+<5% over unsupervised dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Outcome kinds a supervised attempt can end with (the retry policy
+#: decides per kind whether another attempt is worth scheduling).
+OUTCOME_OK = "ok"
+OUTCOME_ERROR = "error"
+OUTCOME_CRASH = "crash"
+OUTCOME_DEADLINE = "deadline"
+
+#: A job whose execution killed this many workers is poison regardless
+#: of how many retries its policy would still allow.
+POISON_WORKER_DEATHS = 2
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadlines, bounded retries, exponential backoff with seeded jitter.
+
+    Parameters
+    ----------
+    max_retries:
+        Attempts *after* the first one a failing job may consume before
+        it is declared poison (``0`` fails jobs on their first error).
+    deadline:
+        Default per-job wall-clock budget in seconds, enforced by the
+        parent (a job may carry its own tighter/looser deadline);
+        ``None`` disables deadline enforcement.
+    backoff_base:
+        Delay before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied per subsequent retry.
+    backoff_max:
+        Hard cap on any single delay.
+    jitter:
+        Fraction of the delay randomized (``0.1`` = up to +10%), drawn
+        from a :class:`random.Random` seeded with ``seed`` so schedules
+        replay bit-for-bit.
+    """
+
+    max_retries: int = 2
+    deadline: float | None = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def rng(self) -> random.Random:
+        """A fresh seeded jitter source (one per supervised queue)."""
+        return random.Random(self.seed)
+
+    def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        delay = min(delay, self.backoff_max)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return min(delay, self.backoff_max)
+
+    def verdict(self, attempts: int, worker_deaths: int) -> str:
+        """``"retry"`` or ``"poison"`` for a job that just failed.
+
+        ``attempts`` counts completed attempts including the failing
+        one; ``worker_deaths`` counts workers that died executing it.
+        """
+        if worker_deaths >= POISON_WORKER_DEATHS:
+            return "poison"
+        if attempts > self.max_retries:
+            return "poison"
+        return "retry"
+
+    def deadline_for(self, job_deadline: float | None) -> float | None:
+        """The effective deadline: the job's own, else the policy's."""
+        return job_deadline if job_deadline is not None else self.deadline
+
+
+class DegradedStateMachine:
+    """READY ⇄ DEGRADED, driven by named reasons.
+
+    Components :meth:`mark` a reason when they enter a degraded mode
+    (worker pool rebuilding after a crash, queue saturated) and
+    :meth:`clear` it when they recover; the service is READY exactly
+    when no reason is active.  Transitions are counted so an operator
+    can distinguish "degraded once at startup" from "flapping".
+    """
+
+    READY = "ready"
+    DEGRADED = "degraded"
+
+    def __init__(self):
+        self._reasons: dict[str, float] = {}
+        self.transitions = 0
+
+    @property
+    def state(self) -> str:
+        return self.DEGRADED if self._reasons else self.READY
+
+    @property
+    def ready(self) -> bool:
+        return not self._reasons
+
+    def reasons(self) -> list[str]:
+        """Active reasons, oldest first."""
+        return sorted(self._reasons, key=self._reasons.__getitem__)
+
+    def mark(self, reason: str) -> None:
+        if reason not in self._reasons:
+            if not self._reasons:
+                self.transitions += 1
+            self._reasons[reason] = time.monotonic()
+
+    def clear(self, reason: str) -> None:
+        if self._reasons.pop(reason, None) is not None and not self._reasons:
+            self.transitions += 1
+
+    def snapshot(self) -> dict:
+        """The ``/readyz`` document."""
+        return {"status": self.state, "reasons": self.reasons()}
+
+
+# ----------------------------------------------------------------------
+# Crash-safe shared-memory segment registry
+# ----------------------------------------------------------------------
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def default_registry_path() -> Path:
+    """The per-user default location of the segment registry."""
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return Path(tempfile.gettempdir()) / f"repro-shm-registry-{uid}.jsonl"
+
+
+@dataclass
+class ShmSegmentRegistry:
+    """Append-only JSONL ledger of live shared-memory segments.
+
+    Each arena creation appends ``{"op": "add", "name", "pid",
+    "created_at"}`` and each unlink appends ``{"op": "del", "name"}``;
+    the live set is adds minus dels.  Appends are single short lines,
+    so concurrent writers from several processes interleave whole
+    records; a torn final line (the crash this ledger exists for) is
+    tolerated on read, exactly like the quarantine spill file.  The
+    ledger self-compacts once the dead prefix dominates.
+    """
+
+    path: Path = field(default_factory=default_registry_path)
+    #: Rewrite the ledger once it holds this many lines but few live ones.
+    compact_after: int = 512
+
+    def __post_init__(self):
+        self.path = Path(self.path)
+
+    # -- writing ---------------------------------------------------------
+    def register(self, name: str, pid: int | None = None) -> None:
+        self._append(
+            {
+                "op": "add",
+                "name": name,
+                "pid": pid if pid is not None else os.getpid(),
+                "created_at": time.time(),
+            }
+        )
+
+    def unregister(self, name: str) -> None:
+        self._append({"op": "del", "name": name})
+
+    def _append(self, record: dict) -> None:
+        try:
+            with open(self.path, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass  # a failing ledger disk must never block matching
+
+    # -- reading ---------------------------------------------------------
+    def _read(self) -> tuple[dict[str, dict], int]:
+        """``(live entries by name, total ledger lines)``."""
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return {}, 0
+        live: dict[str, dict] = {}
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                op, name = record["op"], record["name"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                if number == len(lines):
+                    break  # torn tail from a crash mid-append
+                continue  # interleaved garbage: skip, don't wedge
+            if op == "add":
+                live[name] = record
+            elif op == "del":
+                live.pop(name, None)
+        return live, len(lines)
+
+    def live_segments(self) -> dict[str, dict]:
+        """Registered-and-not-unregistered segments, by name."""
+        return self._read()[0]
+
+    def orphans(self) -> list[dict]:
+        """Live entries whose owner pid is dead."""
+        return [
+            entry
+            for entry in self.live_segments().values()
+            if not pid_alive(int(entry.get("pid", 0)))
+        ]
+
+    # -- reaping ---------------------------------------------------------
+    def reap(self) -> int:
+        """Unlink every orphaned segment; returns how many were reaped.
+
+        Only segments whose *owner pid is dead* are touched — a live
+        daemon's arenas are never at risk, no matter how many processes
+        reap concurrently (a second reaper just finds the segment
+        already gone).  Afterwards the ledger is compacted if it has
+        accumulated enough dead history.
+        """
+        reaped = 0
+        for entry in self.orphans():
+            name = entry["name"]
+            if _unlink_segment(name):
+                reaped += 1
+            # Gone or never existed either way: retire the entry.
+            self.unregister(name)
+        self._maybe_compact()
+        return reaped
+
+    def _maybe_compact(self) -> None:
+        live, total = self._read()
+        if total < self.compact_after or total <= 2 * len(live) + 1:
+            return
+        try:
+            temp = self.path.with_suffix(".jsonl.tmp")
+            with open(temp, "w") as handle:
+                for entry in live.values():
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            os.replace(temp, self.path)
+        except OSError:
+            pass
+
+
+def _unlink_segment(name: str) -> bool:
+    """Best-effort unlink of a shared-memory segment by name."""
+    from multiprocessing import resource_tracker, shared_memory
+
+    # Same CPython-<3.13 caveat as ShmLogArena.attach: opening a segment
+    # registers it with the resource tracker as if we owned it; suppress
+    # so reaping another process's leak doesn't unbalance the tracker.
+    tracked_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False
+    finally:
+        resource_tracker.register = tracked_register
+    try:
+        segment.close()
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced another reaper
+        return False
+    return True
+
+
+#: The process-wide default registry (module-level so the arena layer,
+#: the warm pool, and the daemon all share one ledger).
+_default_registry: ShmSegmentRegistry | None = None
+
+
+def get_segment_registry() -> ShmSegmentRegistry:
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = ShmSegmentRegistry()
+    return _default_registry
+
+
+def set_segment_registry(registry: ShmSegmentRegistry | None) -> None:
+    """Override the default ledger (tests point it at a tmp path)."""
+    global _default_registry
+    _default_registry = registry
+
+
+def reap_orphan_segments() -> int:
+    """Reap dead-owner segments via the default registry."""
+    return get_segment_registry().reap()

@@ -10,6 +10,7 @@ internally); the scheduling work itself stays in the daemon loop.
 Routes::
 
     GET  /healthz                      liveness + counters
+    GET  /readyz                       readiness: 200 READY / 503 DEGRADED
     GET  /metrics                      Prometheus text exposition
     GET  /logs                         registered logs
     POST /logs/{name}                  register a log (CSV request body)
@@ -28,6 +29,12 @@ Routes::
 
 Every response is JSON except ``/metrics`` (text).  Errors follow one
 shape: ``{"error": "..."}`` with a 4xx/5xx status.
+
+Backpressure: ``POST /jobs`` against a queue at its ``--queue-bound``
+returns ``429 Too Many Requests`` with a ``Retry-After`` header;
+``GET /readyz`` serves ``503`` while the service is degraded (queue
+saturated, worker pool rebuilding) so load balancers stop routing new
+work without killing the process.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.log.csvio import read_csv
 from repro.log.errors import LogReadError
 from repro.service.daemon import MatchingService
-from repro.service.jobs import UnknownJobError
+from repro.service.jobs import QueueFullError, UnknownJobError
 from repro.service.registry import UnknownLogError
 from repro.service.sessions import UnknownSessionError
 
@@ -122,6 +129,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             handled = self._route(verb, parts, service)
         except (UnknownLogError, UnknownJobError, UnknownSessionError) as error:
             handled = self._error(404, _message(error))
+        except QueueFullError as error:
+            handled = self._error(
+                429,
+                _message(error),
+                headers={"Retry-After": str(max(1, round(error.retry_after)))},
+            )
         except KeyError as error:
             handled = self._error(400, f"missing field: {_message(error)}")
         except (ValueError, LogReadError) as error:
@@ -139,6 +152,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         if verb == "GET":
             if parts == ["healthz"]:
                 return self._json(200, service.health())
+            if parts == ["readyz"]:
+                verdict = service.readyz()
+                ready = verdict.get("status") == "ready"
+                return self._json(200 if ready else 503, verdict)
             if parts == ["metrics"]:
                 metrics = getattr(service.probe, "metrics", None)
                 if metrics is None:
@@ -255,23 +272,35 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    def _json(self, status: int, payload: dict) -> bool:
+    def _json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> bool:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        return self._respond(status, body, "application/json")
+        return self._respond(status, body, "application/json", headers)
 
     def _text(self, status: int, text: str) -> bool:
         return self._respond(
             status, text.encode("utf-8"), "text/plain; version=0.0.4"
         )
 
-    def _error(self, status: int, message: str) -> bool:
-        return self._json(status, {"error": message})
+    def _error(
+        self, status: int, message: str, headers: dict | None = None
+    ) -> bool:
+        return self._json(status, {"error": message}, headers)
 
-    def _respond(self, status: int, body: bytes, content_type: str) -> bool:
+    def _respond(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict | None = None,
+    ) -> bool:
         self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         return True
@@ -286,6 +315,7 @@ def _job_options(options: dict) -> dict:
         "strict",
         "degraded_fallback",
         "workers",
+        "deadline",
     }
     unknown = set(options) - allowed
     if unknown:

@@ -36,8 +36,16 @@ from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import ObservabilityProbe, Probe
-from repro.resilience.quarantine import QuarantineStore
-from repro.service.jobs import JobQueue, MatchJob
+from repro.resilience.quarantine import QuarantineRecord, QuarantineStore
+from repro.resilience.recovery import RecoveryStats
+from repro.resilience.supervise import (
+    OUTCOME_CRASH,
+    OUTCOME_DEADLINE,
+    DegradedStateMachine,
+    RetryPolicy,
+    reap_orphan_segments,
+)
+from repro.service.jobs import JobQueue, MatchJob, QueueFullError
 from repro.service.registry import LogRegistry, UnknownLogError
 from repro.service.sessions import SessionManager
 from repro.service.watcher import DirectoryWatcher
@@ -67,6 +75,18 @@ class MatchingService:
         Pass an existing probe to share a registry; by default the
         service builds its own :class:`ObservabilityProbe` so
         ``/metrics`` always has content.
+    max_retries:
+        Attempts beyond the first a failing job may consume before it
+        is poisoned into quarantine (see :class:`RetryPolicy`).
+    job_deadline:
+        Default per-job wall-clock budget in seconds, enforced by the
+        daemon (``None`` disables); a job may carry its own ``deadline``.
+    queue_bound:
+        Maximum queued+running jobs before submissions are refused with
+        :class:`QueueFullError` (the API's 429); ``None`` = unbounded.
+    retry_seed:
+        Seed for the backoff jitter RNG — supervised schedules replay
+        bit-for-bit like chaos runs.
     """
 
     def __init__(
@@ -76,12 +96,29 @@ class MatchingService:
         settle_polls: int = 0,
         checkpoint_every: float | None = 30.0,
         probe: Probe | None = None,
+        max_retries: int = 2,
+        job_deadline: float | None = None,
+        queue_bound: int | None = None,
+        retry_seed: int = 0,
     ):
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
         if probe is None:
             probe = ObservabilityProbe(metrics=MetricsRegistry())
         self.probe = probe
+        self.retry_policy = RetryPolicy(
+            max_retries=max_retries, deadline=job_deadline, seed=retry_seed
+        )
+        self._retry_rng = self.retry_policy.rng()
+        self.recovery = RecoveryStats()
+        self.readiness = DegradedStateMachine()
+        # Crash-safe shm lifecycle: before building anything that could
+        # allocate segments, unlink whatever a dead predecessor leaked.
+        reaped = reap_orphan_segments()
+        if reaped:
+            self.recovery.shm_segments_reaped += reaped
+            if probe.enabled:
+                probe.on_shm_reaped(reaped)
         self.quarantine = QuarantineStore(
             spill_path=self.state_dir / "quarantine.jsonl"
         )
@@ -93,8 +130,10 @@ class MatchingService:
             settle_polls=settle_polls,
             probe=probe,
         )
-        self.jobs = JobQueue(probe=probe)
+        self.jobs = JobQueue(probe=probe, bound=queue_bound)
         self.pool = WorkerPool(processes=processes, probe=probe)
+        self._respawns_seen = self.pool.respawns
+        self._respawned_this_round = False
         self.sessions = SessionManager(
             self.registry,
             self.state_dir / "sessions",
@@ -116,6 +155,7 @@ class MatchingService:
         registered = self.watcher.poll()
         dispatched = self._dispatch()
         finished = self._harvest()
+        self._update_readiness()
         if (
             self.checkpoint_every is not None
             and time.monotonic() - self._last_save >= self.checkpoint_every
@@ -130,8 +170,10 @@ class MatchingService:
     def run_until_idle(self, max_ticks: int = 10_000) -> int:
         """Tick until no queued/running jobs remain; returns tick count.
 
-        With worker processes this busy-waits between harvests with a
-        short sleep; inline pools complete within the dispatching tick.
+        A tick that makes no progress (waiting on worker futures, or on
+        a retry's backoff stamp to pass) sleeps briefly instead of
+        spinning — in either pool mode, since backoff-pending jobs make
+        even inline ticks momentarily idle.
         """
         spent = 0
         while self.jobs.depth > 0 or self.pool.active > 0:
@@ -141,8 +183,8 @@ class MatchingService:
                     f"service did not go idle within {max_ticks} ticks"
                 )
             outcome = self.tick()
-            if self.pool.processes and not outcome["finished"]:
-                time.sleep(0.02)
+            if not (outcome["dispatched"] or outcome["finished"]):
+                time.sleep(0.02 if self.pool.processes else 0.005)
         return spent
 
     def _dispatch(self) -> list[str]:
@@ -156,6 +198,7 @@ class MatchingService:
                     job,
                     self.registry.path(job.log_1),
                     self.registry.path(job.log_2),
+                    deadline=self.retry_policy.deadline_for(job.deadline),
                 )
             except UnknownLogError as error:
                 self.jobs.fail(job.job_id, f"UnknownLogError: {error}")
@@ -165,23 +208,109 @@ class MatchingService:
         return dispatched
 
     def _harvest(self) -> list[str]:
+        """Apply the retry policy to every harvested attempt.
+
+        ``ok`` finishes the job; any failure consults
+        :meth:`RetryPolicy.verdict` — ``retry`` re-queues the same pure
+        recipe behind a jittered backoff stamp, ``poison`` fails it and
+        routes a dead-letter record into quarantine (kind ``"job"``).
+        Executor rebuilds performed by the pool are mirrored into
+        :class:`RecoveryStats` here.
+        """
         finished = []
-        for job_id, result, error, elapsed in self.pool.completed():
-            if error is None:
-                self.jobs.finish(job_id, result, elapsed)
+        for outcome in self.pool.completed():
+            job_id = outcome.job_id
+            if outcome.ok:
+                self.jobs.finish(job_id, outcome.result, outcome.elapsed_seconds)
+                finished.append(job_id)
+                continue
+            worker_died = outcome.kind in (OUTCOME_CRASH, OUTCOME_DEADLINE)
+            if outcome.kind == OUTCOME_DEADLINE:
+                self.recovery.jobs_deadline_exceeded += 1
+            job = self.jobs.get(job_id)
+            verdict = self.retry_policy.verdict(
+                attempts=job.attempts,
+                worker_deaths=job.worker_deaths + (1 if worker_died else 0),
+            )
+            if verdict == "retry":
+                delay = self.retry_policy.backoff(job.attempts, self._retry_rng)
+                self.jobs.retry(
+                    job_id,
+                    outcome.error or outcome.kind,
+                    not_before=time.monotonic() + delay,
+                    worker_died=worker_died,
+                )
+                self.recovery.jobs_retried += 1
+                if self.probe.enabled:
+                    self.probe.on_job_retry(outcome.kind)
             else:
-                self.jobs.fail(job_id, error, elapsed)
-            finished.append(job_id)
+                self._poison(job, outcome)
+                finished.append(job_id)
+        respawns = self.pool.respawns
+        self._respawned_this_round = respawns > self._respawns_seen
+        if self._respawned_this_round:
+            self.recovery.workers_respawned += respawns - self._respawns_seen
+            self._respawns_seen = respawns
         return finished
+
+    def _poison(self, job: MatchJob, outcome) -> None:
+        """Dead-letter a job the policy refuses to retry again."""
+        error = (
+            f"poisoned after {job.attempts} attempt(s) "
+            f"(last failure: {outcome.error or outcome.kind})"
+        )
+        self.jobs.fail(job.job_id, error, outcome.elapsed_seconds)
+        self.quarantine.add(
+            QuarantineRecord(
+                kind="job",
+                reason=error,
+                case_id=job.job_id,
+                events=(
+                    f"log_1={job.log_1}",
+                    f"log_2={job.log_2}",
+                    f"method={job.method}",
+                    f"worker_deaths={job.worker_deaths}",
+                ),
+                source="service",
+            )
+        )
+        self.recovery.jobs_poisoned += 1
+        if self.probe.enabled:
+            self.probe.on_job_poisoned(outcome.kind)
+
+    def _update_readiness(self) -> None:
+        """Recompute the /readyz verdict from queue and pool state."""
+        bound = self.jobs.bound
+        if bound is not None and self.jobs.depth >= bound:
+            self.readiness.mark("queue-saturated")
+        else:
+            self.readiness.clear("queue-saturated")
+        # A pool that had to rebuild is suspect until it completes a
+        # scheduling round without another rebuild.
+        if self._respawned_this_round:
+            self.readiness.mark("worker-pool-rebuilding")
+        else:
+            self.readiness.clear("worker-pool-rebuilding")
 
     # ------------------------------------------------------------------
     # Submission facade (used by the API layer and tests)
     # ------------------------------------------------------------------
     def submit_job(self, log_1: str, log_2: str, **options) -> MatchJob:
-        """Validate log names exist now, then queue the job."""
+        """Validate log names exist now, then queue the job.
+
+        Raises :class:`QueueFullError` (counted as backpressure) when
+        the queue is at its bound — callers map it to HTTP 429.
+        """
         for name in (log_1, log_2):
             self.registry.info(name)  # raises UnknownLogError
-        return self.jobs.submit(log_1, log_2, **options)
+        try:
+            return self.jobs.submit(log_1, log_2, **options)
+        except QueueFullError:
+            self.recovery.backpressure_rejections += 1
+            self.readiness.mark("queue-saturated")
+            if self.probe.enabled:
+                self.probe.on_backpressure()
+            raise
 
     # ------------------------------------------------------------------
     # Persistence
@@ -248,13 +377,18 @@ class MatchingService:
         summary["sessions"] = self.sessions.resume()
         return summary
 
-    def shutdown(self) -> None:
-        """Save everything and stop the worker pool."""
+    def shutdown(self) -> list[str]:
+        """Save everything and drain the pool boundedly.
+
+        Jobs still in flight after the drain timeout are abandoned (the
+        manifest saved above holds them as RUNNING, so a later
+        ``resume`` re-queues them) and their ids returned.
+        """
         self.save_state()
-        self.pool.shutdown()
+        return self.pool.shutdown()
 
     # ------------------------------------------------------------------
-    # Introspection (what /healthz serves)
+    # Introspection (what /healthz and /readyz serve)
     # ------------------------------------------------------------------
     def health(self) -> dict:
         return {
@@ -267,4 +401,19 @@ class MatchingService:
             "sessions": len(self.sessions),
             "quarantined": self.quarantine.total_seen,
             "workers": self.pool.processes,
+            "readiness": self.readiness.state,
+            "supervision": {
+                "jobs_retried": self.recovery.jobs_retried,
+                "workers_respawned": self.recovery.workers_respawned,
+                "jobs_poisoned": self.recovery.jobs_poisoned,
+                "jobs_deadline_exceeded": self.recovery.jobs_deadline_exceeded,
+                "backpressure_rejections": (
+                    self.recovery.backpressure_rejections
+                ),
+                "shm_segments_reaped": self.recovery.shm_segments_reaped,
+            },
         }
+
+    def readyz(self) -> dict:
+        """The ``/readyz`` document (status + active degraded reasons)."""
+        return self.readiness.snapshot()

@@ -9,24 +9,55 @@ registration of its logs.
 The :class:`JobQueue` owns the lifecycle::
 
     QUEUED --claim--> RUNNING --finish--> DONE
-                         |
-                         +-----fail-----> FAILED
+                       |    |
+                       |    +--fail----> FAILED
+                       +----retry----> QUEUED (backoff-pending)
 
 All transitions are lock-protected (HTTP handler threads submit while
 the daemon loop claims) and every transition is visible to the probe:
 ``repro_service_jobs_submitted_total``, ``repro_service_jobs_finished``
 ``_total{state=...}`` and the ``repro_service_queue_depth`` gauge.
+
+Supervision (PR 8) adds two queue-level policies:
+
+* **Backpressure** — a ``bound`` on queue depth; :meth:`submit` raises
+  :class:`QueueFullError` once that many jobs are queued or running,
+  which the HTTP API maps to ``429 Too Many Requests``.
+* **Retry bookkeeping** — each job counts its ``attempts`` and the
+  ``worker_deaths`` it caused; :meth:`retry` flips a RUNNING job back to
+  QUEUED with a ``not_before`` backoff stamp that :meth:`claim_next`
+  honours.  ``not_before`` is a ``time.monotonic`` value and therefore
+  deliberately *not* persisted — after a restart every queued job is
+  immediately runnable.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, replace
 
 from repro.obs.probe import NULL_PROBE, Probe
 
 class UnknownJobError(KeyError):
     """An API call referenced a job id that does not exist."""
+
+
+class QueueFullError(RuntimeError):
+    """Submission refused: the queue is at its depth bound.
+
+    Carries ``retry_after`` — the coarse seconds a client should wait
+    before resubmitting (the API surfaces it as a ``Retry-After``
+    header).
+    """
+
+    def __init__(self, depth: int, bound: int, retry_after: float = 1.0):
+        super().__init__(
+            f"queue is full ({depth} jobs against a bound of {bound})"
+        )
+        self.depth = depth
+        self.bound = bound
+        self.retry_after = retry_after
 
 
 QUEUED = "queued"
@@ -56,6 +87,18 @@ class MatchJob:
     result: dict | None = None
     error: str | None = None
     elapsed_seconds: float = 0.0
+    # -- supervision bookkeeping (PR 8) --------------------------------
+    #: Optional per-job wall-clock budget in seconds (overrides the
+    #: service-level default when set).
+    deadline: float | None = None
+    #: Completed execution attempts (0 until first claimed).
+    attempts: int = 0
+    #: Workers that died while executing this job (two = poison).
+    worker_deaths: int = 0
+    #: ``time.monotonic`` stamp before which claim_next skips this job.
+    #: Monotonic clocks don't survive restarts, so this is never
+    #: persisted — restored jobs are immediately runnable.
+    not_before: float = 0.0
 
     def to_payload(self) -> dict:
         return {
@@ -73,6 +116,9 @@ class MatchJob:
             "result": self.result,
             "error": self.error,
             "elapsed_seconds": self.elapsed_seconds,
+            "deadline": self.deadline,
+            "attempts": self.attempts,
+            "worker_deaths": self.worker_deaths,
         }
 
     @classmethod
@@ -92,18 +138,29 @@ class MatchJob:
             result=payload.get("result"),
             error=payload.get("error"),
             elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+            deadline=payload.get("deadline"),
+            attempts=payload.get("attempts", 0),
+            worker_deaths=payload.get("worker_deaths", 0),
         )
 
 
 class JobQueue:
-    """Thread-safe FIFO of :class:`MatchJob` with terminal-state history."""
+    """Thread-safe FIFO of :class:`MatchJob` with terminal-state history.
 
-    def __init__(self, probe: Probe | None = None):
+    ``bound``, when set, caps the number of non-terminal jobs; a
+    saturated queue refuses further submissions with
+    :class:`QueueFullError` instead of growing without limit.
+    """
+
+    def __init__(self, probe: Probe | None = None, bound: int | None = None):
+        if bound is not None and bound < 1:
+            raise ValueError("queue bound must be positive")
         self._jobs: dict[str, MatchJob] = {}
         self._order: list[str] = []
         self._counter = 0
         self._lock = threading.Lock()
         self._probe = probe if probe is not None else NULL_PROBE
+        self.bound = bound
 
     # ------------------------------------------------------------------
     # Submission
@@ -119,8 +176,18 @@ class JobQueue:
         strict: bool = False,
         degraded_fallback: float | None = None,
         workers: int = 1,
+        deadline: float | None = None,
+        enforce_bound: bool = True,
     ) -> MatchJob:
+        """Queue a new job; raises :class:`QueueFullError` at the bound.
+
+        ``enforce_bound=False`` bypasses backpressure — used by manifest
+        restore, where refusing previously-accepted jobs would lose them.
+        """
         with self._lock:
+            depth = self._depth_locked()
+            if enforce_bound and self.bound is not None and depth >= self.bound:
+                raise QueueFullError(depth, self.bound)
             self._counter += 1
             job = MatchJob(
                 job_id=f"job-{self._counter:06d}",
@@ -133,6 +200,7 @@ class JobQueue:
                 strict=strict,
                 degraded_fallback=degraded_fallback,
                 workers=workers,
+                deadline=deadline,
             )
             self._jobs[job.job_id] = job
             self._order.append(job.job_id)
@@ -155,26 +223,78 @@ class JobQueue:
             strict=original.strict,
             degraded_fallback=original.degraded_fallback,
             workers=original.workers,
+            deadline=original.deadline,
         )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def claim_next(self) -> MatchJob | None:
-        """Oldest queued job, flipped to RUNNING; ``None`` if idle."""
+    def claim_next(self, now: float | None = None) -> MatchJob | None:
+        """Oldest *runnable* queued job, flipped to RUNNING; ``None`` if idle.
+
+        A job whose ``not_before`` backoff stamp is still in the future
+        is skipped, not removed — it becomes runnable again once the
+        clock passes the stamp.  Claiming counts as the start of an
+        attempt, so ``attempts`` increments here.
+        """
+        if now is None:
+            now = time.monotonic()
         with self._lock:
             for job_id in self._order:
                 job = self._jobs[job_id]
-                if job.state == QUEUED:
+                if job.state == QUEUED and job.not_before <= now:
                     job.state = RUNNING
+                    job.attempts += 1
                     return replace(job)
         return None
+
+    def backoff_pending(self, now: float | None = None) -> int:
+        """Queued jobs currently held back by a backoff stamp."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.state == QUEUED and job.not_before > now
+            )
 
     def finish(self, job_id: str, result: dict, elapsed_seconds: float) -> None:
         self._finalize(job_id, DONE, result=result, elapsed=elapsed_seconds)
 
     def fail(self, job_id: str, error: str, elapsed_seconds: float = 0.0) -> None:
         self._finalize(job_id, FAILED, error=error, elapsed=elapsed_seconds)
+
+    def retry(
+        self,
+        job_id: str,
+        error: str,
+        not_before: float = 0.0,
+        worker_died: bool = False,
+    ) -> MatchJob:
+        """Flip a RUNNING job back to QUEUED for another attempt.
+
+        ``error`` records why the last attempt failed (kept on the job
+        so an eventually-poisoned job carries its history); ``not_before``
+        is the monotonic stamp the backoff computed; ``worker_died``
+        increments the poison-relevant death counter.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state != RUNNING:
+                raise ValueError(
+                    f"cannot retry job {job_id!r} in state {job.state!r}"
+                )
+            job.state = QUEUED
+            job.error = error
+            job.result = None
+            job.not_before = not_before
+            if worker_died:
+                job.worker_deaths += 1
+            snapshot = replace(job)
+        if self._probe.enabled:
+            self._probe.on_queue_depth(self.depth)
+        return snapshot
 
     def _finalize(
         self,

@@ -16,7 +16,11 @@ wrong in practice:
   XES, missing CSV header columns, zero usable traces, unsupported
   extension) is *moved* to ``<state>/drop/quarantine/`` and recorded
   with its reason, so a poisoned file cannot wedge the watcher by being
-  re-ingested every poll.
+  re-ingested every poll;
+* **transient-error grace** — a raw ``OSError`` during the read (NFS
+  hiccup, permissions race with the copying process) gets exactly one
+  retry on the next poll before the file is quarantined, because an I/O
+  blip is not evidence the *content* is bad.
 
 Successfully ingested files are deleted from the drop directory — the
 canonical copy now lives in the registry spool.
@@ -79,8 +83,11 @@ class DirectoryWatcher:
         self._probe = probe if probe is not None else NULL_PROBE
         #: path -> (size, mtime_ns, stable_poll_count)
         self._seen: dict[Path, tuple[int, int, int]] = {}
+        #: Paths that already burned their one transient-OSError retry.
+        self._io_retried: set[Path] = set()
         self.files_registered = 0
         self.files_quarantined = 0
+        self.io_retries = 0
 
     # ------------------------------------------------------------------
     # Polling
@@ -102,6 +109,7 @@ class DirectoryWatcher:
         # Forget files that vanished before settling.
         for path in [p for p in self._seen if p not in present]:
             del self._seen[path]
+        self._io_retried &= present
         return registered
 
     def _settled(self, path: Path) -> bool:
@@ -131,9 +139,24 @@ class DirectoryWatcher:
                     f"{path.name}: no usable traces "
                     "(empty file, or every row quarantined)"
                 )
+        except OSError as error:
+            # LogReadError is a ValueError, so a raw OSError here is a
+            # genuine I/O failure, not bad content.  Leave the file in
+            # place for one retry on the next poll; quarantine only a
+            # repeat offender.
+            if path not in self._io_retried:
+                self._io_retried.add(path)
+                self.io_retries += 1
+                if self._probe.enabled:
+                    self._probe.on_file_ingested("io-retry")
+                return None
+            self._io_retried.discard(path)
+            self._quarantine_file(path, error)
+            return None
         except Exception as error:  # noqa: BLE001 — the dead-letter seam
             self._quarantine_file(path, error)
             return None
+        self._io_retried.discard(path)
         self.registry.register(name, log, source="drop")
         path.unlink(missing_ok=True)
         self.files_registered += 1

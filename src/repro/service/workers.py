@@ -1,4 +1,4 @@
-"""Job execution: the picklable recipe boundary and the worker pool.
+"""Job execution: the picklable recipe boundary and the supervised pool.
 
 A match job crosses the process boundary as a plain dict (spool paths,
 pattern texts, matcher options) and comes back as a plain dict (mapping,
@@ -14,10 +14,21 @@ smoke job, and ``repro serve --workers 0``) or on the persistent
 :class:`~repro.parallel.pool.WarmPool` shared with the parallel search
 layer.  Inline mode is not a toy: because results are produced by the
 same function either way, switching modes cannot change any job's
-output, only its latency.  Riding the warm pool means a daemon restart
-in the same process (tests, embedded use) reuses live workers instead
-of respawning, and daemon jobs share the workers' model caches with any
-``parallel_match`` calls in the same process.
+output, only its latency.
+
+The pool is *supervised* (PR 8): every harvested attempt comes back as
+a :class:`JobOutcome` classified ``ok``/``error``/``crash``/
+``deadline``, so the daemon's retry policy can tell a deterministic
+recipe error (never worth a blind re-run on its own merits, but
+bounded-retried for uniformity) from a worker that was SIGKILLed mid-
+job (always worth one).  A ``BrokenProcessPool`` — the executor-wide
+failure mode a single dead worker triggers — fails over every in-flight
+job to the ``crash`` path and rebuilds the executor via
+:meth:`~repro.parallel.pool.WarmPool.respawn`; a job that outlives its
+parent-enforced wall-clock deadline is abandoned and its runaway worker
+reclaimed the same way.  Because job recipes are pure, a retried
+attempt on the rebuilt pool produces a bit-identical result to an
+uninterrupted run.
 """
 
 from __future__ import annotations
@@ -25,15 +36,38 @@ from __future__ import annotations
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
 from repro.core.matcher import EventMatcher, MatchResult
 from repro.obs.probe import NULL_PROBE, Probe
 from repro.parallel.pool import current_warm_pool, get_warm_pool
 from repro.parallel.sweep import TaskSpec
+from repro.resilience.supervise import (
+    OUTCOME_CRASH,
+    OUTCOME_DEADLINE,
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+)
+
+#: Longest a blocking harvest waits before giving control back to the
+#: daemon loop — a dead worker must never strand the scheduler on a
+#: future that will only resolve when the pool is rebuilt.
+HARVEST_TIMEOUT = 1.0
+
+#: Longest ``shutdown`` waits for in-flight jobs before abandoning them.
+SHUTDOWN_TIMEOUT = 30.0
 
 
-def job_payload(job, path_1: str, path_2: str) -> dict:
-    """The picklable recipe for ``job`` with log names resolved to paths."""
+def job_payload(
+    job, path_1: str, path_2: str, deadline: float | None = None
+) -> dict:
+    """The picklable recipe for ``job`` with log names resolved to paths.
+
+    ``deadline`` is the effective wall-clock budget (the job's own, or
+    the service default) — carried in the payload so the parent-side
+    enforcement travels with the recipe through retries.
+    """
     return {
         "paths": (str(path_1), str(path_2)),
         "patterns": list(job.patterns),
@@ -43,6 +77,7 @@ def job_payload(job, path_1: str, path_2: str) -> dict:
         "strict": job.strict,
         "degraded_fallback": job.degraded_fallback,
         "workers": job.workers,
+        "deadline": deadline if deadline is not None else job.deadline,
     }
 
 
@@ -86,14 +121,43 @@ def serialize_result(result: MatchResult) -> dict:
     }
 
 
+@dataclass(frozen=True)
+class JobOutcome:
+    """One harvested job attempt, classified for the retry policy.
+
+    ``kind`` is one of ``"ok"`` / ``"error"`` (the recipe raised) /
+    ``"crash"`` (the worker died under the job) / ``"deadline"`` (the
+    attempt outlived its wall-clock budget and was abandoned).
+    """
+
+    job_id: str
+    kind: str
+    result: dict | None = None
+    error: str | None = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == OUTCOME_OK
+
+
+@dataclass(frozen=True)
+class _InFlight:
+    job_id: str
+    payload: dict
+    started: float
+
+
 class WorkerPool:
-    """Run job recipes inline or across worker processes.
+    """Run job recipes inline or across supervised worker processes.
 
     The daemon loop drives it with two calls: :meth:`submit` hands over
     a claimed job's recipe, :meth:`completed` harvests finished ones as
-    ``(job_id, result, error, elapsed_seconds)`` tuples without
-    blocking.  Inline mode executes during :meth:`submit` and queues the
-    outcome for the next harvest, so the loop's control flow is
+    :class:`JobOutcome` records without blocking indefinitely — even a
+    blocking harvest is bounded by :data:`HARVEST_TIMEOUT`, because a
+    SIGKILLed worker must surface as a ``crash`` outcome, not a hung
+    scheduler.  Inline mode executes during :meth:`submit` and queues
+    the outcome for the next harvest, so the loop's control flow is
     identical in both modes.
     """
 
@@ -109,60 +173,214 @@ class WorkerPool:
                 self.probe.on_pool_event(reused, self._pool.workers)
         else:
             self._pool = None
-        self._futures: dict = {}  # future -> (job_id, submitted_at)
-        self._done: list[tuple[str, dict | None, str | None, float]] = []
+        self._futures: dict = {}  # future -> _InFlight
+        self._done: list[JobOutcome] = []
+        #: Executor rebuilds this pool performed (mirrored by the daemon
+        #: into RecoveryStats.workers_respawned).
+        self.respawns = 0
+        #: Job ids abandoned by :meth:`shutdown`'s bounded drain.
+        self.abandoned: list[str] = []
 
     @property
     def active(self) -> int:
         """Jobs submitted but not yet harvested."""
         return len(self._futures) + len(self._done)
 
+    def worker_pids(self) -> list[int]:
+        """Live worker pids (empty in inline mode) — the chaos surface."""
+        return self._pool.worker_pids() if self._pool is not None else []
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
     def submit(self, job_id: str, payload: dict) -> None:
         if self._pool is None:
             started = time.perf_counter()
             try:
                 result = execute_match_job(payload)
-                outcome = (job_id, result, None)
+                outcome = JobOutcome(job_id, OUTCOME_OK, result=result)
             # SystemExit included: file loaders exit on missing paths,
             # and an inline job must never take the daemon down with it.
             except (Exception, SystemExit) as error:  # noqa: BLE001
-                outcome = (job_id, None, _describe(error))
-            self._done.append((*outcome, time.perf_counter() - started))
+                outcome = JobOutcome(
+                    job_id, OUTCOME_ERROR, error=_describe(error)
+                )
+            elapsed = time.perf_counter() - started
+            deadline = payload.get("deadline")
+            if outcome.ok and deadline is not None and elapsed > deadline:
+                # Inline mode cannot interrupt a running job, but the
+                # contract must not silently differ from pool mode: an
+                # over-deadline attempt is a deadline failure either way.
+                outcome = JobOutcome(
+                    job_id,
+                    OUTCOME_DEADLINE,
+                    error=_deadline_error(elapsed, deadline),
+                )
+            self._done.append(
+                JobOutcome(
+                    outcome.job_id,
+                    outcome.kind,
+                    result=outcome.result,
+                    error=outcome.error,
+                    elapsed_seconds=elapsed,
+                )
+            )
             return
-        future = self._pool.submit(execute_match_job, payload)
-        self._futures[future] = (job_id, time.perf_counter())
+        started = time.perf_counter()
+        try:
+            future = self._pool.submit(execute_match_job, payload)
+        except BrokenProcessPool:
+            # The pool died between harvests (e.g. a worker was killed
+            # while idle).  Rebuild and submit on the fresh executor; a
+            # second refusal means the environment cannot spawn workers
+            # at all, which is a crash outcome, not a daemon crash.
+            self._respawn("submit-broken")
+            try:
+                future = self._pool.submit(execute_match_job, payload)
+            except BrokenProcessPool as error:
+                self._done.append(
+                    JobOutcome(job_id, OUTCOME_CRASH, error=_describe(error))
+                )
+                return
+        self._futures[future] = _InFlight(job_id, payload, started)
 
-    def completed(
-        self, block: bool = False
-    ) -> list[tuple[str, dict | None, str | None, float]]:
-        """Harvest finished jobs; with ``block`` wait for at least one."""
+    # ------------------------------------------------------------------
+    # Harvest
+    # ------------------------------------------------------------------
+    def completed(self, block: bool = False) -> list[JobOutcome]:
+        """Harvest finished attempts; ``block`` waits (boundedly) for one."""
         harvested = list(self._done)
         self._done.clear()
+        harvested.extend(self._check_deadlines())
         if self._futures:
-            timeout = None if (block and not harvested) else 0
+            timeout = HARVEST_TIMEOUT if (block and not harvested) else 0
             finished, _ = wait(
                 self._futures, timeout=timeout, return_when=FIRST_COMPLETED
             )
+            pool_broke = False
             for future in finished:
-                job_id, started = self._futures.pop(future)
-                elapsed = time.perf_counter() - started
+                flight = self._futures.pop(future)
+                elapsed = time.perf_counter() - flight.started
                 try:
-                    harvested.append((job_id, future.result(), None, elapsed))
+                    harvested.append(
+                        JobOutcome(
+                            flight.job_id,
+                            OUTCOME_OK,
+                            result=future.result(),
+                            elapsed_seconds=elapsed,
+                        )
+                    )
+                except BrokenProcessPool as error:
+                    pool_broke = True
+                    harvested.append(
+                        JobOutcome(
+                            flight.job_id,
+                            OUTCOME_CRASH,
+                            error=_describe(error),
+                            elapsed_seconds=elapsed,
+                        )
+                    )
                 except (Exception, SystemExit) as error:  # noqa: BLE001
-                    harvested.append((job_id, None, _describe(error), elapsed))
+                    harvested.append(
+                        JobOutcome(
+                            flight.job_id,
+                            OUTCOME_ERROR,
+                            error=_describe(error),
+                            elapsed_seconds=elapsed,
+                        )
+                    )
+            if pool_broke:
+                # A broken executor resolves *all* futures exceptionally,
+                # so any stragglers surface as crashes too; fail them
+                # over now and rebuild once.
+                harvested.extend(
+                    self._fail_over("worker pool broke (worker died)")
+                )
+                self._respawn("worker-death", kill_workers=False)
         return harvested
 
-    def shutdown(self) -> None:
-        """Drain in-flight jobs; leave the shared warm pool running.
+    def _check_deadlines(self) -> list[JobOutcome]:
+        """Abandon in-flight attempts that outlived their deadline.
 
-        The pool is the process-wide singleton and deliberately survives
-        daemon shutdown — that persistence is what makes restarts cheap.
-        :func:`repro.parallel.pool.close_warm_pool` tears it down when a
-        process really is done with parallel work.
+        The runaway worker is still computing; the only way to reclaim
+        it without cooperative cancellation (which a wedged worker by
+        definition cannot offer) is to rebuild the pool, so every other
+        in-flight job fails over to the crash path and retries on the
+        fresh executor.
         """
+        now = time.perf_counter()
+        expired = [
+            (future, flight)
+            for future, flight in self._futures.items()
+            if flight.payload.get("deadline") is not None
+            and now - flight.started > flight.payload["deadline"]
+            and not future.done()
+        ]
+        if not expired:
+            return []
+        outcomes = []
+        for future, flight in expired:
+            self._futures.pop(future, None)
+            outcomes.append(
+                JobOutcome(
+                    flight.job_id,
+                    OUTCOME_DEADLINE,
+                    error=_deadline_error(
+                        now - flight.started, flight.payload["deadline"]
+                    ),
+                    elapsed_seconds=now - flight.started,
+                )
+            )
+        outcomes.extend(
+            self._fail_over("pool rebuilt to reclaim an over-deadline worker")
+        )
+        self._respawn("deadline", kill_workers=True)
+        return outcomes
+
+    def _fail_over(self, reason: str) -> list[JobOutcome]:
+        """Every remaining in-flight job becomes a ``crash`` outcome."""
+        now = time.perf_counter()
+        outcomes = [
+            JobOutcome(
+                flight.job_id,
+                OUTCOME_CRASH,
+                error=f"in-flight when {reason}",
+                elapsed_seconds=now - flight.started,
+            )
+            for flight in self._futures.values()
+        ]
+        self._futures.clear()
+        return outcomes
+
+    def _respawn(self, reason: str, kill_workers: bool = False) -> None:
+        self._pool.respawn(kill_workers=kill_workers)
+        self.respawns += 1
+        if self.probe.enabled:
+            self.probe.on_pool_respawn(self._pool.workers, reason)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = SHUTDOWN_TIMEOUT) -> list[str]:
+        """Drain in-flight jobs boundedly; report the abandoned ones.
+
+        The warm pool is the process-wide singleton and deliberately
+        survives daemon shutdown — that persistence is what makes
+        restarts cheap.  But the *drain* must be bounded: a worker that
+        died mid-job leaves a future that never resolves, and a daemon
+        that waits on it forever turns one worker death into an
+        unkillable shutdown.  Jobs still unfinished after ``timeout``
+        seconds are abandoned (they re-queue from the manifest on the
+        next ``--resume``) and their ids returned.
+        """
+        self.abandoned = []
         if self._pool is not None and self._futures:
-            wait(list(self._futures))
+            _done, not_done = wait(list(self._futures), timeout=timeout)
+            self.abandoned = sorted(
+                self._futures[future].job_id for future in not_done
+            )
             self._futures.clear()
+        return self.abandoned
 
 
 def _describe(error: BaseException) -> str:
@@ -170,3 +388,10 @@ def _describe(error: BaseException) -> str:
     tail = traceback.extract_tb(error.__traceback__)
     where = f" at {tail[-1].filename}:{tail[-1].lineno}" if tail else ""
     return f"{type(error).__name__}: {error}{where}"
+
+
+def _deadline_error(elapsed: float, deadline: float) -> str:
+    return (
+        f"deadline exceeded: attempt ran {elapsed:.3f}s "
+        f"against a {deadline:.3f}s wall-clock budget"
+    )

@@ -209,9 +209,10 @@ class TestWorkerExecution:
         pool = WorkerPool(processes=0)
         pool.submit("job-1", {"paths": ("nope.csv", "nope.csv"), "patterns": []})
         assert pool.active == 1
-        [(job_id, result, error, elapsed)] = pool.completed()
-        assert job_id == "job-1"
-        assert result is None and "no such file" in error
+        [outcome] = pool.completed()
+        assert outcome.job_id == "job-1"
+        assert outcome.result is None and "no such file" in outcome.error
+        assert not outcome.ok and outcome.kind == "error"
         assert pool.active == 0
 
 

@@ -1,0 +1,677 @@
+"""Supervised execution: worker-crash recovery, retries, backpressure,
+and the crash-safe shared-memory lifecycle.
+
+The centerpiece is the seeded worker-kill chaos test: SIGKILL a warm-pool
+worker mid-job via :meth:`ChaosInjector.kill_worker` and assert the
+daemon retries the job to a mapping *bit-identical* to an uninterrupted
+run — the supervision layer may change when a job finishes, never what
+it computes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.log.eventlog import EventLog
+from repro.parallel import pool as pool_module
+from repro.resilience.chaos import ChaosConfig, ChaosInjector
+from repro.resilience.recovery import RecoveryStats
+from repro.resilience.supervise import (
+    DegradedStateMachine,
+    RetryPolicy,
+    ShmSegmentRegistry,
+    pid_alive,
+    set_segment_registry,
+)
+from repro.service import workers as workers_module
+from repro.service.api import ServiceAPI
+from repro.service.daemon import MatchingService
+from repro.service.jobs import FAILED, JobQueue, QueueFullError
+from repro.service.workers import WorkerPool
+
+LEFT = EventLog(
+    [
+        ["request", "validate", "approve", "archive"],
+        ["request", "validate", "reject"],
+        ["request", "approve", "archive"],
+        ["request", "validate", "approve", "archive"],
+    ],
+    name="left",
+)
+RIGHT = EventLog(
+    [
+        ["req_recv", "req_check", "req_ok", "req_store"],
+        ["req_recv", "req_check", "req_deny"],
+        ["req_recv", "req_ok", "req_store"],
+        ["req_recv", "req_check", "req_ok", "req_store"],
+    ],
+    name="right",
+)
+PATTERNS = ("SEQ(request, validate)", "SEQ(validate, approve)")
+
+
+def make_service(tmp_path, **kwargs) -> MatchingService:
+    kwargs.setdefault("processes", 0)
+    kwargs.setdefault("settle_polls", 0)
+    kwargs.setdefault("checkpoint_every", None)
+    service = MatchingService(tmp_path / "state", **kwargs)
+    service.registry.register("left", LEFT)
+    service.registry.register("right", RIGHT)
+    return service
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.5, jitter=0.0
+        )
+        delays = [policy.backoff(n) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.1, seed=42)
+        first = [policy.backoff(1, policy.rng()) for _ in range(3)]
+        assert len(set(first)) == 1  # same seed, same schedule
+        assert all(1.0 <= d <= 1.1 for d in first)
+
+    def test_verdict_poisons_after_max_retries(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.verdict(attempts=1, worker_deaths=0) == "retry"
+        assert policy.verdict(attempts=2, worker_deaths=0) == "retry"
+        assert policy.verdict(attempts=3, worker_deaths=0) == "poison"
+
+    def test_verdict_poisons_after_two_worker_deaths(self):
+        policy = RetryPolicy(max_retries=10)
+        assert policy.verdict(attempts=1, worker_deaths=1) == "retry"
+        assert policy.verdict(attempts=2, worker_deaths=2) == "poison"
+
+    def test_deadline_for_prefers_job_deadline(self):
+        policy = RetryPolicy(deadline=30.0)
+        assert policy.deadline_for(None) == 30.0
+        assert policy.deadline_for(2.5) == 2.5
+        assert RetryPolicy().deadline_for(None) is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestDegradedStateMachine:
+    def test_ready_until_marked_then_clears(self):
+        machine = DegradedStateMachine()
+        assert machine.ready and machine.state == "ready"
+        machine.mark("queue-saturated")
+        machine.mark("worker-pool-rebuilding")
+        assert not machine.ready
+        assert machine.snapshot()["status"] == "degraded"
+        assert "queue-saturated" in machine.snapshot()["reasons"]
+        machine.clear("queue-saturated")
+        assert not machine.ready  # one reason still active
+        machine.clear("worker-pool-rebuilding")
+        assert machine.ready
+        assert machine.transitions == 2  # down once, up once
+
+    def test_clearing_unknown_reason_is_noop(self):
+        machine = DegradedStateMachine()
+        machine.clear("never-marked")
+        assert machine.ready and machine.transitions == 0
+
+
+# ----------------------------------------------------------------------
+# Queue lifecycle: bound, retry, backoff
+# ----------------------------------------------------------------------
+class TestQueuePolicy:
+    def test_bounded_queue_refuses_submissions(self):
+        queue = JobQueue(bound=2)
+        queue.submit("a", "b")
+        queue.submit("a", "b")
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit("a", "b")
+        assert excinfo.value.retry_after >= 1.0
+        # Finishing a job frees a slot.
+        job = queue.claim_next()
+        queue.finish(job.job_id, {}, 0.0)
+        queue.submit("a", "b")
+
+    def test_restore_bypasses_the_bound(self):
+        source = JobQueue()
+        for _ in range(4):
+            source.submit("a", "b")
+        restored = JobQueue(bound=2)
+        assert restored.restore_payload(source.to_payload()) == 4
+
+    def test_retry_requeues_with_backoff_stamp(self):
+        queue = JobQueue()
+        queue.submit("a", "b")
+        job = queue.claim_next()
+        assert job.attempts == 1
+        future = time.monotonic() + 60.0
+        queue.retry(job.job_id, "boom", not_before=future, worker_died=True)
+        assert queue.claim_next() is None  # backoff still pending
+        assert queue.backoff_pending() == 1
+        reclaimed = queue.claim_next(now=future + 1.0)
+        assert reclaimed is not None
+        assert reclaimed.attempts == 2
+        assert reclaimed.worker_deaths == 1
+        assert reclaimed.error == "boom"
+
+    def test_retry_requires_running_state(self):
+        queue = JobQueue()
+        job = queue.submit("a", "b")
+        with pytest.raises(ValueError):
+            queue.retry(job.job_id, "boom")
+
+    def test_attempts_survive_the_manifest(self):
+        queue = JobQueue()
+        job = queue.submit("a", "b", deadline=9.0)
+        claimed = queue.claim_next()
+        queue.retry(claimed.job_id, "boom", worker_died=True)
+        restored = JobQueue()
+        restored.restore_payload(queue.to_payload())
+        back = restored.get(job.job_id)
+        assert back.attempts == 1
+        assert back.worker_deaths == 1
+        assert back.deadline == 9.0
+        assert back.not_before == 0.0  # monotonic stamps never persist
+
+
+# ----------------------------------------------------------------------
+# Daemon-level retry / poison / deadline (inline pool: deterministic)
+# ----------------------------------------------------------------------
+class TestSupervisedDaemon:
+    def test_error_job_retries_then_poisons_into_quarantine(self, tmp_path):
+        service = make_service(tmp_path, max_retries=2)
+        # Shrink backoffs so the test doesn't sleep its way to a minute.
+        service.retry_policy = RetryPolicy(max_retries=2, backoff_base=0.001)
+        job = service.submit_job("left", "right", method="no-such-method")
+        service.run_until_idle()
+        failed = service.jobs.get(job.job_id)
+        assert failed.state == FAILED
+        assert failed.attempts == 3  # first try + two retries
+        assert "poisoned after 3 attempt(s)" in failed.error
+        assert "no-such-method" in failed.error
+        assert service.recovery.jobs_retried == 2
+        assert service.recovery.jobs_poisoned == 1
+        [record] = [
+            r for r in service.quarantine.records if r.kind == "job"
+        ]
+        assert record.case_id == job.job_id
+        assert "no-such-method" in record.reason
+
+    def test_zero_retries_fails_on_first_error(self, tmp_path):
+        service = make_service(tmp_path, max_retries=0)
+        job = service.submit_job("left", "right", method="no-such-method")
+        service.run_until_idle()
+        assert service.jobs.get(job.job_id).state == FAILED
+        assert service.recovery.jobs_retried == 0
+        assert service.recovery.jobs_poisoned == 1
+
+    def test_inline_deadline_counts_and_poisons(self, tmp_path, monkeypatch):
+        service = make_service(tmp_path, max_retries=1, job_deadline=0.000001)
+        service.retry_policy = RetryPolicy(
+            max_retries=1, deadline=0.000001, backoff_base=0.001
+        )
+        job = service.submit_job("left", "right")
+        service.run_until_idle()
+        failed = service.jobs.get(job.job_id)
+        assert failed.state == FAILED
+        assert service.recovery.jobs_deadline_exceeded == 2
+        assert service.recovery.jobs_poisoned == 1
+
+    def test_per_job_deadline_overrides_service_default(self, tmp_path):
+        service = make_service(tmp_path, job_deadline=0.000001, max_retries=0)
+        # A generous per-job deadline rescues this job from the absurd
+        # service-wide default.
+        job = service.submit_job("left", "right", deadline=60.0)
+        service.run_until_idle()
+        assert service.jobs.get(job.job_id).state == "done"
+        assert service.recovery.jobs_deadline_exceeded == 0
+
+    def test_backpressure_counts_and_degrades(self, tmp_path):
+        service = make_service(tmp_path, queue_bound=1)
+        service.submit_job("left", "right")
+        with pytest.raises(QueueFullError):
+            service.submit_job("left", "right")
+        assert service.recovery.backpressure_rejections == 1
+        assert not service.readiness.ready
+        assert "queue-saturated" in service.readiness.reasons()
+        service.run_until_idle()
+        assert service.readiness.ready  # drained below the bound
+
+    def test_retried_recipe_reaches_identical_mapping(self, tmp_path):
+        """A job that fails transiently must converge to the exact result
+        an undisturbed run produces."""
+        baseline = make_service(tmp_path / "a")
+        job = baseline.submit_job("left", "right", patterns=PATTERNS)
+        baseline.run_until_idle()
+        expected = baseline.jobs.get(job.job_id).result
+
+        service = make_service(tmp_path / "b", max_retries=2)
+        service.retry_policy = RetryPolicy(max_retries=2, backoff_base=0.001)
+        real_execute = workers_module.execute_match_job
+        calls = {"n": 0}
+
+        def flaky_execute(payload):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("induced transient failure")
+            return real_execute(payload)
+
+        workers_module.execute_match_job = flaky_execute
+        try:
+            retried = service.submit_job("left", "right", patterns=PATTERNS)
+            service.run_until_idle()
+        finally:
+            workers_module.execute_match_job = real_execute
+        outcome = service.jobs.get(retried.job_id)
+        assert outcome.state == "done"
+        assert outcome.attempts == 2
+        assert service.recovery.jobs_retried == 1
+        assert outcome.result["mapping"] == expected["mapping"]
+        assert outcome.result["score"] == expected["score"]
+
+
+# ----------------------------------------------------------------------
+# HTTP backpressure + readiness
+# ----------------------------------------------------------------------
+class TestBackpressureAPI:
+    @pytest.fixture
+    def served(self, tmp_path):
+        service = make_service(tmp_path, queue_bound=1)
+        api = ServiceAPI(service).start()
+        yield service, api
+        api.stop()
+
+    def _get(self, api, path):
+        request = urllib.request.Request(api.address + path)
+        try:
+            with urllib.request.urlopen(request) as response:
+                return response.status, json.loads(response.read()), response
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read()), error
+
+    def _post(self, api, path, payload):
+        request = urllib.request.Request(
+            api.address + path,
+            data=json.dumps(payload).encode(),
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                return response.status, json.loads(response.read()), response
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read()), error
+
+    def test_saturated_queue_returns_429_with_retry_after(self, served):
+        service, api = served
+        body = {"log_1": "left", "log_2": "right"}
+        status, _, _ = self._post(api, "/jobs", body)
+        assert status == 202
+        status, payload, response = self._post(api, "/jobs", body)
+        assert status == 429
+        assert "queue is full" in payload["error"]
+        assert int(response.headers["Retry-After"]) >= 1
+
+    def test_readyz_serves_503_while_degraded_then_recovers(self, served):
+        service, api = served
+        status, payload, _ = self._get(api, "/readyz")
+        assert status == 200 and payload["status"] == "ready"
+        body = {"log_1": "left", "log_2": "right"}
+        self._post(api, "/jobs", body)
+        self._post(api, "/jobs", body)  # 429, marks degraded
+        status, payload, _ = self._get(api, "/readyz")
+        assert status == 503
+        assert "queue-saturated" in payload["reasons"]
+        service.run_until_idle()
+        status, payload, _ = self._get(api, "/readyz")
+        assert status == 200 and payload["status"] == "ready"
+
+    def test_deadline_is_an_accepted_job_option(self, served):
+        service, api = served
+        status, payload, _ = self._post(
+            api,
+            "/jobs",
+            {"log_1": "left", "log_2": "right", "deadline": 30.0},
+        )
+        assert status == 202
+        assert payload["deadline"] == 30.0
+
+    def test_healthz_reports_supervision_counters(self, served):
+        service, api = served
+        status, payload, _ = self._get(api, "/healthz")
+        assert status == 200
+        assert payload["readiness"] == "ready"
+        assert set(payload["supervision"]) == {
+            "jobs_retried",
+            "workers_respawned",
+            "jobs_poisoned",
+            "jobs_deadline_exceeded",
+            "backpressure_rejections",
+            "shm_segments_reaped",
+        }
+
+
+# ----------------------------------------------------------------------
+# Crash-safe shm registry
+# ----------------------------------------------------------------------
+class TestShmSegmentRegistry:
+    @pytest.fixture
+    def registry(self, tmp_path):
+        registry = ShmSegmentRegistry(path=tmp_path / "registry.jsonl")
+        set_segment_registry(registry)
+        yield registry
+        set_segment_registry(None)
+
+    def test_register_unregister_round_trip(self, registry):
+        registry.register("seg-a")
+        registry.register("seg-b", pid=os.getpid())
+        registry.unregister("seg-a")
+        live = registry.live_segments()
+        assert set(live) == {"seg-b"}
+        assert live["seg-b"]["pid"] == os.getpid()
+
+    def test_orphans_are_entries_with_dead_pids(self, registry):
+        registry.register("alive", pid=os.getpid())
+        # Fork a child that exits immediately: a guaranteed-dead pid.
+        dead = os.fork()
+        if dead == 0:
+            os._exit(0)
+        os.waitpid(dead, 0)
+        registry.register("orphan", pid=dead)
+        names = {entry["name"] for entry in registry.orphans()}
+        assert names == {"orphan"}
+
+    def test_reap_unlinks_orphaned_segment(self, registry):
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=64)
+        name = segment.name
+        segment.close()
+        dead = os.fork()
+        if dead == 0:
+            os._exit(0)
+        os.waitpid(dead, 0)
+        registry.register(name, pid=dead)
+        assert registry.reap() == 1
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        assert registry.live_segments() == {}
+
+    def test_reap_spares_live_owner_segments(self, registry):
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=64)
+        registry.register(segment.name)  # our own live pid
+        try:
+            assert registry.reap() == 0
+            assert segment.name in registry.live_segments()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_torn_tail_is_tolerated(self, registry):
+        registry.register("seg-a")
+        with open(registry.path, "a") as handle:
+            handle.write('{"op": "add", "na')  # crash mid-append
+        assert set(registry.live_segments()) == {"seg-a"}
+
+    def test_compaction_rewrites_dead_history(self, tmp_path):
+        registry = ShmSegmentRegistry(
+            path=tmp_path / "compact.jsonl", compact_after=10
+        )
+        for n in range(20):
+            registry.register(f"seg-{n}", pid=os.getpid())
+            registry.unregister(f"seg-{n}")
+        registry.register("keeper", pid=os.getpid())
+        registry.reap()
+        lines = registry.path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "keeper"
+
+    def test_arena_lifecycle_registers_and_unregisters(self, registry):
+        from repro.parallel.shm import ShmLogArena
+
+        arena = ShmLogArena.create(LEFT)
+        name = arena.name
+        assert name in registry.live_segments()
+        arena.unlink()
+        assert name not in registry.live_segments()
+
+    def test_sigkilled_creator_is_reaped_at_service_startup(
+        self, registry, tmp_path
+    ):
+        """End-to-end: a process creates an arena, dies without cleanup,
+        and the next MatchingService startup reaps the leak."""
+        script = (
+            "import os, sys\n"
+            "sys.path.insert(0, {src!r})\n"
+            "from multiprocessing import resource_tracker\n"
+            "# A real crash (OOM kill, docker kill) takes the resource\n"
+            "# tracker down with the process; suppress its registration\n"
+            "# so it cannot tidy the leak on our behalf here.\n"
+            "resource_tracker.register = lambda *a, **k: None\n"
+            "from repro.resilience.supervise import (\n"
+            "    ShmSegmentRegistry, set_segment_registry)\n"
+            "set_segment_registry(ShmSegmentRegistry(path={reg!r}))\n"
+            "from repro.log.eventlog import EventLog\n"
+            "from repro.parallel.shm import ShmLogArena\n"
+            "log = EventLog([['a', 'b'], ['a', 'c']], name='leaky')\n"
+            "arena = ShmLogArena.create(log)\n"
+            "print(arena.name, flush=True)\n"
+            "os.kill(os.getpid(), 9)\n"
+        ).format(
+            src=str(Path(__file__).resolve().parents[1] / "src"),
+            reg=str(registry.path),
+        )
+        process = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True
+        )
+        assert process.returncode == -9
+        leaked = process.stdout.strip()
+        assert leaked
+        assert not pid_alive(
+            int(registry.live_segments()[leaked]["pid"])
+        )
+        service = MatchingService(
+            tmp_path / "state", processes=0, checkpoint_every=None
+        )
+        assert service.recovery.shm_segments_reaped >= 1
+        assert leaked not in registry.live_segments()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=leaked)
+
+
+# ----------------------------------------------------------------------
+# Watcher: transient OSError gets one retry
+# ----------------------------------------------------------------------
+class TestWatcherIORetry:
+    def test_transient_oserror_retries_before_quarantine(
+        self, tmp_path, monkeypatch
+    ):
+        service = make_service(tmp_path)
+        drop = service.watcher.drop_dir
+        path = drop / "good.csv"
+        path.write_text("case_id,activity\n1,a\n1,b\n2,a\n")
+        import repro.service.watcher as watcher_module
+
+        real_read = watcher_module.read_csv
+        calls = {"n": 0}
+
+        def flaky_read(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient I/O hiccup")
+            return real_read(*args, **kwargs)
+
+        monkeypatch.setattr(watcher_module, "read_csv", flaky_read)
+        assert service.watcher.poll() == []  # hiccup: deferred, not rejected
+        assert path.exists()
+        assert service.watcher.files_quarantined == 0
+        assert service.watcher.io_retries == 1
+        assert service.watcher.poll() == ["good"]  # second poll succeeds
+        assert not path.exists()
+
+    def test_persistent_oserror_quarantines_on_second_failure(
+        self, tmp_path, monkeypatch
+    ):
+        service = make_service(tmp_path)
+        drop = service.watcher.drop_dir
+        (drop / "bad.csv").write_text("case_id,activity\n1,a\n")
+        import repro.service.watcher as watcher_module
+
+        def always_fails(*args, **kwargs):
+            raise OSError("disk is on fire")
+
+        monkeypatch.setattr(watcher_module, "read_csv", always_fails)
+        assert service.watcher.poll() == []
+        assert service.watcher.files_quarantined == 0
+        assert service.watcher.poll() == []
+        assert service.watcher.files_quarantined == 1
+        [record] = [
+            r for r in service.quarantine.records if r.kind == "file"
+        ]
+        assert "disk is on fire" in record.reason
+
+
+# ----------------------------------------------------------------------
+# Reporting: supervision counters surface in format_recovery_stats
+# ----------------------------------------------------------------------
+class TestSupervisionReporting:
+    def test_supervision_line_appears_when_counters_fire(self):
+        from repro.evaluation.reporting import format_recovery_stats
+
+        stats = RecoveryStats(jobs_retried=3, workers_respawned=1)
+        text = format_recovery_stats(stats)
+        assert "supervision" in text
+        assert "retries 3" in text
+        assert "respawns 1" in text
+
+    def test_supervision_line_absent_on_clean_runs(self):
+        from repro.evaluation.reporting import format_recovery_stats
+
+        text = format_recovery_stats(RecoveryStats())
+        assert "supervision" not in text
+
+    def test_recovery_stats_merge_covers_new_fields(self):
+        merged = RecoveryStats(jobs_retried=1, jobs_poisoned=2)
+        merged.merge(RecoveryStats(jobs_retried=4, shm_segments_reaped=5))
+        assert merged.jobs_retried == 5
+        assert merged.jobs_poisoned == 2
+        assert merged.shm_segments_reaped == 5
+
+
+# ----------------------------------------------------------------------
+# WorkerPool shutdown: bounded drain
+# ----------------------------------------------------------------------
+class TestBoundedShutdown:
+    def test_inline_shutdown_abandons_nothing(self):
+        pool = WorkerPool(processes=0)
+        pool.submit("job-1", {"paths": ("x.csv", "x.csv"), "patterns": []})
+        assert pool.shutdown() == []
+
+
+# ----------------------------------------------------------------------
+# The tentpole chaos test: SIGKILL a worker mid-job, recover bit-identical
+# ----------------------------------------------------------------------
+def _held_execute(payload):
+    """Poll-wait on a hold file, then run the real job.
+
+    Module-level so it pickles by reference; the hold-file path arrives
+    via the environment, which forked workers inherit.
+    """
+    hold = os.environ.get("REPRO_TEST_HOLD")
+    deadline = time.monotonic() + 30.0
+    while hold and os.path.exists(hold):
+        if time.monotonic() > deadline:  # pragma: no cover - safety net
+            break
+        time.sleep(0.01)
+    return _held_execute.real(payload)
+
+
+_held_execute.real = workers_module.execute_match_job
+
+
+class TestWorkerKillChaos:
+    @pytest.fixture(autouse=True)
+    def isolated_registry(self, tmp_path):
+        registry = ShmSegmentRegistry(path=tmp_path / "registry.jsonl")
+        set_segment_registry(registry)
+        yield registry
+        set_segment_registry(None)
+
+    def test_killed_worker_recovers_to_identical_mapping(
+        self, tmp_path, monkeypatch
+    ):
+        if pool_module.current_warm_pool() is not None:
+            pool_module.close_warm_pool()
+        baseline = make_service(tmp_path / "baseline")
+        reference = baseline.submit_job("left", "right", patterns=PATTERNS)
+        baseline.run_until_idle()
+        expected = baseline.jobs.get(reference.job_id).result
+
+        hold = tmp_path / "hold"
+        hold.touch()
+        monkeypatch.setenv("REPRO_TEST_HOLD", str(hold))
+        monkeypatch.setattr(
+            workers_module, "execute_match_job", _held_execute
+        )
+        service = make_service(
+            tmp_path / "chaos", processes=2, max_retries=2
+        )
+        service.retry_policy = RetryPolicy(max_retries=2, backoff_base=0.001)
+        try:
+            job = service.submit_job("left", "right", patterns=PATTERNS)
+            service.tick()  # dispatch onto the warm pool
+            assert service.pool.active == 1
+
+            # Wait for a worker to actually pick the job up.
+            deadline = time.monotonic() + 10.0
+            while not service.pool.worker_pids():
+                assert time.monotonic() < deadline, "workers never spawned"
+                time.sleep(0.01)
+            time.sleep(0.1)  # let the worker enter the held recipe
+
+            injector = ChaosInjector(ChaosConfig(seed=7))
+            victim = injector.kill_worker(service.pool.worker_pids())
+            assert victim is not None
+            assert injector.actions.workers_killed == 1
+
+            hold.unlink()  # release the (now re-run) recipe
+            service.run_until_idle()
+
+            outcome = service.jobs.get(job.job_id)
+            assert outcome.state == "done"
+            assert outcome.worker_deaths >= 1
+            assert service.recovery.jobs_retried >= 1
+            assert service.recovery.workers_respawned >= 1
+            # Bit-identical recovery: the supervised re-run equals the
+            # undisturbed baseline exactly.
+            assert outcome.result["mapping"] == expected["mapping"]
+            assert outcome.result["score"] == expected["score"]
+            assert outcome.result["stats"] == expected["stats"]
+        finally:
+            service.shutdown()
+            pool_module.close_warm_pool()
+
+    def test_no_orphaned_segments_after_chaos(self, isolated_registry):
+        # After the kill-and-recover test tore everything down, nothing
+        # this registry tracked may still be attached to a dead owner.
+        assert isolated_registry.orphans() == []
