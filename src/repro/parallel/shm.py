@@ -47,7 +47,7 @@ from multiprocessing import resource_tracker, shared_memory
 from repro.kernel.interner import EventInterner
 from repro.log.eventlog import EventLog
 from repro.log.index import TraceIndex
-from repro.resilience.supervise import get_segment_registry
+from repro.resilience.supervise import TRACKER_PATCH_LOCK, get_segment_registry
 
 _MAGIC = b"RSHMARE1"
 _VERSION = 1
@@ -165,7 +165,11 @@ class ShmLogArena:
             )
         )
         assert len(payload) == used
-        segment = shared_memory.SharedMemory(create=True, size=max(used, 1))
+        # Creation depends on the *real* resource_tracker registration;
+        # the shared lock keeps it from racing a reaper's or attacher's
+        # temporary no-op patch of that process-global hook.
+        with TRACKER_PATCH_LOCK:
+            segment = shared_memory.SharedMemory(create=True, size=max(used, 1))
         segment.buf[:used] = payload
         get_segment_registry().register(segment.name)
         _OWNED_SEGMENTS[segment.name] = os.getpid()
@@ -184,15 +188,20 @@ class ShmLogArena:
         # trips KeyError tracebacks inside the tracker.  Suppress the
         # attach-side registration instead — creation-side tracking in
         # the parent stays balanced (one register at create, one
-        # unregister at unlink).
-        tracked_register = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
-        try:
-            segment = shared_memory.SharedMemory(name=name)
-        except FileNotFoundError as error:
-            raise ShmArenaError(f"no shared-memory arena {name!r}") from error
-        finally:
-            resource_tracker.register = tracked_register
+        # unregister at unlink).  The shared lock serializes this patch
+        # window against concurrent creates (which need the real hook)
+        # and the reaper's identical patch in supervise._unlink_segment.
+        with TRACKER_PATCH_LOCK:
+            tracked_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError as error:
+                raise ShmArenaError(
+                    f"no shared-memory arena {name!r}"
+                ) from error
+            finally:
+                resource_tracker.register = tracked_register
         arena = cls(segment, owner=False)
         if segment.size < _HEADER.size:
             arena.close()

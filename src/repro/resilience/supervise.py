@@ -33,10 +33,13 @@ dict/float operations per job, which ``bench_resilience`` bounds at
 
 from __future__ import annotations
 
+import contextlib
 import json
+import math
 import os
 import random
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -51,6 +54,29 @@ OUTCOME_DEADLINE = "deadline"
 #: A job whose execution killed this many workers is poison regardless
 #: of how many retries its policy would still allow.
 POISON_WORKER_DEATHS = 2
+
+
+def validate_deadline(value, field: str = "deadline") -> float | None:
+    """``value`` as a positive finite deadline in seconds, or ``None``.
+
+    Deadlines arrive from unauthenticated HTTP payloads and flow
+    straight into parent-side arithmetic (``elapsed > deadline``), so
+    anything that is not a positive finite real number — strings, bools,
+    NaN, infinities, non-positives — is rejected here with
+    :class:`ValueError` (the API's 400) instead of detonating as a
+    :class:`TypeError` inside the daemon loop.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"{field} must be a number of seconds, got {type(value).__name__}"
+        )
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(
+            f"{field} must be a positive, finite number of seconds"
+        )
+    return float(value)
 
 
 @dataclass(frozen=True)
@@ -89,8 +115,7 @@ class RetryPolicy:
     def __post_init__(self):
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
-        if self.deadline is not None and self.deadline <= 0:
-            raise ValueError("deadline must be positive")
+        validate_deadline(self.deadline)
         if self.backoff_base < 0 or self.backoff_max < 0:
             raise ValueError("backoff delays must be non-negative")
         if not 0.0 <= self.jitter <= 1.0:
@@ -175,6 +200,16 @@ class DegradedStateMachine:
 # Crash-safe shared-memory segment registry
 # ----------------------------------------------------------------------
 
+#: Serializes every touch of ``multiprocessing.resource_tracker``'s
+#: process-global ``register`` hook.  Both :func:`_unlink_segment` and
+#: :meth:`repro.parallel.shm.ShmLogArena.attach` temporarily replace it
+#: with a no-op, while :meth:`~repro.parallel.shm.ShmLogArena.create`
+#: relies on the real registration — so creators take the same lock
+#: around the registering call.  Without it a reap racing a create
+#: could leave the new segment silently untracked, or one patcher could
+#: restore the original over another's still-active patch.
+TRACKER_PATCH_LOCK = threading.Lock()
+
 
 def pid_alive(pid: int) -> bool:
     """Whether ``pid`` names a live process (EPERM counts as alive)."""
@@ -231,10 +266,40 @@ class ShmSegmentRegistry:
 
     def _append(self, record: dict) -> None:
         try:
-            with open(self.path, "a") as handle:
+            with self._locked(), open(self.path, "a") as handle:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
         except OSError:
             pass  # a failing ledger disk must never block matching
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Exclusive inter-process lock over the ledger (best-effort).
+
+        Appends are whole-line atomic on POSIX, but compaction is
+        read-then-replace: without a lock, an ``add`` appended by
+        another live process between the read and the replace vanishes,
+        and that process's segment leaks untracked if its owner later
+        dies abruptly.  ``flock`` on a sibling ``.lock`` file keeps
+        appenders and the compactor mutually exclusive across
+        processes; the kernel releases it even if the holder dies.
+        Platforms without ``fcntl`` (and unwritable lock dirs) fall
+        back to lock-free appends.
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        try:
+            handle = open(self.path.with_name(self.path.name + ".lock"), "a")
+        except OSError:  # pragma: no cover - unwritable lock dir
+            yield
+            return
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            handle.close()
 
     # -- reading ---------------------------------------------------------
     def _read(self) -> tuple[dict[str, dict], int]:
@@ -293,17 +358,20 @@ class ShmSegmentRegistry:
         return reaped
 
     def _maybe_compact(self) -> None:
-        live, total = self._read()
-        if total < self.compact_after or total <= 2 * len(live) + 1:
-            return
-        try:
-            temp = self.path.with_suffix(".jsonl.tmp")
-            with open(temp, "w") as handle:
-                for entry in live.values():
-                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
-            os.replace(temp, self.path)
-        except OSError:
-            pass
+        # The read must happen under the same lock as the replace, or a
+        # concurrent writer's append lands between them and is lost.
+        with self._locked():
+            live, total = self._read()
+            if total < self.compact_after or total <= 2 * len(live) + 1:
+                return
+            try:
+                temp = self.path.with_suffix(".jsonl.tmp")
+                with open(temp, "w") as handle:
+                    for entry in live.values():
+                        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                os.replace(temp, self.path)
+            except OSError:
+                pass
 
 
 def _unlink_segment(name: str) -> bool:
@@ -313,16 +381,19 @@ def _unlink_segment(name: str) -> bool:
     # Same CPython-<3.13 caveat as ShmLogArena.attach: opening a segment
     # registers it with the resource tracker as if we owned it; suppress
     # so reaping another process's leak doesn't unbalance the tracker.
-    tracked_register = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
-    try:
-        segment = shared_memory.SharedMemory(name=name)
-    except FileNotFoundError:
-        return False
-    except OSError:
-        return False
-    finally:
-        resource_tracker.register = tracked_register
+    # The lock keeps a concurrent arena create (which depends on real
+    # registration) or attach from racing the patch window.
+    with TRACKER_PATCH_LOCK:
+        tracked_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        finally:
+            resource_tracker.register = tracked_register
     try:
         segment.close()
         segment.unlink()

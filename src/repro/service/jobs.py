@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, replace
 
 from repro.obs.probe import NULL_PROBE, Probe
+from repro.resilience.supervise import validate_deadline
 
 class UnknownJobError(KeyError):
     """An API call referenced a job id that does not exist."""
@@ -123,6 +124,13 @@ class MatchJob:
 
     @classmethod
     def from_payload(cls, payload: dict) -> "MatchJob":
+        # A hand-edited or corrupt manifest must not wedge restore (or,
+        # worse, smuggle a non-numeric deadline past submit-time
+        # validation into the daemon loop): drop malformed deadlines.
+        try:
+            deadline = validate_deadline(payload.get("deadline"))
+        except ValueError:
+            deadline = None
         return cls(
             job_id=payload["job_id"],
             log_1=payload["log_1"],
@@ -138,7 +146,7 @@ class MatchJob:
             result=payload.get("result"),
             error=payload.get("error"),
             elapsed_seconds=payload.get("elapsed_seconds", 0.0),
-            deadline=payload.get("deadline"),
+            deadline=deadline,
             attempts=payload.get("attempts", 0),
             worker_deaths=payload.get("worker_deaths", 0),
         )
@@ -184,6 +192,11 @@ class JobQueue:
         ``enforce_bound=False`` bypasses backpressure — used by manifest
         restore, where refusing previously-accepted jobs would lose them.
         """
+        # Deadlines come from unauthenticated API payloads and flow into
+        # parent-side `elapsed > deadline` arithmetic: reject anything
+        # non-numeric/non-finite/non-positive here (the API's 400)
+        # before it can detonate inside the daemon loop.
+        deadline = validate_deadline(deadline)
         with self._lock:
             depth = self._depth_locked()
             if enforce_bound and self.bound is not None and depth >= self.bound:

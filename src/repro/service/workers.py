@@ -231,9 +231,17 @@ class WorkerPool:
             future = self._pool.submit(execute_match_job, payload)
         except BrokenProcessPool:
             # The pool died between harvests (e.g. a worker was killed
-            # while idle).  Rebuild and submit on the fresh executor; a
-            # second refusal means the environment cannot spawn workers
-            # at all, which is a crash outcome, not a daemon crash.
+            # while idle).  Sweep the broken executor's in-flight
+            # futures *now* — left behind, they would resolve as
+            # BrokenProcessPool on the next harvest and trigger a second
+            # respawn that crash-classifies jobs freshly submitted to
+            # the healthy rebuild.  Then rebuild and submit on the fresh
+            # executor; a second refusal means the environment cannot
+            # spawn workers at all, which is a crash outcome, not a
+            # daemon crash.
+            self._done.extend(
+                self._fail_over("worker pool broke (worker died)")
+            )
             self._respawn("submit-broken")
             try:
                 future = self._pool.submit(execute_match_job, payload)
@@ -259,36 +267,11 @@ class WorkerPool:
             )
             pool_broke = False
             for future in finished:
-                flight = self._futures.pop(future)
-                elapsed = time.perf_counter() - flight.started
-                try:
-                    harvested.append(
-                        JobOutcome(
-                            flight.job_id,
-                            OUTCOME_OK,
-                            result=future.result(),
-                            elapsed_seconds=elapsed,
-                        )
-                    )
-                except BrokenProcessPool as error:
-                    pool_broke = True
-                    harvested.append(
-                        JobOutcome(
-                            flight.job_id,
-                            OUTCOME_CRASH,
-                            error=_describe(error),
-                            elapsed_seconds=elapsed,
-                        )
-                    )
-                except (Exception, SystemExit) as error:  # noqa: BLE001
-                    harvested.append(
-                        JobOutcome(
-                            flight.job_id,
-                            OUTCOME_ERROR,
-                            error=_describe(error),
-                            elapsed_seconds=elapsed,
-                        )
-                    )
+                outcome = self._harvest_one(future, self._futures.pop(future))
+                # A done future only yields ``crash`` when its executor
+                # broke, so the kind doubles as the rebuild signal.
+                pool_broke = pool_broke or outcome.kind == OUTCOME_CRASH
+                harvested.append(outcome)
             if pool_broke:
                 # A broken executor resolves *all* futures exceptionally,
                 # so any stragglers surface as crashes too; fail them
@@ -298,6 +281,31 @@ class WorkerPool:
                 )
                 self._respawn("worker-death", kill_workers=False)
         return harvested
+
+    def _harvest_one(self, future, flight: _InFlight) -> JobOutcome:
+        """Classify one finished future (``future.done()`` must hold)."""
+        elapsed = time.perf_counter() - flight.started
+        try:
+            return JobOutcome(
+                flight.job_id,
+                OUTCOME_OK,
+                result=future.result(),
+                elapsed_seconds=elapsed,
+            )
+        except BrokenProcessPool as error:
+            return JobOutcome(
+                flight.job_id,
+                OUTCOME_CRASH,
+                error=_describe(error),
+                elapsed_seconds=elapsed,
+            )
+        except (Exception, SystemExit) as error:  # noqa: BLE001
+            return JobOutcome(
+                flight.job_id,
+                OUTCOME_ERROR,
+                error=_describe(error),
+                elapsed_seconds=elapsed,
+            )
 
     def _check_deadlines(self) -> list[JobOutcome]:
         """Abandon in-flight attempts that outlived their deadline.
@@ -338,9 +346,22 @@ class WorkerPool:
         return outcomes
 
     def _fail_over(self, reason: str) -> list[JobOutcome]:
-        """Every remaining in-flight job becomes a ``crash`` outcome."""
-        now = time.perf_counter()
+        """Sweep the in-flight set: harvest finished futures for real,
+        fail the genuinely-running rest over to ``crash`` outcomes.
+
+        Harvesting first matters — a future whose result is ready but
+        not yet collected (say it finished just as an unrelated job
+        blew its deadline) must keep its genuine outcome instead of
+        being reported as a casualty of the rebuild, which would both
+        discard a computed result and spuriously push its job toward
+        the poison threshold.
+        """
         outcomes = [
+            self._harvest_one(future, self._futures.pop(future))
+            for future in [f for f in self._futures if f.done()]
+        ]
+        now = time.perf_counter()
+        outcomes.extend(
             JobOutcome(
                 flight.job_id,
                 OUTCOME_CRASH,
@@ -348,7 +369,7 @@ class WorkerPool:
                 elapsed_seconds=now - flight.started,
             )
             for flight in self._futures.values()
-        ]
+        )
         self._futures.clear()
         return outcomes
 

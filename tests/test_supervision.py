@@ -17,6 +17,8 @@ import sys
 import time
 import urllib.error
 import urllib.request
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 
 import pytest
@@ -111,6 +113,11 @@ class TestRetryPolicy:
         with pytest.raises(ValueError):
             RetryPolicy(jitter=1.5)
 
+    def test_rejects_non_numeric_deadlines(self):
+        for bad in ("5", True, float("nan"), float("inf"), -1.0):
+            with pytest.raises(ValueError):
+                RetryPolicy(deadline=bad)
+
 
 class TestDegradedStateMachine:
     def test_ready_until_marked_then_clears(self):
@@ -176,6 +183,24 @@ class TestQueuePolicy:
         job = queue.submit("a", "b")
         with pytest.raises(ValueError):
             queue.retry(job.job_id, "boom")
+
+    def test_submit_rejects_malformed_deadlines(self):
+        queue = JobQueue()
+        for bad in ("5", True, False, float("nan"), float("inf"), 0, -1.0):
+            with pytest.raises(ValueError):
+                queue.submit("a", "b", deadline=bad)
+        assert len(queue) == 0  # nothing malformed got queued
+        job = queue.submit("a", "b", deadline=5)  # ints coerce to float
+        assert queue.get(job.job_id).deadline == 5.0
+
+    def test_restore_drops_malformed_manifest_deadlines(self):
+        queue = JobQueue()
+        queue.submit("a", "b", deadline=9.0)
+        payload = queue.to_payload()
+        payload["jobs"][0]["deadline"] = "9"  # hand-edited/corrupt manifest
+        restored = JobQueue()
+        restored.restore_payload(payload)
+        assert restored.jobs()[0].deadline is None
 
     def test_attempts_survive_the_manifest(self):
         queue = JobQueue()
@@ -351,6 +376,25 @@ class TestBackpressureAPI:
         )
         assert status == 202
         assert payload["deadline"] == 30.0
+
+    def test_malformed_deadline_is_a_400_not_a_daemon_crash(self, served):
+        """A non-numeric deadline from an unauthenticated POST must be
+        rejected at submission, never stored to detonate as a TypeError
+        inside the daemon's deadline arithmetic."""
+        service, api = served
+        body = {"log_1": "left", "log_2": "right"}
+        for bad in ("5", True, float("nan"), -3, 0):
+            status, payload, _ = self._post(
+                api, "/jobs", {**body, "deadline": bad}
+            )
+            assert status == 400
+            assert "deadline" in payload["error"]
+        assert len(service.jobs) == 0  # nothing malformed was queued
+        # The daemon still accepts and schedules well-formed work.
+        status, _, _ = self._post(api, "/jobs", {**body, "deadline": 60.0})
+        assert status == 202
+        service.run_until_idle()
+        assert service.jobs.jobs()[-1].state == "done"
 
     def test_healthz_reports_supervision_counters(self, served):
         service, api = served
@@ -576,6 +620,102 @@ class TestSupervisionReporting:
         assert merged.jobs_retried == 5
         assert merged.jobs_poisoned == 2
         assert merged.shm_segments_reaped == 5
+
+
+# ----------------------------------------------------------------------
+# WorkerPool fail-over: finished results survive pool sweeps
+# ----------------------------------------------------------------------
+class _FakeWarmPool:
+    """Stands in for WarmPool: respawn bookkeeping + scripted submits."""
+
+    workers = 2
+
+    def __init__(self, broken: bool = False):
+        self.broken = broken
+        self.respawned = 0
+
+    def respawn(self, kill_workers: bool = False):
+        self.respawned += 1
+        self.broken = False
+
+    def submit(self, fn, payload):
+        if self.broken:
+            raise BrokenProcessPool("pool is dead")
+        future = Future()
+        future.set_running_or_notify_cancel()
+        return future
+
+
+def _flight(job_id, deadline=None, started=None):
+    payload = {"deadline": deadline}
+    if started is None:
+        started = time.perf_counter()
+    return workers_module._InFlight(job_id, payload, started)
+
+
+class TestFailOverHarvest:
+    def make_pool(self, warm):
+        pool = WorkerPool(processes=0)
+        pool._pool = warm
+        return pool
+
+    def test_deadline_sweep_preserves_finished_results(self):
+        """A job whose result is ready but unharvested when an unrelated
+        job blows its deadline must keep its genuine ok outcome, not be
+        reported as a crash casualty of the rebuild."""
+        pool = self.make_pool(_FakeWarmPool())
+        done = Future()
+        done.set_running_or_notify_cancel()
+        done.set_result({"mapping": {"a": "b"}})
+        pending = Future()
+        pending.set_running_or_notify_cancel()
+        expired = Future()
+        expired.set_running_or_notify_cancel()
+        pool._futures[done] = _flight("job-done")
+        pool._futures[pending] = _flight("job-pending")
+        pool._futures[expired] = _flight(
+            "job-late", deadline=0.001, started=time.perf_counter() - 1.0
+        )
+        outcomes = {o.job_id: o for o in pool.completed()}
+        assert outcomes["job-late"].kind == "deadline"
+        assert outcomes["job-done"].kind == "ok"
+        assert outcomes["job-done"].result == {"mapping": {"a": "b"}}
+        assert outcomes["job-pending"].kind == "crash"
+        assert pool.respawns == 1
+        assert pool._futures == {}
+
+    def test_submit_on_broken_pool_sweeps_stale_futures(self):
+        """submit() hitting BrokenProcessPool must fail over the broken
+        executor's futures immediately — leaving them behind makes the
+        next harvest respawn a second time and crash-classify jobs
+        freshly submitted to the healthy rebuilt executor."""
+        warm = _FakeWarmPool(broken=True)
+        pool = self.make_pool(warm)
+        stale_done = Future()
+        stale_done.set_running_or_notify_cancel()
+        stale_done.set_result({"mapping": {}})
+        stale_pending = Future()
+        stale_pending.set_running_or_notify_cancel()
+        pool._futures[stale_done] = _flight("job-a")
+        pool._futures[stale_pending] = _flight("job-b")
+        pool.submit("job-c", {"deadline": None})
+        # Exactly one respawn; only the fresh submission is in flight.
+        assert pool.respawns == 1
+        assert warm.respawned == 1
+        assert len(pool._futures) == 1
+        outcomes = {o.job_id: o for o in pool.completed()}
+        assert set(outcomes) == {"job-a", "job-b"}
+        assert outcomes["job-a"].kind == "ok"  # finished result kept
+        assert outcomes["job-b"].kind == "crash"
+        assert pool.respawns == 1  # harvest did not respawn again
+
+
+class TestTrackerPatchLock:
+    def test_lock_is_shared_between_reaper_and_arena(self):
+        from repro.parallel import shm
+        from repro.resilience import supervise
+
+        assert shm.TRACKER_PATCH_LOCK is supervise.TRACKER_PATCH_LOCK
 
 
 # ----------------------------------------------------------------------
