@@ -1,0 +1,21 @@
+"""Benchmark trend report over the repo's ``BENCH_*.json`` trajectories.
+
+Thin script wrapper around :mod:`repro.obs.benchtrend` so CI (and
+operators without the package on ``PATH``) can run::
+
+    python benchmarks/bench_report.py [--root DIR] [--gate] [--verbose]
+
+``repro bench report`` is the same code behind the installed CLI.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.benchtrend import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -325,8 +325,19 @@ def _cmd_graph(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.obs.logs import LogRingBuffer, configure_logging, get_logger
     from repro.service.api import ServiceAPI
     from repro.service.daemon import MatchingService
+
+    ring = LogRingBuffer(1024)
+    configure_logging(
+        json_path=args.log_json,
+        ring=ring,
+        level=getattr(logging, args.log_level.upper(), logging.INFO),
+    )
+    logger = get_logger("cli.serve")
 
     service = MatchingService(
         args.state_dir,
@@ -336,39 +347,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         job_deadline=args.job_deadline,
         queue_bound=args.queue_bound,
+        telemetry=args.telemetry,
+        profile=args.profile,
+        log_ring=ring,
     )
     if args.resume:
         summary = service.resume()
         sessions = ", ".join(summary["sessions"]) or "none"
-        print(
-            f"# resumed {summary['logs']} logs, re-queued "
-            f"{summary['jobs_requeued']} jobs, sessions: {sessions}",
-            file=sys.stderr,
+        logger.info(
+            "resumed service state",
+            extra={
+                "logs": summary["logs"],
+                "jobs_requeued": summary["jobs_requeued"],
+                "sessions": sessions,
+            },
         )
     api = ServiceAPI(service, host=args.host, port=args.port).start()
+    # The address line stays on raw stderr: scripts (and the CI smoke
+    # job) scrape it to learn the ephemeral port.
     print(
         f"# serving on {api.address} (state: {service.state_dir}, "
         f"workers: {args.workers or 'inline'})",
         file=sys.stderr,
+    )
+    logger.info(
+        "service started",
+        extra={
+            "address": api.address,
+            "workers": args.workers,
+            "telemetry": args.telemetry,
+            "profile": args.profile,
+        },
     )
     try:
         while not api.stopping.is_set():
             service.tick()
             api.stopping.wait(args.poll_interval)
     except KeyboardInterrupt:
-        print("# interrupted; saving state", file=sys.stderr)
+        logger.info("interrupted; saving state")
     finally:
         api.stop()
         abandoned = service.shutdown()
         if abandoned:
-            print(
-                f"# abandoned {len(abandoned)} in-flight job(s) after the "
-                f"drain timeout: {', '.join(abandoned)} (they re-queue on "
-                "--resume)",
-                file=sys.stderr,
+            logger.warning(
+                "abandoned in-flight jobs after drain timeout "
+                "(they re-queue on --resume)",
+                extra={"jobs": ", ".join(abandoned)},
             )
-        print(f"# state saved to {service.manifest_path}", file=sys.stderr)
+        logger.info(
+            "state saved", extra={"manifest": str(service.manifest_path)}
+        )
     return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.obs.benchtrend import run_report
+
+    return run_report(
+        root=args.root,
+        gate=args.gate,
+        threshold_pct=args.threshold,
+        window=args.window,
+        verbose=args.verbose,
+    )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -597,7 +638,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="maximum queued+running jobs before POST /jobs returns "
         "429 with Retry-After (unset = unbounded)",
     )
+    serve_parser.add_argument(
+        "--trace", dest="telemetry", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="cross-process telemetry: per-job span spools merged into "
+        "Chrome traces at GET /jobs/ID/trace (--no-trace disables)",
+    )
+    serve_parser.add_argument(
+        "--profile", action="store_true",
+        help="sampling profiler: daemon-wide plus per-job-attempt "
+        "speedscope profiles under STATE_DIR/telemetry/",
+    )
+    serve_parser.add_argument(
+        "--log-json", default=None, metavar="PATH",
+        help="append structured JSON log lines to PATH (stderr keeps "
+        "the human-readable form either way)",
+    )
+    serve_parser.add_argument(
+        "--log-level", default="info", metavar="LEVEL",
+        help="log level for stderr/JSON/ring sinks (default: info)",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    bench_parser = commands.add_parser(
+        "bench", help="benchmark trajectory tooling"
+    )
+    bench_commands = bench_parser.add_subparsers(
+        dest="bench_command", required=True
+    )
+    report_parser = bench_commands.add_parser(
+        "report",
+        help="trend table over BENCH_*.json (latest vs trailing median)",
+    )
+    report_parser.add_argument(
+        "--root", default=".", help="directory holding BENCH_*.json files"
+    )
+    report_parser.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero when a metric regresses past the threshold",
+    )
+    report_parser.add_argument(
+        "--threshold", type=float, default=15.0, metavar="PCT",
+        help="regression threshold in percent (default: 15)",
+    )
+    report_parser.add_argument(
+        "--window", type=int, default=10, metavar="N",
+        help="trailing same-params records used for the baseline median",
+    )
+    report_parser.add_argument(
+        "--verbose", action="store_true",
+        help="also show metrics with unknown better-direction",
+    )
+    report_parser.set_defaults(handler=_cmd_bench_report)
 
     info_parser = commands.add_parser(
         "info",

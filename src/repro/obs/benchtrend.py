@@ -1,0 +1,266 @@
+"""Trend analysis over the ``BENCH_*.json`` trajectories.
+
+Every benchmark run appends one ``{date, commit, params, results}``
+record to its ``BENCH_<name>.json`` file (see ``benchmarks/conftest``).
+Until now nothing ever *read* those trajectories — a regression only
+surfaced if someone eyeballed the raw JSON.  This module is the
+consumer: it flattens each record's ``results`` into dotted numeric
+metrics, compares the latest record against the trailing median of
+earlier records taken **with identical params** (comparing a smoke run
+against quick history would manufacture fake regressions), and renders
+a trend table.  ``repro bench report --gate`` exits non-zero when any
+direction-known metric moved more than the threshold the wrong way.
+
+Direction is inferred from the metric name (``*_seconds`` down is
+good, ``*speedup*`` up is good); metrics whose direction is unknown
+are reported but never gate — a counter drifting is information, not
+automatically a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+
+#: Latest-vs-median movements beyond this many percent (in the bad
+#: direction) fail a gated report.
+DEFAULT_THRESHOLD_PCT = 15.0
+
+#: Trailing records (per params group) the median is taken over.
+DEFAULT_WINDOW = 10
+
+#: Medians smaller than this are noise-floor values (sub-10µs timings,
+#: near-zero percentages) where a relative threshold is meaningless.
+MIN_MAGNITUDE = 1e-4
+
+_LOWER_BETTER = re.compile(
+    r"(_s$|_seconds|_ns$|_ms$|_pct$|overhead|_cost|dropped|dnf|abandoned"
+    r"|_deaths|errors)"
+)
+_HIGHER_BETTER = re.compile(
+    r"(speedup|per_s$|per_sec|throughput|mean_f|f_measure|_hits$|reduction)"
+)
+
+
+def metric_direction(key: str) -> str | None:
+    """``"lower"``/``"higher"`` = which way is better; ``None`` = unknown."""
+    leaf = key.rsplit(".", 1)[-1].lower()
+    if _HIGHER_BETTER.search(leaf):
+        return "higher"
+    if _LOWER_BETTER.search(leaf):
+        return "lower"
+    return None
+
+
+def flatten_numeric(value, prefix: str = "") -> dict[str, float]:
+    """Dotted numeric leaves of a results document (lists by index)."""
+    out: dict[str, float] = {}
+    if isinstance(value, dict):
+        items = value.items()
+    elif isinstance(value, (list, tuple)):
+        items = ((str(i), v) for i, v in enumerate(value))
+    elif isinstance(value, bool):
+        return out
+    elif isinstance(value, (int, float)) and math.isfinite(value):
+        out[prefix.rstrip(".")] = float(value)
+        return out
+    else:
+        return out
+    for key, item in items:
+        out.update(flatten_numeric(item, f"{prefix}{key}."))
+    return out
+
+
+@dataclass
+class TrendRow:
+    """One metric of one benchmark, latest vs its trailing median."""
+
+    bench: str
+    metric: str
+    latest: float
+    baseline: float | None  # trailing median; None = first record
+    delta_pct: float | None
+    direction: str | None
+    regressed: bool
+
+    @property
+    def label(self) -> str:
+        if self.baseline is None:
+            return "new"
+        if self.delta_pct is None:
+            return "flat"
+        arrow = "+" if self.delta_pct >= 0 else ""
+        tag = f"{arrow}{self.delta_pct:.1f}%"
+        if self.regressed:
+            return f"{tag} REGRESSED"
+        return tag
+
+
+def load_trajectory(path: Path) -> list[dict]:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if isinstance(data, dict):
+        data = [data]
+    return [r for r in data if isinstance(r, dict)]
+
+
+def _params_key(record: dict) -> str:
+    return json.dumps(record.get("params", {}), sort_keys=True, default=str)
+
+
+def analyze_trajectory(
+    name: str,
+    records: list[dict],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    window: int = DEFAULT_WINDOW,
+) -> list[TrendRow]:
+    """Trend rows for one benchmark's record list (oldest → newest)."""
+    if not records:
+        return []
+    latest = records[-1]
+    key = _params_key(latest)
+    history = [
+        r for r in records[:-1] if _params_key(r) == key
+    ][-window:]
+    latest_metrics = flatten_numeric(latest.get("results", {}))
+    history_metrics: dict[str, list[float]] = {}
+    for record in history:
+        for metric, value in flatten_numeric(record.get("results", {})).items():
+            history_metrics.setdefault(metric, []).append(value)
+    rows = []
+    for metric in sorted(latest_metrics):
+        value = latest_metrics[metric]
+        past = history_metrics.get(metric)
+        if not past:
+            rows.append(TrendRow(name, metric, value, None, None, metric_direction(metric), False))
+            continue
+        baseline = median(past)
+        direction = metric_direction(metric)
+        if abs(baseline) < MIN_MAGNITUDE:
+            rows.append(TrendRow(name, metric, value, baseline, None, direction, False))
+            continue
+        delta_pct = (value - baseline) / abs(baseline) * 100.0
+        regressed = False
+        if direction == "lower":
+            regressed = delta_pct > threshold_pct
+        elif direction == "higher":
+            regressed = delta_pct < -threshold_pct
+        rows.append(
+            TrendRow(name, metric, value, baseline, delta_pct, direction, regressed)
+        )
+    return rows
+
+
+def build_report(
+    root: str | Path = ".",
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    window: int = DEFAULT_WINDOW,
+) -> list[TrendRow]:
+    """Trend rows across every ``BENCH_*.json`` under ``root``."""
+    rows: list[TrendRow] = []
+    for path in sorted(Path(root).glob("BENCH_*.json")):
+        name = path.stem.removeprefix("BENCH_")
+        rows.extend(
+            analyze_trajectory(
+                name, load_trajectory(path), threshold_pct, window
+            )
+        )
+    return rows
+
+
+def format_report(rows: list[TrendRow], verbose: bool = False) -> str:
+    """The trend table; by default new/flat rows collapse into a count."""
+    if not rows:
+        return "no BENCH_*.json trajectories found\n"
+    shown = [
+        r
+        for r in rows
+        if verbose or r.regressed or (r.delta_pct is not None and r.direction)
+    ]
+    hidden = len(rows) - len(shown)
+    lines = [
+        f"{'benchmark':<18} {'metric':<46} {'latest':>12} {'median':>12} {'trend':>16}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in shown:
+        baseline = f"{row.baseline:.4g}" if row.baseline is not None else "-"
+        lines.append(
+            f"{row.bench:<18} {row.metric:<46} {row.latest:>12.4g} "
+            f"{baseline:>12} {row.label:>16}"
+        )
+    if hidden:
+        lines.append(
+            f"({hidden} direction-unknown/new metrics hidden; --verbose shows all)"
+        )
+    regressions = [r for r in rows if r.regressed]
+    lines.append(
+        f"{len(rows)} metrics across "
+        f"{len({r.bench for r in rows})} benchmarks; "
+        f"{len(regressions)} regression(s)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def run_report(
+    root: str | Path = ".",
+    gate: bool = False,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    window: int = DEFAULT_WINDOW,
+    verbose: bool = False,
+    out=print,
+) -> int:
+    """Print the report; the exit code (non-zero = gated regression)."""
+    rows = build_report(root, threshold_pct=threshold_pct, window=window)
+    out(format_report(rows, verbose=verbose), end="")
+    regressions = [r for r in rows if r.regressed]
+    if gate and regressions:
+        out(
+            f"FAIL: {len(regressions)} metric(s) moved >"
+            f"{threshold_pct:g}% in the wrong direction"
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entrypoint shared by ``repro bench report`` and the script."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench-report",
+        description="Trend table over BENCH_*.json benchmark trajectories",
+    )
+    parser.add_argument(
+        "--root", default=".", help="directory holding BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help=f"exit non-zero on >threshold regressions "
+        f"(default threshold {DEFAULT_THRESHOLD_PCT:g}%%)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+        help="regression threshold in percent",
+    )
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help="trailing records per params group for the median",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="show direction-unknown metrics"
+    )
+    args = parser.parse_args(argv)
+    return run_report(
+        root=args.root,
+        gate=args.gate,
+        threshold_pct=args.threshold,
+        window=args.window,
+        verbose=args.verbose,
+    )

@@ -205,6 +205,24 @@ class MetricsRegistry:
                 }
         return out
 
+    def counter_samples(self) -> list[dict]:
+        """Every counter series as ``{name, labels, value}`` rows.
+
+        The structured twin of :meth:`snapshot`'s flattened counter
+        keys: because a fresh per-job registry starts at zero, a worker
+        can snapshot its counters this way at job end and the parent
+        can fold them into the global registry as exact deltas without
+        parsing ``name{label="..."}`` strings back apart.
+        """
+        rows = []
+        for (name, labels_key), metric in sorted(self._series.items()):
+            if self._families[name][0] != "counter":
+                continue
+            rows.append(
+                {"name": name, "labels": dict(labels_key), "value": metric.value}
+            )
+        return rows
+
     def write_json(self, path) -> None:
         with open(path, "w") as handle:
             json.dump(self.snapshot(), handle, indent=2, sort_keys=True)

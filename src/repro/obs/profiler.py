@@ -1,0 +1,177 @@
+"""Thread-based wall-clock sampling profiler (default off, ~100 Hz).
+
+Where a span answers "how long did this phase take", a profile answers
+"where inside the phase did the time go" without instrumenting every
+function.  :class:`SamplingProfiler` runs one daemon thread that
+periodically snapshots every other thread's Python stack via
+:func:`sys._current_frames` and accumulates folded call stacks.  Being
+wall-clock and cooperative it costs nothing when not running, needs no
+signal handlers (so it works from any thread, including HTTP handler
+threads answering ``POST /debug/profile``), and degrades gracefully:
+missing a tick under load just means a slightly sparser profile.
+
+Two export formats:
+
+* :meth:`collapsed` — classic folded stacks (``a;b;c 42``), the input
+  format of every flamegraph toolchain;
+* :meth:`speedscope` — the speedscope JSON file format (``"type":
+  "sampled"``), drag-and-droppable into https://www.speedscope.app.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+
+#: Default sampling interval: 100 Hz.
+DEFAULT_INTERVAL = 0.01
+
+#: Hard cap on retained samples — at 100 Hz this is ~1.5 h of profile;
+#: past it the profiler keeps running but stops accumulating.
+MAX_SAMPLES = 500_000
+
+
+class SamplingProfiler:
+    """Sample all threads' stacks on a timer; export folded/speedscope."""
+
+    def __init__(
+        self, interval: float = DEFAULT_INTERVAL, max_samples: int = MAX_SAMPLES
+    ):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval = interval
+        self.max_samples = max_samples
+        #: folded stack tuple (root first) -> sample count
+        self.stacks: Counter[tuple[str, ...]] = Counter()
+        self.samples = 0
+        self.started_at: float | None = None
+        self.stopped_at: float | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def duration(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else time.monotonic()
+        return end - self.started_at
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self.started_at = time.monotonic()
+        self.stopped_at = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        if self.stopped_at is None:
+            self.stopped_at = time.monotonic()
+        return self
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            if self.samples >= self.max_samples:
+                continue
+            for thread_id, frame in sys._current_frames().items():
+                if thread_id == own_id:
+                    continue
+                stack = []
+                while frame is not None:
+                    code = frame.f_code
+                    stack.append(
+                        f"{code.co_name} ({code.co_filename}:{frame.f_lineno})"
+                    )
+                    frame = frame.f_back
+                if stack:
+                    self.stacks[tuple(reversed(stack))] += 1
+                    self.samples += 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def collapsed(self) -> str:
+        """Folded stacks, one ``frame;frame;frame count`` line each."""
+        lines = [
+            ";".join(stack) + f" {count}"
+            for stack, count in sorted(self.stacks.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def speedscope(self, name: str = "repro") -> dict:
+        """The speedscope file-format document (sampled profile)."""
+        frame_index: dict[str, int] = {}
+        frames: list[dict] = []
+        samples: list[list[int]] = []
+        weights: list[float] = []
+        for stack, count in sorted(self.stacks.items()):
+            indexed = []
+            for frame in stack:
+                index = frame_index.get(frame)
+                if index is None:
+                    index = len(frames)
+                    frame_index[frame] = index
+                    func, _, location = frame.partition(" (")
+                    file_name, _, line = location.rstrip(")").rpartition(":")
+                    frames.append(
+                        {
+                            "name": func,
+                            "file": file_name,
+                            "line": int(line) if line.isdigit() else 0,
+                        }
+                    )
+                indexed.append(index)
+            samples.append(indexed)
+            weights.append(count * self.interval)
+        total = sum(weights)
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "name": name,
+            "exporter": "repro.obs.profiler",
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0,
+                    "endValue": total,
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+            "activeProfileIndex": 0,
+        }
+
+    def state(self) -> dict:
+        """Status summary (the ``/healthz`` profiler line)."""
+        return {
+            "running": self.running,
+            "samples": self.samples,
+            "unique_stacks": len(self.stacks),
+            "duration_seconds": round(self.duration, 3),
+        }
+
+
+def profile_for(seconds: float, interval: float = DEFAULT_INTERVAL) -> SamplingProfiler:
+    """Run a profiler for ``seconds`` (blocking) and return it stopped."""
+    if not 0 < seconds <= 300:
+        raise ValueError("profile duration must be in (0, 300] seconds")
+    profiler = SamplingProfiler(interval=interval).start()
+    time.sleep(seconds)
+    return profiler.stop()

@@ -10,13 +10,20 @@ The reporter is driven from the probe's ``on_expansion`` hook and rate-
 limits itself on the monotonic clock: one emitted line per ``interval``
 seconds at most, whatever the expansion rate.  ``sink`` is any callable
 accepting one string; the default writes to ``sys.stderr`` so heartbeat
-lines never contaminate machine-read stdout.
+lines never contaminate machine-read stdout — *except* inside pool
+worker processes, where raw writes to the inherited stderr interleave
+byte-for-byte with the parent's and every other worker's output.  There
+the default sink routes through the structured logger instead
+(:mod:`repro.obs.logs`): correlated, one valid line per record, and
+silent unless the process actually configured logging.
 """
 
 from __future__ import annotations
 
 import sys
 import time
+
+from repro.obs.logs import get_logger, in_worker_process
 
 
 class ProgressReporter:
@@ -40,6 +47,12 @@ class ProgressReporter:
     def _emit(self, line: str) -> None:
         if self._sink is not None:
             self._sink(line)
+        elif in_worker_process():
+            # A pool worker shares its parent's stderr; raw prints from
+            # several workers shred each other mid-line.  The logging
+            # handler lock serializes whole records, and an unconfigured
+            # worker logger simply drops them.
+            get_logger("obs.progress").info(line)
         else:
             print(line, file=sys.stderr)
         self.reports_emitted += 1

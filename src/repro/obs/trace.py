@@ -64,12 +64,17 @@ class Span:
 class Tracer:
     """Collects nested spans; export as JSONL or Chrome ``trace_event``."""
 
-    def __init__(self, clock=time.monotonic):
+    def __init__(self, clock=time.monotonic, on_finish=None):
         self._clock = clock
         self._epoch = clock()
         self._stack: list[Span] = []
         self._finished: list[Span] = []
         self._next_id = 0
+        #: Optional callable invoked with each span the moment it
+        #: finishes — the incremental-export seam the telemetry spool
+        #: hangs off, so a SIGKILLed process still leaves its completed
+        #: spans on disk.  Abandoned descendants are reported too.
+        self._on_finish = on_finish
 
     # ------------------------------------------------------------------
     # Recording
@@ -111,10 +116,14 @@ class Tracer:
                 top.end = now
                 top.attributes.update(attributes)
                 self._finished.append(top)
+                if self._on_finish is not None:
+                    self._on_finish(top)
                 return span
             top.end = now
             top.status = "abandoned"
             self._finished.append(top)
+            if self._on_finish is not None:
+                self._on_finish(top)
         raise ValueError(f"span {span.name!r} is not open on this tracer")
 
     @contextmanager

@@ -46,6 +46,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.log.eventlog import EventLog
+from repro.obs.logs import mark_worker_process
 
 
 class SharedIncumbent:
@@ -187,6 +188,10 @@ _MODEL_CACHE = LruCache(MODEL_CACHE_CAP)
 def _init_pool_worker(incumbent: SharedIncumbent, cursor: ChunkCursor) -> None:
     _WORKER_CELLS["incumbent"] = incumbent
     _WORKER_CELLS["cursor"] = cursor
+    # Flag the process as a pool worker so chatty components (heartbeat
+    # reporters) reroute through the structured logger instead of
+    # shredding the parent's inherited stderr with raw interleaved lines.
+    mark_worker_process()
 
 
 def worker_cells() -> tuple[SharedIncumbent, ChunkCursor]:

@@ -73,6 +73,7 @@ from repro.core.scoring import ScoreModel, build_pattern_set
 from repro.core.stats import SearchStats
 from repro.log.events import Event
 from repro.log.eventlog import EventLog
+from repro.obs import telemetry
 from repro.obs.probe import NULL_PROBE, Probe
 from repro.parallel.pool import (
     ModelHandle,
@@ -202,12 +203,18 @@ def _run_worker_shard(
     """
     incumbent, cursor = worker_cells()
     model, cache_hit = materialize_model(handle)
+    # A service job running with workers>1 nests this shard inside a
+    # pool worker that holds a telemetry session; the fork inherited it,
+    # so derive this process's own spool and leave per-chunk spans in
+    # the merged trace as an extra pid lane.  None when telemetry is off.
+    session = telemetry.derived_session()
     started = time.perf_counter()
     outcomes: list[ShardOutcome] = []
     while True:
         chunk_index = cursor.claim()
         if chunk_index >= len(chunks):
             break
+        span_started = session.now() if session is not None else 0.0
         chunk_started = time.perf_counter()
         seed = incumbent.peek()
         matcher = AStarMatcher(
@@ -224,6 +231,18 @@ def _run_worker_shard(
         outcome = matcher.match()
         if outcome.score > float("-inf"):
             incumbent.offer(outcome.score)
+        if session is not None:
+            session.emit_span(
+                "parallel.chunk",
+                start=span_started,
+                end=session.now(),
+                attributes={
+                    "chunk": chunk_index,
+                    "worker": worker,
+                    "stolen": chunk_index % workers != worker,
+                    "expanded_nodes": outcome.stats.expanded_nodes,
+                },
+            )
         outcomes.append(
             ShardOutcome(
                 shard=chunk_index,

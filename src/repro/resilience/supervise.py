@@ -423,3 +423,36 @@ def set_segment_registry(registry: ShmSegmentRegistry | None) -> None:
 def reap_orphan_segments() -> int:
     """Reap dead-owner segments via the default registry."""
     return get_segment_registry().reap()
+
+
+def reap_stale_files(
+    directory, suffixes: tuple[str, ...], known_prefixes=()
+) -> int:
+    """Unlink files in ``directory`` no live owner can claim.
+
+    The tmp-file sibling of :func:`reap_orphan_segments`: crash-safe
+    byproducts (telemetry span spools, per-worker profiles) are written
+    under a state directory with a ``<owner-id>.<rest><suffix>`` name;
+    after a daemon death nobody will ever merge them, so the successor
+    sweeps everything whose owner id (the filename up to the first
+    ``.``) is not in ``known_prefixes``.  Races with a concurrent
+    writer or reaper are benign — an unlink that loses just finds the
+    file gone.  Returns how many files were removed.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    known = set(known_prefixes)
+    reaped = 0
+    for path in directory.iterdir():
+        name = path.name
+        if not name.endswith(suffixes):
+            continue
+        if name.split(".", 1)[0] in known:
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        reaped += 1
+    return reaped

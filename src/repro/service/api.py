@@ -15,10 +15,13 @@ Routes::
     GET  /logs                         registered logs
     POST /logs/{name}                  register a log (CSV request body)
     GET  /quarantine                   dead-letter summary + recent records
+    GET  /logs/tail?n=100              last n structured log lines (ring)
     GET  /jobs                         all jobs, oldest first
     POST /jobs                         submit {log_1, log_2, patterns?, ...}
     GET  /jobs/{id}                    one job, result inline when done
+    GET  /jobs/{id}/trace              merged per-job Chrome trace JSON
     POST /jobs/{id}/rematch            re-queue the same recipe
+    POST /debug/profile                sample the daemon {seconds}; speedscope
     GET  /sessions                     session names
     POST /sessions                     open {name, reference, patterns?, ...}
     GET  /sessions/{name}              status incl. current mapping
@@ -29,6 +32,12 @@ Routes::
 
 Every response is JSON except ``/metrics`` (text).  Errors follow one
 shape: ``{"error": "..."}`` with a 4xx/5xx status.
+
+Every request carries a ``trace_id`` — the client's ``X-Trace-Id``
+header when sane, freshly minted otherwise — bound into the structured
+log context for the handler's duration, echoed back as a response
+header, and stamped onto submitted jobs so one id follows the work
+HTTP → queue → worker → merged trace.
 
 Backpressure: ``POST /jobs`` against a queue at its ``--queue-bound``
 returns ``429 Too Many Requests`` with a ``Retry-After`` header;
@@ -43,13 +52,19 @@ import io
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
 
 from repro.log.csvio import read_csv
 from repro.log.errors import LogReadError
+from repro.obs.logs import bind, get_logger
+from repro.obs.profiler import profile_for
+from repro.obs.telemetry import new_trace_id, validate_trace_id
 from repro.service.daemon import MatchingService
-from repro.service.jobs import QueueFullError, UnknownJobError
+from repro.service.jobs import DONE, FAILED, QueueFullError, UnknownJobError
 from repro.service.registry import UnknownLogError
 from repro.service.sessions import UnknownSessionError
+
+logger = get_logger("service.api")
 
 _MAX_BODY = 64 * 1024 * 1024  # refuse absurd uploads before reading them
 
@@ -125,26 +140,42 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         service = self.api.service
         parts = [p for p in self.path.split("?")[0].split("/") if p]
         route = "/" + "/".join(parts)
-        try:
-            handled = self._route(verb, parts, service)
-        except (UnknownLogError, UnknownJobError, UnknownSessionError) as error:
-            handled = self._error(404, _message(error))
-        except QueueFullError as error:
-            handled = self._error(
-                429,
-                _message(error),
-                headers={"Retry-After": str(max(1, round(error.retry_after)))},
+        # Every request gets a trace id — the client's X-Trace-Id if it
+        # sent a sane one, a fresh mint otherwise.  It is bound into the
+        # log context for the whole handler, echoed back as a response
+        # header, and (for POST /jobs) becomes the job's trace_id.
+        self._trace_id = (
+            validate_trace_id(self.headers.get("X-Trace-Id")) or new_trace_id()
+        )
+        with bind(trace_id=self._trace_id):
+            try:
+                handled = self._route(verb, parts, service)
+            except (
+                UnknownLogError, UnknownJobError, UnknownSessionError
+            ) as error:
+                handled = self._error(404, _message(error))
+            except QueueFullError as error:
+                handled = self._error(
+                    429,
+                    _message(error),
+                    headers={
+                        "Retry-After": str(max(1, round(error.retry_after)))
+                    },
+                )
+            except KeyError as error:
+                handled = self._error(400, f"missing field: {_message(error)}")
+            except (ValueError, LogReadError) as error:
+                handled = self._error(400, _message(error))
+            except Exception as error:  # noqa: BLE001 — the 500 boundary
+                handled = self._error(500, f"{type(error).__name__}: {error}")
+            if not handled:
+                self._error(404, f"no route {verb} {route}")
+            status = getattr(self, "_status", 0)
+            logger.debug(
+                "request served",
+                extra={"route": _route_label(verb, parts), "status": status},
             )
-        except KeyError as error:
-            handled = self._error(400, f"missing field: {_message(error)}")
-        except (ValueError, LogReadError) as error:
-            handled = self._error(400, _message(error))
-        except Exception as error:  # noqa: BLE001 — the 500 boundary
-            handled = self._error(500, f"{type(error).__name__}: {error}")
-        if not handled:
-            self._error(404, f"no route {verb} {route}")
         probe = service.probe
-        status = getattr(self, "_status", 0)
         if probe.enabled and status:
             probe.on_http_request(_route_label(verb, parts), status)
 
@@ -185,10 +216,33 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                         ],
                     },
                 )
+            if parts == ["logs", "tail"]:
+                ring = service.log_ring
+                count = self._query_int("n", 100)
+                return self._json(
+                    200,
+                    {
+                        "enabled": ring is not None,
+                        "lines": ring.tail(count) if ring is not None else [],
+                    },
+                )
             if parts == ["jobs"]:
                 return self._json(
                     200, {"jobs": [job.to_payload() for job in service.jobs.jobs()]}
                 )
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+                job = service.jobs.get(parts[1])  # 404 on unknown id
+                if not service.telemetry.enabled:
+                    return self._error(
+                        404, "telemetry is disabled on this service"
+                    )
+                if job.state not in (DONE, FAILED):
+                    return self._error(
+                        404,
+                        f"trace for {job.job_id} is not ready "
+                        f"(job is {job.state}); retry once it finishes",
+                    )
+                return self._json(200, service.telemetry.trace_document(job))
             if len(parts) == 2 and parts[0] == "jobs":
                 return self._json(200, service.jobs.get(parts[1]).to_payload())
             if parts == ["sessions"]:
@@ -216,9 +270,24 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 options.pop("log_1"),
                 options.pop("log_2"),
                 patterns=tuple(options.pop("patterns", ())),
+                trace_id=self._trace_id,
                 **_job_options(options),
             )
             return self._json(202, job.to_payload())
+        if parts == ["debug", "profile"]:
+            options = self._body_json()
+            seconds = options.get("seconds", 1.0)
+            if not isinstance(seconds, (int, float)) or not 0 < seconds <= 60:
+                raise ValueError("seconds must be a number in (0, 60]")
+            profiler = profile_for(float(seconds))
+            return self._json(
+                200,
+                {
+                    "seconds": float(seconds),
+                    **profiler.state(),
+                    "speedscope": profiler.speedscope(name="repro-daemon"),
+                },
+            )
         if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "rematch":
             service.jobs.get(parts[1])  # 404 before queueing
             return self._json(202, service.jobs.rematch(parts[1]).to_payload())
@@ -256,6 +325,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Body / response plumbing
     # ------------------------------------------------------------------
+    def _query_int(self, name: str, default: int) -> int:
+        values = parse_qs(urlparse(self.path).query).get(name)
+        if not values:
+            return default
+        try:
+            return max(0, int(values[-1]))
+        except ValueError:
+            raise ValueError(f"query parameter {name!r} must be an integer")
+
     def _body_text(self) -> str:
         length = int(self.headers.get("Content-Length", 0))
         if length > _MAX_BODY:
@@ -299,6 +377,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()

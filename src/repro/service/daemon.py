@@ -34,8 +34,11 @@ import threading
 import time
 from pathlib import Path
 
+from repro.obs.logs import bind, get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import ObservabilityProbe, Probe
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.telemetry import TelemetryHub
 from repro.resilience.quarantine import QuarantineRecord, QuarantineStore
 from repro.resilience.recovery import RecoveryStats
 from repro.resilience.supervise import (
@@ -44,6 +47,7 @@ from repro.resilience.supervise import (
     DegradedStateMachine,
     RetryPolicy,
     reap_orphan_segments,
+    reap_stale_files,
 )
 from repro.service.jobs import JobQueue, MatchJob, QueueFullError
 from repro.service.registry import LogRegistry, UnknownLogError
@@ -53,6 +57,8 @@ from repro.service.workers import WorkerPool, job_payload
 
 MANIFEST_FORMAT = "repro-service-manifest"
 MANIFEST_VERSION = 1
+
+logger = get_logger("service.daemon")
 
 
 class MatchingService:
@@ -87,6 +93,18 @@ class MatchingService:
     retry_seed:
         Seed for the backoff jitter RNG — supervised schedules replay
         bit-for-bit like chaos runs.
+    telemetry:
+        Cross-process trace collection (PR 9): attempts spool spans in
+        the workers, the daemon merges them per job and folds worker
+        counter deltas into ``/metrics``.  ``False`` restores the
+        telemetry-free payload and execution path bit-for-bit.
+    profile:
+        Attach a sampling profiler to the daemon process *and* ask each
+        worker attempt to profile itself (speedscope files land next to
+        the spools).  Default off — profiling is a debugging posture.
+    log_ring:
+        A :class:`~repro.obs.logs.LogRingBuffer` already wired into the
+        logging tree (the CLI does this); exposed at ``GET /logs/tail``.
     """
 
     def __init__(
@@ -100,6 +118,9 @@ class MatchingService:
         job_deadline: float | None = None,
         queue_bound: int | None = None,
         retry_seed: int = 0,
+        telemetry: bool = True,
+        profile: bool = False,
+        log_ring=None,
     ):
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
@@ -119,6 +140,17 @@ class MatchingService:
             self.recovery.shm_segments_reaped += reaped
             if probe.enabled:
                 probe.on_shm_reaped(reaped)
+        self.telemetry = TelemetryHub(
+            self.state_dir,
+            registry=getattr(probe, "metrics", None),
+            enabled=telemetry,
+            profile_workers=profile,
+        )
+        self._spools_reaped_once = False
+        self.log_ring = log_ring
+        self.profiler = SamplingProfiler() if profile else None
+        if self.profiler is not None:
+            self.profiler.start()
         self.quarantine = QuarantineStore(
             spill_path=self.state_dir / "quarantine.jsonl"
         )
@@ -152,6 +184,19 @@ class MatchingService:
     def tick(self) -> dict:
         """One scheduling round; returns what it did (for tests/logs)."""
         self.ticks += 1
+        if not self._spools_reaped_once:
+            # Deferred past construction so a resume() can claim its
+            # jobs' spools first; anything left belongs to no job this
+            # daemon will ever harvest.
+            self._spools_reaped_once = True
+            reaped = self.telemetry.reap(
+                known_job_ids=[job.job_id for job in self.jobs.jobs()],
+                reaper=reap_stale_files,
+            )
+            if reaped:
+                logger.info(
+                    "reaped orphaned telemetry spools", extra={"count": reaped}
+                )
         registered = self.watcher.poll()
         dispatched = self._dispatch()
         finished = self._harvest()
@@ -199,10 +244,17 @@ class MatchingService:
                     self.registry.path(job.log_1),
                     self.registry.path(job.log_2),
                     deadline=self.retry_policy.deadline_for(job.deadline),
+                    telemetry=self.telemetry.attempt_payload(job),
                 )
             except UnknownLogError as error:
                 self.jobs.fail(job.job_id, f"UnknownLogError: {error}")
                 continue
+            self.telemetry.attempt_started(job)
+            with bind(trace_id=job.trace_id, job_id=job.job_id):
+                logger.info(
+                    "dispatching job attempt",
+                    extra={"attempt": job.attempts, "method": job.method},
+                )
             self.pool.submit(job.job_id, payload)
             dispatched.append(job.job_id)
         return dispatched
@@ -220,14 +272,36 @@ class MatchingService:
         finished = []
         for outcome in self.pool.completed():
             job_id = outcome.job_id
+            job = self.jobs.get(job_id)
+            self.telemetry.attempt_finished(
+                job_id, job.attempts, outcome.kind, outcome.error
+            )
             if outcome.ok:
+                # Fold the attempt's counter snapshot into /metrics
+                # (exactly once — one JobOutcome per attempt is the
+                # pool's harvest guarantee), then slim the bulky counter
+                # rows out of the result document the API serves.
+                telemetry = (outcome.result or {}).get("telemetry")
+                if telemetry is not None:
+                    self.telemetry.fold_outcome(telemetry)
+                    outcome.result["telemetry"] = {
+                        k: v for k, v in telemetry.items() if k != "counters"
+                    }
                 self.jobs.finish(job_id, outcome.result, outcome.elapsed_seconds)
+                self.telemetry.merge_job(job_id, job.trace_id)
+                with bind(trace_id=job.trace_id, job_id=job_id):
+                    logger.info(
+                        "job finished",
+                        extra={
+                            "attempt": job.attempts,
+                            "elapsed_seconds": round(outcome.elapsed_seconds, 3),
+                        },
+                    )
                 finished.append(job_id)
                 continue
             worker_died = outcome.kind in (OUTCOME_CRASH, OUTCOME_DEADLINE)
             if outcome.kind == OUTCOME_DEADLINE:
                 self.recovery.jobs_deadline_exceeded += 1
-            job = self.jobs.get(job_id)
             verdict = self.retry_policy.verdict(
                 attempts=job.attempts,
                 worker_deaths=job.worker_deaths + (1 if worker_died else 0),
@@ -241,6 +315,16 @@ class MatchingService:
                     worker_died=worker_died,
                 )
                 self.recovery.jobs_retried += 1
+                with bind(trace_id=job.trace_id, job_id=job_id):
+                    logger.warning(
+                        "job attempt failed; retrying",
+                        extra={
+                            "kind": outcome.kind,
+                            "attempt": job.attempts,
+                            "backoff_seconds": round(delay, 3),
+                            "error": (outcome.error or "")[:300],
+                        },
+                    )
                 if self.probe.enabled:
                     self.probe.on_job_retry(outcome.kind)
             else:
@@ -275,6 +359,12 @@ class MatchingService:
             )
         )
         self.recovery.jobs_poisoned += 1
+        self.telemetry.merge_job(job.job_id, job.trace_id)
+        with bind(trace_id=job.trace_id, job_id=job.job_id):
+            logger.error(
+                "job poisoned into quarantine",
+                extra={"kind": outcome.kind, "attempts": job.attempts},
+            )
         if self.probe.enabled:
             self.probe.on_job_poisoned(outcome.kind)
 
@@ -375,6 +465,22 @@ class MatchingService:
         # them, so anything on disk but not in the manifest re-registers.
         summary["logs"] += self.registry.scan_spool()
         summary["sessions"] = self.sessions.resume()
+        # Restored jobs keep their spools (their attempts merge when the
+        # job reaches a terminal state under this daemon); everything
+        # else in the spool directory is a dead generation's leftovers.
+        self._spools_reaped_once = True
+        self.telemetry.reap(
+            known_job_ids=[job.job_id for job in self.jobs.jobs()],
+            reaper=reap_stale_files,
+        )
+        logger.info(
+            "service resumed",
+            extra={
+                "logs": summary["logs"],
+                "jobs_requeued": summary["jobs_requeued"],
+                "sessions": len(summary["sessions"]),
+            },
+        )
         return summary
 
     def shutdown(self) -> list[str]:
@@ -385,6 +491,21 @@ class MatchingService:
         ``resume`` re-queues them) and their ids returned.
         """
         self.save_state()
+        if self.profiler is not None and self.profiler.running:
+            self.profiler.stop()
+            try:
+                profile_path = (
+                    self.state_dir / "telemetry" / "daemon.speedscope.json"
+                )
+                profile_path.parent.mkdir(parents=True, exist_ok=True)
+                profile_path.write_text(
+                    json.dumps(self.profiler.speedscope(name="repro-daemon"))
+                )
+                logger.info(
+                    "wrote daemon profile", extra={"path": str(profile_path)}
+                )
+            except OSError:
+                pass
         return self.pool.shutdown()
 
     # ------------------------------------------------------------------
@@ -402,6 +523,14 @@ class MatchingService:
             "quarantined": self.quarantine.total_seen,
             "workers": self.pool.processes,
             "readiness": self.readiness.state,
+            "telemetry": {
+                **self.telemetry.state(),
+                "profiler": (
+                    self.profiler.state()
+                    if self.profiler is not None
+                    else {"running": False, "samples": 0}
+                ),
+            },
             "supervision": {
                 "jobs_retried": self.recovery.jobs_retried,
                 "workers_respawned": self.recovery.workers_respawned,

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, replace
 
 from repro.obs.probe import NULL_PROBE, Probe
+from repro.obs.telemetry import new_trace_id, validate_trace_id
 from repro.resilience.supervise import validate_deadline
 
 class UnknownJobError(KeyError):
@@ -88,6 +89,11 @@ class MatchJob:
     result: dict | None = None
     error: str | None = None
     elapsed_seconds: float = 0.0
+    # -- telemetry (PR 9) -----------------------------------------------
+    #: Correlation id minted at submission (or propagated from the
+    #: client's ``X-Trace-Id``); rides the payload into the worker and
+    #: names every span/log line the job produces across processes.
+    trace_id: str | None = None
     # -- supervision bookkeeping (PR 8) --------------------------------
     #: Optional per-job wall-clock budget in seconds (overrides the
     #: service-level default when set).
@@ -117,6 +123,7 @@ class MatchJob:
             "result": self.result,
             "error": self.error,
             "elapsed_seconds": self.elapsed_seconds,
+            "trace_id": self.trace_id,
             "deadline": self.deadline,
             "attempts": self.attempts,
             "worker_deaths": self.worker_deaths,
@@ -146,6 +153,7 @@ class MatchJob:
             result=payload.get("result"),
             error=payload.get("error"),
             elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+            trace_id=validate_trace_id(payload.get("trace_id")),
             deadline=deadline,
             attempts=payload.get("attempts", 0),
             worker_deaths=payload.get("worker_deaths", 0),
@@ -185,10 +193,14 @@ class JobQueue:
         degraded_fallback: float | None = None,
         workers: int = 1,
         deadline: float | None = None,
+        trace_id: str | None = None,
         enforce_bound: bool = True,
     ) -> MatchJob:
         """Queue a new job; raises :class:`QueueFullError` at the bound.
 
+        ``trace_id`` propagates a caller-supplied correlation id (the
+        API's ``X-Trace-Id``); anything unusable is replaced by a fresh
+        one, never rejected — correlation must not fail a submission.
         ``enforce_bound=False`` bypasses backpressure — used by manifest
         restore, where refusing previously-accepted jobs would lose them.
         """
@@ -197,6 +209,7 @@ class JobQueue:
         # non-numeric/non-finite/non-positive here (the API's 400)
         # before it can detonate inside the daemon loop.
         deadline = validate_deadline(deadline)
+        trace_id = validate_trace_id(trace_id) or new_trace_id()
         with self._lock:
             depth = self._depth_locked()
             if enforce_bound and self.bound is not None and depth >= self.bound:
@@ -214,6 +227,7 @@ class JobQueue:
                 degraded_fallback=degraded_fallback,
                 workers=workers,
                 deadline=deadline,
+                trace_id=trace_id,
             )
             self._jobs[job.job_id] = job
             self._order.append(job.job_id)

@@ -34,12 +34,16 @@ from repro.log.csvio import read_csv
 from repro.log.errors import LogReadError
 from repro.log.eventlog import EventLog
 from repro.log.xes import read_xes
+from repro.obs.logs import bind, get_logger
 from repro.obs.probe import NULL_PROBE, Probe
+from repro.obs.telemetry import new_trace_id
 from repro.resilience.quarantine import QuarantineRecord, QuarantineStore
 from repro.service.registry import LogRegistry, validate_log_name
 
 #: File extensions the watcher picks up, lowercase.
 WATCHED_SUFFIXES = (".csv", ".xes")
+
+logger = get_logger("service.watcher")
 
 
 class DirectoryWatcher:
@@ -131,6 +135,12 @@ class DirectoryWatcher:
     # Ingestion
     # ------------------------------------------------------------------
     def _ingest(self, path: Path) -> str | None:
+        # Every watched file gets its own trace id so downstream jobs
+        # against the registered log can be correlated back to the drop.
+        with bind(trace_id=new_trace_id(), file=path.name):
+            return self._ingest_traced(path)
+
+    def _ingest_traced(self, path: Path) -> str | None:
         try:
             log = self._read(path)
             name = validate_log_name(path.stem)
@@ -147,6 +157,10 @@ class DirectoryWatcher:
             if path not in self._io_retried:
                 self._io_retried.add(path)
                 self.io_retries += 1
+                logger.warning(
+                    "transient read error, will retry once",
+                    extra={"error": str(error)},
+                )
                 if self._probe.enabled:
                     self._probe.on_file_ingested("io-retry")
                 return None
@@ -160,6 +174,10 @@ class DirectoryWatcher:
         self.registry.register(name, log, source="drop")
         path.unlink(missing_ok=True)
         self.files_registered += 1
+        logger.info(
+            "log file ingested",
+            extra={"log": name, "traces": len(log)},
+        )
         if self._probe.enabled:
             self._probe.on_file_ingested("registered")
         return name
@@ -205,5 +223,9 @@ class DirectoryWatcher:
         except OSError:
             path.unlink(missing_ok=True)
         self.files_quarantined += 1
+        logger.warning(
+            "log file quarantined",
+            extra={"reason": f"{type(error).__name__}: {error}"},
+        )
         if self._probe.enabled:
             self._probe.on_file_ingested("quarantined")

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 
 from repro.core.matcher import EventMatcher, MatchResult
 from repro.obs.probe import NULL_PROBE, Probe
+from repro.obs.telemetry import WorkerTelemetry, set_active_session
 from repro.parallel.pool import current_warm_pool, get_warm_pool
 from repro.parallel.sweep import TaskSpec
 from repro.resilience.supervise import (
@@ -60,15 +61,23 @@ SHUTDOWN_TIMEOUT = 30.0
 
 
 def job_payload(
-    job, path_1: str, path_2: str, deadline: float | None = None
+    job,
+    path_1: str,
+    path_2: str,
+    deadline: float | None = None,
+    telemetry: dict | None = None,
 ) -> dict:
     """The picklable recipe for ``job`` with log names resolved to paths.
 
     ``deadline`` is the effective wall-clock budget (the job's own, or
     the service default) — carried in the payload so the parent-side
-    enforcement travels with the recipe through retries.
+    enforcement travels with the recipe through retries.  ``telemetry``
+    (from :meth:`~repro.obs.telemetry.TelemetryHub.attempt_payload`)
+    carries the trace id, attempt number and spool directory into the
+    worker; ``None`` keeps the recipe — and the execution path — byte-
+    identical to a telemetry-free build.
     """
-    return {
+    payload = {
         "paths": (str(path_1), str(path_2)),
         "patterns": list(job.patterns),
         "method": job.method,
@@ -79,27 +88,58 @@ def job_payload(
         "workers": job.workers,
         "deadline": deadline if deadline is not None else job.deadline,
     }
+    if telemetry is not None:
+        payload["telemetry"] = telemetry
+    return payload
 
 
 def execute_match_job(payload: dict) -> dict:
     """Rebuild a task from its recipe, run the matcher, serialize the result.
 
     Runs in a worker process (or inline); must stay importable at module
-    level and touch only picklable state.
+    level and touch only picklable state.  When the payload carries a
+    ``telemetry`` dict a :class:`~repro.obs.telemetry.WorkerTelemetry`
+    session spools spans and counts metrics around the run, and its
+    summary rides home under the result's ``"telemetry"`` key; without
+    one the matcher runs under the null probe exactly as before.
     """
-    path_1, path_2 = payload["paths"]
-    spec = TaskSpec.from_files(path_1, path_2, patterns=payload["patterns"])
-    task = spec.build()
-    matcher = EventMatcher(task.log_1, task.log_2, patterns=task.patterns)
-    result = matcher.run(
-        method=payload.get("method", "pattern-tight"),
-        node_budget=payload.get("node_budget"),
-        time_budget=payload.get("time_budget"),
-        strict=payload.get("strict", False),
-        degraded_fallback=payload.get("degraded_fallback"),
-        workers=payload.get("workers", 1),
-    )
-    return serialize_result(result)
+    session = None
+    telemetry_cfg = payload.get("telemetry")
+    if telemetry_cfg:
+        try:
+            session = WorkerTelemetry.from_payload(telemetry_cfg)
+            set_active_session(session)
+        except OSError:
+            session = None  # an unwritable spool dir must not fail the job
+    try:
+        path_1, path_2 = payload["paths"]
+        spec = TaskSpec.from_files(path_1, path_2, patterns=payload["patterns"])
+        task = spec.build()
+        matcher = EventMatcher(task.log_1, task.log_2, patterns=task.patterns)
+        run_options = dict(
+            method=payload.get("method", "pattern-tight"),
+            node_budget=payload.get("node_budget"),
+            time_budget=payload.get("time_budget"),
+            strict=payload.get("strict", False),
+            degraded_fallback=payload.get("degraded_fallback"),
+            workers=payload.get("workers", 1),
+        )
+        if session is not None:
+            run_options["probe"] = session.probe
+        result = matcher.run(**run_options)
+    except BaseException:
+        # Close the spool so the merged trace shows where the attempt
+        # died (SIGKILL skips this, but the per-span flush already left
+        # the completed prefix on disk).
+        if session is not None:
+            session.finish(status="error")
+            set_active_session(None)
+        raise
+    serialized = serialize_result(result)
+    if session is not None:
+        serialized["telemetry"] = session.finish(status="ok")
+        set_active_session(None)
+    return serialized
 
 
 def serialize_result(result: MatchResult) -> dict:
