@@ -1,0 +1,183 @@
+"""Blocking & tiered matching — candidate reduction at matched quality.
+
+Two measurements back the ``repro.blocking`` tier:
+
+* **Gate instance** — a small large-vocabulary task
+  (:func:`repro.datagen.generate_largevocab`) on which the *unblocked*
+  exact search is still feasible.  The blocked run must cut the
+  candidate-pair space by at least 10x while reporting exactly the
+  F-measure of the unblocked exact baseline (asserted past smoke
+  scale) — the ISSUE's headline acceptance criterion.
+* **Scale instance** — a vocabulary far beyond the exact search's reach
+  (the unblocked baseline would take hours); blocked-only, with
+  ``exact_cutoff`` escalating the wide frequency-level blocks to the
+  advanced heuristic.  Records candidate reduction, wall-clock and
+  F-measure against ground truth, plus the auto-accept/escalation tier
+  split.
+
+Both series land in ``BENCH_blocking.json`` via ``record_bench`` so the
+trend gate (``repro bench report``) watches ``*reduction*`` and
+``*f_measure*`` (higher is better) and ``*_seconds`` (lower is better)
+across PRs.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_scale, record_bench, save_report
+from repro.core.matcher import match
+from repro.datagen import generate_largevocab
+
+_SIZES = {
+    # gate: (families, roles, traces) — per-event levels, unblocked
+    # exact must stay feasible.  scale: (families, roles, traces,
+    # frequency_gap) — family-chain levels (one chain per level), with
+    # exact_cutoff=8 keeping in-block searches exact at block width 8.
+    "smoke": {"gate": (3, 2, 150), "scale": (4, 4, 300, 0.05)},
+    "quick": {"gate": (4, 3, 1000), "scale": (20, 8, 5000, 0.012)},
+    "paper": {"gate": (4, 3, 3000), "scale": (40, 8, 8000, 0.01)},
+}
+
+
+def _f_measure(mapping, truth: dict) -> float:
+    mapped = dict(mapping.as_dict())
+    correct = sum(1 for s, t in mapped.items() if truth.get(s) == t)
+    precision = correct / len(mapped) if mapped else 0.0
+    recall = correct / len(truth) if truth else 0.0
+    if precision + recall == 0.0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+@pytest.fixture(scope="module")
+def gate_series(scale):
+    families, roles, traces = _SIZES[scale]["gate"]
+    task = generate_largevocab(
+        num_families=families,
+        roles_per_family=roles,
+        num_traces=traces,
+        seed=0,
+    )
+    truth = dict(task.truth.as_dict())
+
+    started = time.perf_counter()
+    base = match(
+        task.log_1, task.log_2, patterns=task.patterns,
+        method="pattern-tight",
+    )
+    base_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    blocked = match(
+        task.log_1, task.log_2, patterns=task.patterns,
+        method="pattern-tight", blocking=True,
+    )
+    blocked_seconds = time.perf_counter() - started
+
+    stats = blocked.stats
+    reduction = stats.blocking_pairs_total / max(
+        1, stats.blocking_pairs_considered
+    )
+    series = {
+        "events": len(task.log_1.alphabet()),
+        "traces": traces,
+        "unblocked_seconds": round(base_seconds, 4),
+        "blocked_seconds": round(blocked_seconds, 4),
+        "unblocked_f_measure": round(_f_measure(base.mapping, truth), 4),
+        "blocked_f_measure": round(_f_measure(blocked.mapping, truth), 4),
+        "unblocked_score": round(base.score, 6),
+        "blocked_score": round(blocked.score, 6),
+        "candidate_reduction": round(reduction, 2),
+        "pairs_total": stats.blocking_pairs_total,
+        "pairs_considered": stats.blocking_pairs_considered,
+        "auto_accepted": stats.blocking_auto_accepted,
+        "escalated": stats.blocking_escalated,
+        "blocks": stats.blocking_blocks,
+        "gap": round(blocked.gap, 6),
+    }
+    if scale != "smoke":
+        # The ISSUE's acceptance gate: >= 10x candidate reduction at the
+        # unblocked baseline's F-measure, at quick scale and beyond.
+        assert series["candidate_reduction"] >= 10.0, series
+        assert series["blocked_f_measure"] == series["unblocked_f_measure"], (
+            series
+        )
+    return series
+
+
+@pytest.fixture(scope="module")
+def scale_series(scale):
+    families, roles, traces, frequency_gap = _SIZES[scale]["scale"]
+    task = generate_largevocab(
+        num_families=families,
+        roles_per_family=roles,
+        num_traces=traces,
+        seed=1,
+        family_chains=True,
+        families_per_level=1,
+    )
+    truth = dict(task.truth.as_dict())
+
+    started = time.perf_counter()
+    blocked = match(
+        task.log_1, task.log_2, patterns=task.patterns,
+        method="pattern-tight",
+        blocking={"frequency_gap": frequency_gap, "exact_cutoff": 8},
+    )
+    blocked_seconds = time.perf_counter() - started
+
+    stats = blocked.stats
+    reduction = stats.blocking_pairs_total / max(
+        1, stats.blocking_pairs_considered
+    )
+    series = {
+        "events": len(task.log_1.alphabet()),
+        "traces": traces,
+        "frequency_gap": frequency_gap,
+        "blocked_seconds": round(blocked_seconds, 4),
+        "f_measure": round(_f_measure(blocked.mapping, truth), 4),
+        "candidate_reduction": round(reduction, 2),
+        "pairs_total": stats.blocking_pairs_total,
+        "pairs_considered": stats.blocking_pairs_considered,
+        "auto_accepted": stats.blocking_auto_accepted,
+        "escalated": stats.blocking_escalated,
+        "blocks": stats.blocking_blocks,
+        "degraded": blocked.degraded,
+        "gap": round(blocked.gap, 6),
+    }
+    if scale != "smoke":
+        assert series["candidate_reduction"] >= 10.0, series
+    return series
+
+
+def test_blocking_series(scale, gate_series, scale_series):
+    lines = [
+        "blocking tier: candidate reduction at matched F-measure",
+        f"scale={scale}",
+        "",
+        "gate instance (unblocked exact feasible):",
+    ]
+    for key, value in gate_series.items():
+        lines.append(f"  {key:<22} {value}")
+    lines.append("")
+    lines.append("scale instance (blocked only):")
+    for key, value in scale_series.items():
+        lines.append(f"  {key:<22} {value}")
+    save_report("blocking", "\n".join(lines))
+
+    record_bench(
+        "blocking",
+        params={"scale": scale, "sizes": _SIZES[scale]},
+        results={"gate": gate_series, "scale": scale_series},
+    )
+
+
+def test_blocking_gate_quality(gate_series):
+    """The blocked gate run composes a complete, injective mapping."""
+    assert gate_series["pairs_considered"] < gate_series["pairs_total"]
+    assert gate_series["auto_accepted"] + gate_series["escalated"] >= 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v", "-s"]))

@@ -1,0 +1,42 @@
+"""Blocking & tiered matching for huge vocabularies.
+
+The exact and assignment matchers enumerate the full ``|V1| x |V2|``
+candidate space — the scaling wall for vocabularies in the thousands of
+event types.  This package adds the tier that runs *ahead* of them:
+
+* :mod:`repro.blocking.signals` — cheap, renaming- and trace-order-
+  invariant per-event signal keys (frequency, occurrence entropy,
+  dependency-degree profiles, bigram signatures from the kernel's
+  interned postings);
+* :mod:`repro.blocking.plan` — partition both vocabularies into
+  candidate blocks (gap-clustered by frequency, refined by signal
+  profile under a balance-conservation rule);
+* :mod:`repro.blocking.tiered` — auto-accept unambiguous 1:1 blocks,
+  run the exact search only inside ambiguous blocks (optionally fanned
+  out over the warm worker pool), and compose the per-block mappings
+  into one injective mapping scored against the *full* logs with a
+  sound combined optimality gap.
+
+Entry points: ``match(..., blocking=...)`` on the facade, ``--blocking``
+on the CLI, and the ``blocking`` job/stream options.
+"""
+
+from repro.blocking.plan import Block, BlockingPlan, build_plan
+from repro.blocking.signals import (
+    BlockingConfig,
+    EventSignals,
+    compute_signals,
+    normalize_blocking,
+)
+from repro.blocking.tiered import tiered_match
+
+__all__ = [
+    "Block",
+    "BlockingConfig",
+    "BlockingPlan",
+    "EventSignals",
+    "build_plan",
+    "compute_signals",
+    "normalize_blocking",
+    "tiered_match",
+]

@@ -1,0 +1,443 @@
+"""Tiered matching: auto-accept, per-block exact search, composition.
+
+The pattern normal distance decomposes additively over any partition of
+``V1``: a pattern's contribution depends only on the images of its own
+events, so ``score(M) = Σ_blocks (patterns inside the block) +
+Σ (patterns spanning blocks)``.  The tiered matcher exploits that:
+
+* **Tier 0 — auto-accept**: a block with exactly one source and one
+  candidate target is an assignment, not a search problem; the pair is
+  fixed directly (and still scored, so it counts toward the final
+  score and toward precision/recall exactly like a searched pair).
+* **Tier 1 — in-block search**: ambiguous blocks run the exact A*
+  search on a :meth:`~repro.core.scoring.ScoreModel.restricted` model —
+  same logs, same frequencies, vocabulary narrowed to the block — so
+  each block's score is an exact summand of the global score.  Blocks
+  larger than ``exact_cutoff`` fall back to the advanced heuristic.
+  With ``workers > 1`` the escalated blocks are submitted to the warm
+  worker pool as independent tasks: blocks are disjoint, so they form a
+  natural work-stealing queue (the next free worker claims the next
+  block) with no cross-talk to coordinate.
+* **Tier 2 — residual cleanup**: sources from one-sided clusters plus
+  any sources an unbalanced block could not place are matched against
+  every still-unused target in one final search, keeping the composed
+  mapping as total as the unblocked one.
+
+The composed mapping is rescored against the **full** model (all
+patterns, full vocabularies), so cross-block pattern contributions are
+realized and auto-accepted pairs appear in ``MatchResult.mapping`` like
+any other pair.
+
+**Combined gap.**  The returned ``gap`` soundly bounds how much better
+the best *tier-respecting* mapping (one that maps each source within
+its tier's candidate targets, same per-tier source coverage) can score:
+
+``gap = Σ degraded in-block search gaps + Σ_slack max(0, cap_p − d_p)``
+
+where the slack sum runs over patterns *not* proven optimal by an exact
+tier — patterns spanning tiers, and patterns inside heuristic-matched
+tiers — and ``cap_p`` caps ``d_p`` under any tier-respecting mapping by
+the largest target vertex frequency available to each of the pattern's
+events (the same capping argument as the search's ``h`` bound).
+Patterns fully inside an exact tier contribute no slack: the in-block
+optimum proves their summed contribution maximal.  Blocking itself may
+exclude the unblocked optimum — that residual risk is empirical (the
+recall property tests and the benchmark's F-measure parity check), not
+part of the gap.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.blocking.plan import Block, BlockingPlan, build_plan
+from repro.blocking.signals import BlockingConfig
+from repro.core.astar import AStarMatcher, SearchBudgetExceeded
+from repro.core.bounds import BoundKind
+from repro.core.distance import frequency_similarity
+from repro.core.mapping import Mapping
+from repro.core.result import MatchOutcome
+from repro.core.scoring import ScoreModel, build_pattern_set
+from repro.core.stats import SearchStats
+from repro.log.events import Event
+from repro.log.eventlog import EventLog
+from repro.obs.probe import NULL_PROBE, Probe
+from repro.patterns.ast import Pattern
+
+#: Heuristic-escalated blocks score augmentations with the cheaper
+#: heuristic bound, mirroring the facade's heuristic methods.
+_HEURISTIC_BOUND = BoundKind.TIGHT_FAST
+
+#: Stats fields that :meth:`ScoreModel.collect_frequency_evaluations`
+#: *sets* from cumulative evaluator/kernel counters.  Per-block models
+#: share the parent's evaluators, so per-search snapshots of these would
+#: double-count under merge; they are zeroed per search and written once
+#: at the end from the shared evaluators.
+_CUMULATIVE_FIELDS = (
+    "frequency_evaluations",
+    "automaton_builds",
+    "automaton_hits",
+    "bitset_intersections",
+    "trace_cells_scanned",
+)
+
+
+@dataclass(frozen=True)
+class _TierResult:
+    """One searched tier's outcome, normalized for composition."""
+
+    mapping: dict[Event, Event]
+    stats: SearchStats
+    degraded: bool
+    gap: float
+    exact: bool
+
+
+def _zero_cumulative(stats: SearchStats) -> None:
+    for name in _CUMULATIVE_FIELDS:
+        setattr(stats, name, 0)
+    stats.extra.pop("caps_fast_path", None)
+    stats.extra.pop("caps_slow_path", None)
+
+
+def _search_tier(
+    parent: ScoreModel,
+    sources: Sequence[Event],
+    targets: Sequence[Event],
+    bound: BoundKind,
+    config: BlockingConfig,
+    node_budget: int | None,
+    time_budget: float | None,
+    strict: bool,
+) -> _TierResult:
+    """Match one tier's sources onto its candidate targets in-process."""
+    use_heuristic = (
+        config.exact_cutoff is not None and len(sources) > config.exact_cutoff
+    )
+    if use_heuristic:
+        from repro.core.heuristic import AdvancedHeuristicMatcher
+
+        model = parent.restricted(sources, targets, bound=_HEURISTIC_BOUND)
+        outcome = AdvancedHeuristicMatcher(model).match()
+    else:
+        model = parent.restricted(sources, targets, bound=bound)
+        outcome = AStarMatcher(
+            model,
+            node_budget=node_budget,
+            time_budget=time_budget,
+            strict=strict,
+        ).match()
+    _zero_cumulative(outcome.stats)
+    return _TierResult(
+        mapping=outcome.mapping.as_dict(),
+        stats=outcome.stats,
+        degraded=outcome.degraded,
+        gap=outcome.gap,
+        exact=not use_heuristic,
+    )
+
+
+def _match_block_task(
+    handle,
+    sources: tuple[Event, ...],
+    targets: tuple[Event, ...],
+    config_payload: dict,
+    bound: BoundKind,
+    node_budget: int | None,
+    time_budget: float | None,
+) -> _TierResult:
+    """One warm-pool task: materialize the cached full model, search one block.
+
+    Runs in a worker process.  The full model comes from the worker's
+    LRU cache (the same handle machinery the root-split parallel search
+    uses), so repeated blocked matches over the same logs pay the model
+    build once per worker lifetime; the per-block restriction on top is
+    cheap (shared evaluators and graphs).
+    """
+    from repro.parallel.pool import materialize_model
+
+    model, _ = materialize_model(handle)
+    return _search_tier(
+        model,
+        sources,
+        targets,
+        bound,
+        BlockingConfig.from_dict(config_payload),
+        node_budget,
+        time_budget,
+        strict=False,
+    )
+
+
+def _parallel_escalation(
+    full_model: ScoreModel,
+    escalated: list[Block],
+    config: BlockingConfig,
+    bound: BoundKind,
+    node_budget: int | None,
+    time_budget: float | None,
+    workers: int,
+    transport: str,
+    probe: Probe,
+) -> list[_TierResult] | None:
+    """Fan escalated blocks out over the warm pool; ``None`` → run serial.
+
+    Each block is one independent task: the executor hands the next
+    block to the next free worker, which is exactly the work-stealing
+    schedule — no shared incumbent or cursor is needed because blocks
+    are disjoint in both sources and targets.  Results are collected in
+    submission order, so the composition is scheduling-independent.
+    """
+    from repro.parallel.pool import get_warm_pool
+    from repro.parallel.search import _build_handle
+
+    effective = max(1, min(workers, len(escalated)))
+    if effective <= 1:
+        return None
+    pool = get_warm_pool(effective)
+    try:
+        handle = _build_handle(
+            pool,
+            full_model.log_1,
+            full_model.log_2,
+            tuple(full_model.patterns),
+            bound,
+            transport,
+        )
+    except Exception:
+        return None
+    config_payload = config.to_dict()
+    with probe.span(
+        "blocking.parallel", workers=effective, blocks=len(escalated)
+    ):
+        if probe.enabled:
+            probe.on_parallel_run(effective, len(escalated))
+        futures = [
+            pool.submit(
+                _match_block_task,
+                handle,
+                block.sources,
+                block.targets,
+                config_payload,
+                bound,
+                node_budget,
+                time_budget,
+            )
+            for block in escalated
+        ]
+        try:
+            return [future.result() for future in futures]
+        except BrokenProcessPool:
+            pool.close()
+            return None
+
+
+def tiered_match(
+    log_1: EventLog,
+    log_2: EventLog,
+    patterns: Sequence[Pattern] = (),
+    bound: BoundKind = BoundKind.TIGHT,
+    config: BlockingConfig | None = None,
+    node_budget: int | None = None,
+    time_budget: float | None = None,
+    strict: bool = False,
+    include_vertices: bool = True,
+    include_edges: bool = True,
+    probe: Probe | None = None,
+    workers: int = 1,
+    transport: str = "auto",
+) -> MatchOutcome:
+    """Blocked exact matching (see module docstring).
+
+    Budgets apply per escalated block; ``strict=True`` raises
+    :class:`~repro.core.astar.SearchBudgetExceeded` as soon as any
+    in-block search exhausts its budget (parallel escalations finish
+    their claimed blocks first, mirroring the root-split parallel path).
+    """
+    if probe is None:
+        probe = NULL_PROBE
+    if config is None:
+        config = BlockingConfig()
+    started = time.perf_counter()
+    plan = build_plan(log_1, log_2, config)
+    full_patterns = build_pattern_set(
+        log_1,
+        complex_patterns=patterns,
+        include_vertices=include_vertices,
+        include_edges=include_edges,
+    )
+    full_model = ScoreModel(
+        log_1, log_2, full_patterns, bound=bound, probe=probe
+    )
+
+    merged = SearchStats()
+    mapping: dict[Event, Event] = {}
+    degraded = False
+    search_gap = 0.0
+    auto_accepted = 0
+    pairs_considered = 0
+    #: tier index per source event, and per tier: (target pool, exactly
+    #: solved?) — the inputs of the combined-gap computation.
+    tier_of: dict[Event, int] = {}
+    tier_targets: list[tuple[Event, ...]] = []
+    #: Tiers whose within-tier pattern sum is bounded by the search
+    #: itself: exact tiers, whether optimal (gap 0) or degraded (the
+    #: search's reported gap bounds the shortfall and is added to
+    #: ``search_gap``).  Heuristic tiers are not — their patterns fall
+    #: through to the cap-based slack like cross-tier patterns.
+    tier_proven: list[bool] = []
+
+    def open_tier(targets: tuple[Event, ...], proven: bool) -> int:
+        tier_targets.append(targets)
+        tier_proven.append(proven)
+        return len(tier_targets) - 1
+
+    escalated: list[Block] = []
+    for block in plan.blocks:
+        if config.auto_accept and block.unambiguous:
+            source, target = block.sources[0], block.targets[0]
+            mapping[source] = target
+            tier_of[source] = open_tier(block.targets, True)
+            auto_accepted += 1
+            pairs_considered += 1
+            if probe.enabled:
+                probe.on_blocking_tier("auto_accept", 1)
+        else:
+            escalated.append(block)
+            pairs_considered += block.pairs
+
+    results: list[_TierResult] | None = None
+    if workers > 1 and len(escalated) > 1:
+        results = _parallel_escalation(
+            full_model, escalated, config, bound, node_budget,
+            time_budget, workers, transport, probe,
+        )
+        if results is not None and strict:
+            for result in results:
+                if result.degraded:
+                    for result_ in results:
+                        merged.merge(result_.stats)
+                    raise SearchBudgetExceeded(
+                        "blocked search budget exhausted", merged
+                    )
+    if results is None:
+        results = [
+            _search_tier(
+                full_model, block.sources, block.targets, bound, config,
+                node_budget, time_budget, strict,
+            )
+            for block in escalated
+        ]
+
+    for block, result in zip(escalated, results):
+        tier = open_tier(block.targets, result.exact)
+        for source in block.sources:
+            tier_of[source] = tier
+        mapping.update(result.mapping)
+        merged.merge(result.stats)
+        degraded = degraded or result.degraded
+        if result.degraded:
+            search_gap += result.gap
+        if probe.enabled:
+            probe.on_blocking_tier(
+                "exact" if result.exact else "heuristic", 1
+            )
+
+    # Residual cleanup: unplaced sources vs every still-unused target.
+    used_targets = set(mapping.values())
+    leftover_sources = sorted(
+        set(log_1.alphabet()) - set(mapping)
+    )
+    leftover_targets = sorted(
+        set(log_2.alphabet()) - used_targets
+    )
+    if leftover_sources and leftover_targets:
+        pairs_considered += len(leftover_sources) * len(leftover_targets)
+        result = _search_tier(
+            full_model, leftover_sources, leftover_targets, bound, config,
+            node_budget, time_budget, strict,
+        )
+        tier = open_tier(tuple(leftover_targets), result.exact)
+        for source in leftover_sources:
+            tier_of[source] = tier
+        mapping.update(result.mapping)
+        merged.merge(result.stats)
+        degraded = degraded or result.degraded
+        if result.degraded:
+            search_gap += result.gap
+        if probe.enabled:
+            probe.on_blocking_tier("residual", 1)
+
+    # ------------------------------------------------------------------
+    # Global rescoring + combined gap (one pass over the full pattern set)
+    # ------------------------------------------------------------------
+    graph_2 = full_model.graph_2
+    tier_cap = [
+        max((graph_2.vertex_weight(t) for t in targets), default=0.0)
+        for targets in tier_targets
+    ]
+    mapped = mapping.keys()
+    score = 0.0
+    slack = 0.0
+    for pattern in full_model.patterns:
+        events = full_model.event_set(pattern)
+        realized = 0.0
+        if events <= mapped:
+            realized = full_model.contribution(pattern, mapping, merged)
+            score += realized
+        frequency_1 = full_model.f1(pattern)
+        if frequency_1 == 0.0:
+            continue
+        covered = all(event in tier_of for event in events)
+        tiers = {tier_of[event] for event in events if event in tier_of}
+        if covered and len(tiers) == 1 and tier_proven[next(iter(tiers))]:
+            # Proven by that tier's exact in-block optimum: the summed
+            # contribution of this tier's patterns is maximal, so the
+            # pattern adds no slack (accounting happens per tier through
+            # the search itself; degraded tiers added their gap above).
+            continue
+        frequency_cap = min(
+            (
+                tier_cap[tier_of[event]] if event in tier_of else 0.0
+                for event in events
+            ),
+            default=0.0,
+        )
+        cap = (
+            1.0
+            if frequency_cap >= frequency_1
+            else frequency_similarity(frequency_1, frequency_cap)
+        )
+        slack += max(0.0, cap - realized)
+
+    combined_gap = search_gap + slack
+    full_model.collect_frequency_evaluations(merged)
+
+    merged.blocking_blocks = len(tier_targets)
+    merged.blocking_pairs_total = plan.pairs_total
+    merged.blocking_pairs_considered = pairs_considered
+    merged.blocking_auto_accepted = auto_accepted
+    merged.blocking_escalated = len(tier_targets) - auto_accepted
+    if plan.pairs_total:
+        merged.extra["blocking_pruned_ratio"] = round(
+            1.0 - pairs_considered / plan.pairs_total, 6
+        )
+    merged.extra["blocking_gap_cross"] = round(slack, 6)
+    merged.extra["blocking_elapsed_seconds"] = round(
+        time.perf_counter() - started, 6
+    )
+    if probe.enabled:
+        probe.on_blocking_plan(
+            len(tier_targets), plan.pairs_total, pairs_considered
+        )
+
+    return MatchOutcome(
+        Mapping(mapping),
+        score,
+        merged,
+        degraded=degraded,
+        gap=combined_gap,
+    )

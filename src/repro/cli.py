@@ -156,6 +156,18 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _blocking_from_args(args: argparse.Namespace) -> dict | None:
+    """The ``blocking`` option assembled from the CLI knobs (or ``None``)."""
+    if not args.blocking:
+        return None
+    return {
+        "frequency_gap": args.blocking_gap,
+        "signal_bands": args.blocking_bands,
+        "exact_cutoff": args.blocking_exact_cutoff,
+        "auto_accept": not args.no_blocking_auto_accept,
+    }
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     log_1 = load_log(args.log1)
     log_2 = load_log(args.log2)
@@ -172,6 +184,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         workers=args.workers,
         transport=args.transport,
         chunk_size=args.chunk_size,
+        blocking=_blocking_from_args(args),
     )
     degraded_text = (
         f" DEGRADED gap<={result.gap:.4f}" if result.degraded else ""
@@ -250,6 +263,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             min_traces=args.min_traces,
             check_every=args.check_every,
             probe=probe,
+            blocking=args.blocking or None,
         )
 
     # Replay the feed as live traffic: every event goes through the
@@ -487,6 +501,30 @@ def build_parser() -> argparse.ArgumentParser:
         "4 chunks per worker); ignored when --workers 1",
     )
     match_parser.add_argument(
+        "--blocking", action="store_true",
+        help="run the multi-signal blocking tier ahead of the exact "
+        "pattern-* search: auto-accept unambiguous 1:1 blocks, search "
+        "only inside ambiguous ones",
+    )
+    match_parser.add_argument(
+        "--blocking-gap", type=float, default=0.05, metavar="G",
+        help="frequency-gap clustering threshold of the blocking plan "
+        "(larger = coarser blocks, safer under heterogeneity)",
+    )
+    match_parser.add_argument(
+        "--blocking-bands", type=int, default=8, metavar="B",
+        help="quantization bands of the secondary blocking signals",
+    )
+    match_parser.add_argument(
+        "--blocking-exact-cutoff", type=int, default=None, metavar="K",
+        help="escalated blocks with more than K sources run the advanced "
+        "heuristic instead of exact A* (default: always exact)",
+    )
+    match_parser.add_argument(
+        "--no-blocking-auto-accept", action="store_true",
+        help="search 1:1 blocks too instead of accepting them outright",
+    )
+    match_parser.add_argument(
         "--strict", action="store_true",
         help="fail on budget exhaustion instead of returning the "
         "degraded anytime incumbent",
@@ -536,6 +574,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream_parser.add_argument("--node-budget", type=int, default=200_000)
     stream_parser.add_argument("--time-budget", type=float, default=None)
+    stream_parser.add_argument(
+        "--blocking", action="store_true",
+        help="run the multi-signal blocking tier ahead of exact "
+        "re-matches (default knobs; ignored by heuristic re-matches)",
+    )
     stream_parser.add_argument(
         "--validate", action="store_true",
         help="validate every trace before commit; rejects go to a "

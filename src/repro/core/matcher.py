@@ -146,8 +146,24 @@ class EventMatcher:
         workers: int = 1,
         transport: str = "auto",
         chunk_size: int | None = None,
+        blocking=None,
     ) -> MatchResult:
         """Run ``method`` and return its annotated result.
+
+        ``blocking`` — run the multi-signal blocking tier ahead of the
+        exact search (:mod:`repro.blocking`): partition the two
+        vocabularies into candidate blocks, auto-accept unambiguous 1:1
+        blocks, search only inside ambiguous ones, and compose one
+        injective mapping rescored against the full logs.  Accepts
+        ``True`` (default knobs), a
+        :class:`~repro.blocking.BlockingConfig`, or a dict of its
+        fields; only the ``pattern-*`` methods support it.  The default
+        ``None``/``False`` keeps every method bit-identical to the
+        unblocked behaviour.  Blocked runs ignore ``warm_start`` and
+        may report a non-zero ``gap`` without being ``degraded``: the
+        gap then bounds the distance to the best block-respecting
+        mapping.  With ``workers > 1`` the ambiguous blocks fan out
+        over the warm worker pool as independent work-stealing chunks.
 
         ``workers`` — run the exact ``pattern-*`` searches root-split
         over this many worker processes
@@ -193,13 +209,13 @@ class EventMatcher:
             return self._run(
                 method, node_budget, time_budget, heuristic_bound,
                 warm_start, strict, degraded_fallback, probe, workers,
-                transport, chunk_size,
+                transport, chunk_size, blocking,
             )
         with probe.span("match.run", method=method):
             result = self._run(
                 method, node_budget, time_budget, heuristic_bound,
                 warm_start, strict, degraded_fallback, probe, workers,
-                transport, chunk_size,
+                transport, chunk_size, blocking,
             )
         probe.record_search_stats(result.stats)
         return result
@@ -217,9 +233,48 @@ class EventMatcher:
         workers: int = 1,
         transport: str = "auto",
         chunk_size: int | None = None,
+        blocking=None,
     ) -> MatchResult:
         started = time.perf_counter()
+        # Deferred import: the blocking tier is only pulled in when a
+        # run opts in, keeping the default path untouched.
+        from repro.blocking import normalize_blocking
+
+        blocking_config = normalize_blocking(blocking)
+        if blocking_config is not None and method not in _PATTERN_METHODS:
+            raise ValueError(
+                "blocking is only supported for the exact pattern methods "
+                f"{tuple(_PATTERN_METHODS)}, not {method!r}"
+            )
         if method in _PATTERN_METHODS:
+            if blocking_config is not None:
+                from repro.blocking import tiered_match
+
+                outcome = tiered_match(
+                    self.log_1,
+                    self.log_2,
+                    self.complex_patterns,
+                    bound=_PATTERN_METHODS[method],
+                    config=blocking_config,
+                    node_budget=node_budget,
+                    time_budget=time_budget,
+                    strict=strict,
+                    include_vertices=self.include_vertices,
+                    include_edges=self.include_edges,
+                    probe=probe,
+                    workers=workers,
+                    transport=transport,
+                )
+                if (
+                    outcome.degraded
+                    and degraded_fallback is not None
+                    and outcome.gap > degraded_fallback
+                ):
+                    outcome, method = self._heuristic_rescue(
+                        outcome, heuristic_bound, method, probe
+                    )
+                elapsed = time.perf_counter() - started
+                return MatchResult.from_outcome(method, outcome, elapsed)
             if workers > 1 and warm_start is None:
                 # Deferred import: the parallel layer is only pulled in
                 # when a run actually asks for it.
@@ -372,6 +427,7 @@ def match(
     workers: int = 1,
     transport: str = "auto",
     chunk_size: int | None = None,
+    blocking=None,
 ) -> MatchResult:
     """One-call event matching between two logs (see module docstring)."""
     matcher = EventMatcher(log_1, log_2, patterns=patterns)
@@ -386,4 +442,5 @@ def match(
         workers=workers,
         transport=transport,
         chunk_size=chunk_size,
+        blocking=blocking,
     )

@@ -110,6 +110,19 @@ class ScoreModel:
         exact search, the heuristics, both frequency evaluators and
         their kernels).  Defaults to the no-op
         :data:`~repro.obs.probe.NULL_PROBE`.
+    source_events, target_events:
+        Optional restriction of the matchable vocabularies to subsets of
+        the two alphabets — the substrate of the blocking tier
+        (:mod:`repro.blocking`): the searches expand only the restricted
+        sources against the restricted targets, while *frequencies stay
+        those of the full logs*, so per-block scores add up to exactly
+        the global pattern normal distance.  ``None`` (the default)
+        keeps the historical full-alphabet behaviour.
+    evaluator_1, evaluator_2, graph_1, graph_2:
+        Optional pre-built frequency evaluators / dependency graphs to
+        share across sibling models over the same logs (per-block models
+        reuse the parent's, so interning, posting lists and memoized
+        frequencies are paid once).  Built fresh when omitted.
     """
 
     def __init__(
@@ -123,28 +136,44 @@ class ScoreModel:
         trace_index_1=None,
         trace_index_2=None,
         probe: Probe | None = None,
+        source_events: Sequence[Event] | None = None,
+        target_events: Sequence[Event] | None = None,
+        evaluator_1: PatternFrequencyEvaluator | None = None,
+        evaluator_2: PatternFrequencyEvaluator | None = None,
+        graph_1=None,
+        graph_2=None,
     ):
         validate_patterns(patterns, log_1.alphabet())
         self.log_1 = log_1
         self.log_2 = log_2
         self.bound = bound
         self.probe = probe if probe is not None else NULL_PROBE
-        self.graph_1 = dependency_graph(log_1)
-        self.graph_2 = dependency_graph(log_2)
-        self.evaluator_1 = PatternFrequencyEvaluator(
-            log_1, trace_index=trace_index_1,
-            use_index=use_index, use_kernel=use_kernel,
-            probe=self.probe,
+        self.graph_1 = graph_1 if graph_1 is not None else dependency_graph(log_1)
+        self.graph_2 = graph_2 if graph_2 is not None else dependency_graph(log_2)
+        self.evaluator_1 = evaluator_1 if evaluator_1 is not None else (
+            PatternFrequencyEvaluator(
+                log_1, trace_index=trace_index_1,
+                use_index=use_index, use_kernel=use_kernel,
+                probe=self.probe,
+            )
         )
-        self.evaluator_2 = PatternFrequencyEvaluator(
-            log_2, trace_index=trace_index_2,
-            use_index=use_index, use_kernel=use_kernel,
-            probe=self.probe,
+        self.evaluator_2 = evaluator_2 if evaluator_2 is not None else (
+            PatternFrequencyEvaluator(
+                log_2, trace_index=trace_index_2,
+                use_index=use_index, use_kernel=use_kernel,
+                probe=self.probe,
+            )
         )
         self.index = PatternIndex(patterns)
         self.patterns: tuple[Pattern, ...] = self.index.patterns
-        self.source_events: list[Event] = sorted(log_1.alphabet())
-        self.target_events: list[Event] = sorted(log_2.alphabet())
+        self.source_events: list[Event] = (
+            sorted(source_events) if source_events is not None
+            else sorted(log_1.alphabet())
+        )
+        self.target_events: list[Event] = (
+            sorted(target_events) if target_events is not None
+            else sorted(log_2.alphabet())
+        )
         #: Sorted-cap views of ``G2`` answering the per-node TIGHT maxima
         #: by scanning ≤ d+1 entries instead of rescanning the induced
         #: subgraph (d = mapped targets).
@@ -180,6 +209,44 @@ class ScoreModel:
                 len(self._event_sets[pattern]),
             )
             for pattern in patterns
+        )
+
+    def restricted(
+        self,
+        source_events: Sequence[Event],
+        target_events: Sequence[Event],
+        bound: BoundKind | None = None,
+    ) -> "ScoreModel":
+        """A sibling model over a source/target sub-vocabulary.
+
+        The restricted model keeps this model's logs, evaluators and
+        dependency graphs (so every frequency is still measured against
+        the *full* logs) but scores only the patterns whose events lie
+        entirely inside ``source_events``, and lets the searches map
+        only ``source_events`` onto ``target_events``.  Because a
+        pattern's contribution depends solely on the images of its own
+        events, restricted scores are exact summands of the global
+        pattern normal distance — the additive decomposition the
+        blocking tier composes per-block optima with.
+        """
+        source_set = frozenset(source_events)
+        patterns = [
+            pattern
+            for pattern in self.patterns
+            if self._event_sets[pattern] <= source_set
+        ]
+        return ScoreModel(
+            self.log_1,
+            self.log_2,
+            patterns,
+            bound=bound if bound is not None else self.bound,
+            probe=self.probe,
+            source_events=source_events,
+            target_events=target_events,
+            evaluator_1=self.evaluator_1,
+            evaluator_2=self.evaluator_2,
+            graph_1=self.graph_1,
+            graph_2=self.graph_2,
         )
 
     # ------------------------------------------------------------------

@@ -39,6 +39,18 @@ class SearchStats:
     trace_cells_scanned: int = 0
     #: Times the anytime search improved its best complete incumbent.
     incumbent_updates: int = 0
+    #: Candidate blocks the blocking tier partitioned the vocabularies
+    #: into (auto-accepted + escalated + the residual cleanup tier).
+    blocking_blocks: int = 0
+    #: Source×target pairs of the unblocked candidate space |V1|·|V2|.
+    blocking_pairs_total: int = 0
+    #: Candidate pairs actually enumerable after blocking
+    #: (Σ |S_i|·|T_i| over blocks plus the residual tier).
+    blocking_pairs_considered: int = 0
+    #: Pairs fixed by the unambiguous 1:1 auto-accept tier (no search).
+    blocking_auto_accepted: int = 0
+    #: Blocks escalated to an in-block search (exact or heuristic).
+    blocking_escalated: int = 0
     #: Free-form named values; ints stay ints across :meth:`merge`.
     extra: dict[str, int | float] = field(default_factory=dict)
 
@@ -55,6 +67,11 @@ class SearchStats:
         self.bitset_intersections += other.bitset_intersections
         self.trace_cells_scanned += other.trace_cells_scanned
         self.incumbent_updates += other.incumbent_updates
+        self.blocking_blocks += other.blocking_blocks
+        self.blocking_pairs_total += other.blocking_pairs_total
+        self.blocking_pairs_considered += other.blocking_pairs_considered
+        self.blocking_auto_accepted += other.blocking_auto_accepted
+        self.blocking_escalated += other.blocking_escalated
         for key, value in other.extra.items():
             # An int default (not 0.0) keeps int + int an int; a float on
             # either side still promotes the sum to float as usual.

@@ -19,6 +19,7 @@ from repro.datagen.processtree import (
     Sequence,
     simulate_log,
 )
+from repro.datagen.largevocab import generate_largevocab
 from repro.datagen.random_logs import generate_random_pair
 from repro.datagen.reallike import generate_reallike
 from repro.datagen.synthetic import generate_synthetic
@@ -33,6 +34,7 @@ __all__ = [
     "Parallel",
     "ProcessTree",
     "Sequence",
+    "generate_largevocab",
     "generate_random_pair",
     "generate_reallike",
     "generate_synthetic",

@@ -1,0 +1,255 @@
+"""Large-vocabulary workloads for the blocking tier.
+
+The paper's datasets top out at a few dozen event types — enough to
+stress the exact search, far too small to exercise blocking.  This
+generator builds *family-structured* logs whose vocabularies scale to
+hundreds or thousands of event types while staying cheap to sample.
+The vocabulary is ``num_families x roles_per_family`` events; each
+trace samples families independently and emits a sampled family's roles
+as an in-family sequence (a *chain*).  Inclusion probabilities come
+from a **level grid** — evenly spaced frequency levels over
+``[0.08, 0.95]`` — in one of two layouts:
+
+* **per-event levels** (``family_chains=False``, the default): event
+  ``k`` sits on level ``k % num_levels`` with
+  ``ceil(V / events_per_level)`` levels, so with ``events_per_level=1``
+  every event's frequency is unique and blocking resolves the instance
+  almost entirely by auto-accept — the regime where the *unblocked*
+  exact baseline is still feasible and blocked/unblocked F-measures are
+  directly comparable (the ``bench_blocking.py`` gate instance);
+* **per-family levels** (``family_chains=True``): a whole family chain
+  shares one level (``ceil(num_families / families_per_level)``
+  levels), so same-level events are only separable by *structure*.
+  Families sharing a level differ in **chain contiguity**: family ``f``
+  emits its chain contiguously with a per-family probability drawn from
+  a spread grid, otherwise its roles scatter across the trace.  Edge
+  (bigram) frequencies therefore differ per family while vertex
+  frequencies coincide — exactly the evidence the in-block searches and
+  the bigram-signature blocking profiles need, and all of it *inside*
+  the block, where a restricted search can see it.
+
+``log_2`` is an independently sampled log over renamed events (codes
+``x000``, ``x001``, …) whose inclusion probabilities are perturbed by
+up to ``heterogeneity``; the renaming is the ground truth.  With
+``heterogeneity=0.0`` both logs sample the *same* process, so the
+identity (modulo renaming) is optimal for any reasonable score.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.mapping import Mapping
+from repro.datagen.task import MatchingTask
+from repro.log.events import Trace
+from repro.log.eventlog import EventLog
+from repro.patterns.ast import seq
+
+
+def _level_grid(num_levels: int) -> list[float]:
+    """``num_levels`` inclusion probabilities evenly spread in [0.08, 0.95]."""
+    if num_levels == 1:
+        return [0.6]
+    return [
+        0.08 + 0.87 * level / (num_levels - 1) for level in range(num_levels)
+    ]
+
+
+def _contiguity_grid(num_variants: int) -> list[float]:
+    """Distinct chain-contiguity probabilities, spread over [0.15, 0.9]."""
+    if num_variants == 1:
+        return [0.9]
+    return [
+        0.9 - 0.75 * variant / (num_variants - 1)
+        for variant in range(num_variants)
+    ]
+
+
+def _sample_log(
+    names: list[list[str]],
+    probabilities: list[list[float]],
+    contiguity: list[float],
+    num_traces: int,
+    rng: random.Random,
+    name: str,
+) -> EventLog:
+    traces = []
+    for case in range(num_traces):
+        segments: list[list[str]] = []
+        scattered: list[str] = []
+        for family, (family_names, family_probs) in enumerate(
+            zip(names, probabilities)
+        ):
+            chain = [
+                event
+                for event, probability in zip(family_names, family_probs)
+                if rng.random() < probability
+            ]
+            if not chain:
+                continue
+            if len(chain) > 1 and rng.random() >= contiguity[family]:
+                scattered.extend(chain)
+            else:
+                segments.append(chain)
+        rng.shuffle(segments)
+        events = [event for segment in segments for event in segment]
+        for event in scattered:
+            events.insert(rng.randrange(len(events) + 1), event)
+        if not events:  # keep every trace non-empty for the interner
+            events.append(names[0][0])
+        traces.append(Trace(events, case_id=str(case)))
+    return EventLog(traces, name=name)
+
+
+def generate_largevocab(
+    num_families: int = 40,
+    roles_per_family: int = 4,
+    num_traces: int = 400,
+    seed: int = 0,
+    heterogeneity: float = 0.0,
+    events_per_level: int = 1,
+    family_chains: bool = False,
+    families_per_level: int = 4,
+    max_patterns: int = 10,
+) -> MatchingTask:
+    """A large-vocabulary matching task with known ground truth.
+
+    Parameters
+    ----------
+    num_families, roles_per_family:
+        Vocabulary shape: ``num_families * roles_per_family`` event
+        types per log.
+    num_traces:
+        Traces per log; more traces sharpen the frequency estimates the
+        blocking signals read (sampling noise shrinks as
+        ``1 / sqrt(num_traces)``).
+    seed:
+        Seeds both logs' samplers (independently derived).
+    heterogeneity:
+        Each of ``log_2``'s inclusion probabilities is shifted by a
+        uniform draw from ``[-heterogeneity, +heterogeneity]``.  Keep it
+        below half the level-grid spacing for blocking to stay lossless.
+    events_per_level:
+        Per-event layout only: how many events share each frequency
+        level.  ``1`` makes every event frequency-unique (blocking
+        resolves the whole instance by auto-accept); larger values
+        create ``k``-vs-``k`` ambiguous blocks.
+    family_chains:
+        Switch to the per-family level layout: whole chains share one
+        frequency level and same-level families differ only by chain
+        contiguity (see module docstring).  The blocking-at-scale
+        regime — vertex frequencies alone cannot separate the
+        vocabulary, in-block edge evidence must.
+    families_per_level:
+        Per-family layout only: chains sharing each level (the ambiguous
+        block width is ``families_per_level * roles_per_family``).
+    max_patterns:
+        Complex SEQ patterns over the first two roles of the lowest-id
+        families (at most one per family).
+    """
+    if num_families < 1:
+        raise ValueError("num_families must be >= 1")
+    if roles_per_family < 1:
+        raise ValueError("roles_per_family must be >= 1")
+    if num_traces < 1:
+        raise ValueError("num_traces must be >= 1")
+    if heterogeneity < 0.0:
+        raise ValueError("heterogeneity must be non-negative")
+    if events_per_level < 1:
+        raise ValueError("events_per_level must be >= 1")
+    if families_per_level < 1:
+        raise ValueError("families_per_level must be >= 1")
+
+    vocabulary = num_families * roles_per_family
+    names_1 = [
+        [f"F{family:03d}_{role}" for role in range(roles_per_family)]
+        for family in range(num_families)
+    ]
+    names_2 = [
+        [f"x{family * roles_per_family + role:03d}"
+         for role in range(roles_per_family)]
+        for family in range(num_families)
+    ]
+    truth = Mapping(
+        {
+            names_1[family][role]: names_2[family][role]
+            for family in range(num_families)
+            for role in range(roles_per_family)
+        }
+    )
+
+    if family_chains:
+        num_levels = math.ceil(num_families / families_per_level)
+        grid = _level_grid(num_levels)
+        variants = _contiguity_grid(families_per_level)
+        # Families sharing level ``f % num_levels`` get distinct
+        # contiguity variants (``f // num_levels`` cycles through them).
+        probabilities = [
+            [grid[family % num_levels]] * roles_per_family
+            for family in range(num_families)
+        ]
+        contiguity = [
+            variants[(family // num_levels) % families_per_level]
+            for family in range(num_families)
+        ]
+    else:
+        num_levels = math.ceil(vocabulary / events_per_level)
+        grid = _level_grid(num_levels)
+        # Event (family, role) sits on level ``index % num_levels``:
+        # events sharing a level land in different families, so the
+        # within-family role chain always spans distinct frequencies.
+        probabilities = [
+            [
+                grid[(family * roles_per_family + role) % num_levels]
+                for role in range(roles_per_family)
+            ]
+            for family in range(num_families)
+        ]
+        contiguity = [1.0] * num_families
+
+    noise = random.Random(seed + 1)
+    probabilities_2 = [
+        [
+            min(
+                0.995,
+                max(
+                    0.005,
+                    probability
+                    + noise.uniform(-heterogeneity, heterogeneity),
+                ),
+            )
+            for probability in family
+        ]
+        for family in probabilities
+    ]
+
+    log_1 = _sample_log(
+        names_1,
+        probabilities,
+        contiguity,
+        num_traces,
+        random.Random(seed * 2 + 17),
+        name="largevocab-1",
+    )
+    log_2 = _sample_log(
+        names_2,
+        probabilities_2,
+        contiguity,
+        num_traces,
+        random.Random(seed * 2 + 18),
+        name="largevocab-2",
+    )
+
+    patterns = tuple(
+        seq(names_1[family][0], names_1[family][1])
+        for family in range(min(num_families, max_patterns))
+        if roles_per_family >= 2
+    )
+    return MatchingTask(
+        name=f"largevocab[{vocabulary}]",
+        log_1=log_1,
+        log_2=log_2,
+        patterns=patterns,
+        truth=truth,
+    )

@@ -51,6 +51,7 @@ def run_method(
     time_budget: float | None = None,
     probe: Probe | None = None,
     workers: int = 1,
+    blocking=None,
 ) -> MethodRun:
     """Run one method on one task; budget overruns become DNF rows.
 
@@ -80,6 +81,7 @@ def run_method(
             result = matcher.run(
                 method, node_budget=node_budget, time_budget=time_budget,
                 strict=True, probe=probe, workers=workers,
+                blocking=blocking,
             )
     except SearchBudgetExceeded as overrun:
         if probe.enabled:

@@ -98,6 +98,15 @@ class Probe:
     def on_bound_caps(self, fast: bool) -> None:
         pass
 
+    # -- blocking / tiered matching --------------------------------------
+    def on_blocking_plan(
+        self, blocks: int, pairs_total: int, pairs_considered: int
+    ) -> None:
+        pass
+
+    def on_blocking_tier(self, tier: str, count: int = 1) -> None:
+        pass
+
     # -- parallel execution ---------------------------------------------
     def on_parallel_run(self, workers: int, shards: int) -> None:
         pass
@@ -300,6 +309,14 @@ class ObservabilityProbe(Probe):
             "repro_parallel_shm_bytes",
             "Bytes mapped by cached shared-memory log arenas",
         )
+        self._blocking_blocks = m.gauge(
+            "repro_blocking_blocks",
+            "Candidate blocks of the most recent blocking plan",
+        )
+        self._blocking_pruned = m.gauge(
+            "repro_blocking_pruned_ratio",
+            "Fraction of the |V1|x|V2| pair space pruned by blocking",
+        )
         self._queue_depth = m.gauge(
             "repro_service_queue_depth", "Match jobs waiting for a worker"
         )
@@ -362,6 +379,19 @@ class ObservabilityProbe(Probe):
     # -- bounds ----------------------------------------------------------
     def on_bound_caps(self, fast):
         (self._caps_fast if fast else self._caps_slow).inc()
+
+    # -- blocking / tiered matching --------------------------------------
+    def on_blocking_plan(self, blocks, pairs_total, pairs_considered):
+        self._blocking_blocks.set(blocks)
+        if pairs_total > 0:
+            self._blocking_pruned.set(1.0 - pairs_considered / pairs_total)
+
+    def on_blocking_tier(self, tier, count=1):
+        self._labeled(
+            "repro_blocking_tier_total",
+            "Blocks resolved by the tiered matcher, by tier",
+            tier=tier,
+        ).inc(count)
 
     # -- parallel execution ---------------------------------------------
     def on_parallel_run(self, workers, shards):

@@ -396,6 +396,7 @@ def _job_options(options: dict) -> dict:
         "strict",
         "degraded_fallback",
         "workers",
+        "blocking",
         "deadline",
     }
     unknown = set(options) - allowed

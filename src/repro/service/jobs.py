@@ -85,6 +85,9 @@ class MatchJob:
     strict: bool = False
     degraded_fallback: float | None = None
     workers: int = 1
+    #: Blocking-tier request: ``None``/``False`` off, ``True`` default
+    #: knobs, or a :class:`~repro.blocking.BlockingConfig` field dict.
+    blocking: dict | bool | None = None
     state: str = QUEUED
     result: dict | None = None
     error: str | None = None
@@ -119,6 +122,7 @@ class MatchJob:
             "strict": self.strict,
             "degraded_fallback": self.degraded_fallback,
             "workers": self.workers,
+            "blocking": self.blocking,
             "state": self.state,
             "result": self.result,
             "error": self.error,
@@ -149,6 +153,7 @@ class MatchJob:
             strict=payload.get("strict", False),
             degraded_fallback=payload.get("degraded_fallback"),
             workers=payload.get("workers", 1),
+            blocking=payload.get("blocking"),
             state=payload.get("state", QUEUED),
             result=payload.get("result"),
             error=payload.get("error"),
@@ -192,6 +197,7 @@ class JobQueue:
         strict: bool = False,
         degraded_fallback: float | None = None,
         workers: int = 1,
+        blocking: dict | bool | None = None,
         deadline: float | None = None,
         trace_id: str | None = None,
         enforce_bound: bool = True,
@@ -226,6 +232,7 @@ class JobQueue:
                 strict=strict,
                 degraded_fallback=degraded_fallback,
                 workers=workers,
+                blocking=blocking,
                 deadline=deadline,
                 trace_id=trace_id,
             )
@@ -250,6 +257,7 @@ class JobQueue:
             strict=original.strict,
             degraded_fallback=original.degraded_fallback,
             workers=original.workers,
+            blocking=original.blocking,
             deadline=original.deadline,
         )
 

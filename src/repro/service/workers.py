@@ -86,6 +86,7 @@ def job_payload(
         "strict": job.strict,
         "degraded_fallback": job.degraded_fallback,
         "workers": job.workers,
+        "blocking": job.blocking,
         "deadline": deadline if deadline is not None else job.deadline,
     }
     if telemetry is not None:
@@ -123,6 +124,7 @@ def execute_match_job(payload: dict) -> dict:
             strict=payload.get("strict", False),
             degraded_fallback=payload.get("degraded_fallback"),
             workers=payload.get("workers", 1),
+            blocking=payload.get("blocking"),
         )
         if session is not None:
             run_options["probe"] = session.probe

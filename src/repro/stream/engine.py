@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import asdict, dataclass
 
+from repro.blocking import normalize_blocking
 from repro.core.distance import frequency_similarity
 from repro.core.mapping import Mapping
 from repro.core.matcher import EventMatcher
@@ -110,6 +111,12 @@ class OnlineMatcher:
         timings, plus everything the inner matcher reports.  Runtime-only
         state — it is *not* checkpointed; re-attach one with
         :meth:`attach_probe` after :meth:`restore`.
+    blocking:
+        Run the multi-signal blocking tier ahead of the exact re-match
+        (see :mod:`repro.blocking`): ``True``, a
+        :class:`~repro.blocking.BlockingConfig` or its dict form.
+        Applies only to the exact branch (heuristic re-matches ignore
+        it); the normalized knobs are checkpointed and restored.
     """
 
     def __init__(
@@ -125,6 +132,7 @@ class OnlineMatcher:
         degraded_gap_threshold: float | None = 0.1,
         check_every: int | None = None,
         probe: Probe | None = None,
+        blocking=None,
     ):
         if drift_threshold < 0:
             raise ValueError("drift_threshold must be non-negative")
@@ -138,6 +146,9 @@ class OnlineMatcher:
         self.min_traces = min_traces
         self.degraded_gap_threshold = degraded_gap_threshold
         self.check_every = check_every
+        # Normalized once here so checkpoints carry the explicit knob
+        # dict and restore() round-trips through this same coercion.
+        self.blocking = normalize_blocking(blocking)
 
         self._pattern_set = tuple(
             build_pattern_set(reference, complex_patterns=patterns)
@@ -298,6 +309,7 @@ class OnlineMatcher:
                     time_budget=self.time_budget,
                     degraded_fallback=self.degraded_gap_threshold,
                     probe=self._probe,
+                    blocking=self.blocking,
                 )
             else:
                 result = matcher.run(
@@ -368,6 +380,11 @@ class OnlineMatcher:
                 "min_traces": self.min_traces,
                 "degraded_gap_threshold": self.degraded_gap_threshold,
                 "check_every": self.check_every,
+                "blocking": (
+                    self.blocking.to_dict()
+                    if self.blocking is not None
+                    else None
+                ),
             },
             "stream": {
                 "name": stream.name,

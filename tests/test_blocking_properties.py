@@ -1,0 +1,78 @@
+"""Property tests for the blocking tier's soundness invariants.
+
+Three properties carry blocking's correctness argument:
+
+* **reorder invariance** — every blocking signal is a multiset
+  statistic of the trace collection, so keys cannot depend on trace
+  order (if they did, identical logs ingested in different orders would
+  block differently);
+* **candidate recall** — on homogeneous seeded fixtures the plan keeps
+  every pair of the *optimal unblocked* mapping enumerable, so blocked
+  search can still reach the unblocked optimum;
+* **score parity** — with auto-accept disabled every block is searched
+  exactly, and the composed blocked score equals the unblocked exact
+  score (the pattern normal distance decomposes additively over blocks
+  and the composition is rescored against the full model).
+"""
+
+from functools import lru_cache
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import BlockingConfig, build_plan
+from repro.blocking.signals import compute_signals
+from repro.core.matcher import match
+from repro.datagen import generate_largevocab
+from repro.log.eventlog import EventLog
+
+traces_strategy = st.lists(
+    st.text(alphabet="abcd", min_size=1, max_size=6),
+    min_size=2,
+    max_size=10,
+)
+
+
+@lru_cache(maxsize=None)
+def seeded_fixture(seed: int):
+    """One homogeneous large-vocab task plus its unblocked optimum."""
+    task = generate_largevocab(
+        num_families=3, roles_per_family=2, num_traces=400, seed=seed
+    )
+    unblocked = match(
+        task.log_1, task.log_2, patterns=task.patterns,
+        method="pattern-tight",
+    )
+    return task, unblocked
+
+
+@given(traces=traces_strategy, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_signals_invariant_under_trace_reordering(traces, data):
+    shuffled = data.draw(st.permutations(traces))
+    config = BlockingConfig()
+    original = compute_signals(EventLog(traces, name="a"), config)
+    reordered = compute_signals(EventLog(shuffled, name="b"), config)
+    assert original == reordered
+
+
+@given(seed=st.integers(min_value=0, max_value=11))
+@settings(max_examples=12, deadline=None)
+def test_plan_keeps_optimal_mapping_enumerable(seed):
+    task, unblocked = seeded_fixture(seed)
+    plan = build_plan(task.log_1, task.log_2, BlockingConfig())
+    for source, target in unblocked.mapping.as_dict().items():
+        assert plan.is_candidate(source, target), (seed, source, target)
+
+
+@given(seed=st.integers(min_value=0, max_value=11))
+@settings(max_examples=12, deadline=None)
+def test_blocked_exact_matches_unblocked_score(seed):
+    task, unblocked = seeded_fixture(seed)
+    blocked = match(
+        task.log_1, task.log_2, patterns=task.patterns,
+        method="pattern-tight", blocking={"auto_accept": False},
+    )
+    assert blocked.score and abs(blocked.score - unblocked.score) < 1e-9
+    assert blocked.stats.blocking_auto_accepted == 0
+    assert blocked.stats.blocking_blocks > 0
